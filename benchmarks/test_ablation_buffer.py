@@ -1,0 +1,19 @@
+"""Ablation bench: buffer-pool size sensitivity.
+
+Paper shape asserted (Sec. 2.4): the Cubetree forest's shared top levels
+cache well, so a larger buffer pool strictly helps — higher hit ratio and
+no worse query time.
+"""
+
+from repro.experiments import ablations
+
+
+def test_buffer_sensitivity(benchmark, config):
+    result = benchmark.pedantic(
+        lambda: ablations.run_buffer_sensitivity(config, verbose=True),
+        rounds=1, iterations=1,
+    )
+    sizes = sorted(result)
+    for small, big in zip(sizes, sizes[1:]):
+        assert result[big]["hit_ratio"] >= result[small]["hit_ratio"] - 0.02
+        assert result[big]["query_ms"] <= result[small]["query_ms"] * 1.05

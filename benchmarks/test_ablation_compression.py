@@ -1,0 +1,19 @@
+"""Ablation bench: compressed vs uncompressed Cubetree leaves.
+
+Paper shape asserted: eliding the valid mapping's padding zeros shrinks
+the tree substantially (it is why packed+compressed Cubetrees undercut
+even the unindexed relational representation).
+"""
+
+from repro.experiments import ablations
+
+
+def test_leaf_compression(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.run_compression(verbose=True),
+        rounds=1, iterations=1,
+    )
+    assert result["compressed_pages"] < result["uncompressed_pages"]
+    assert result["saving"] > 0.2, (
+        f"compression saving too small: {result['saving']:.0%}"
+    )

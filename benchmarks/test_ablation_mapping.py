@@ -1,0 +1,21 @@
+"""Ablation bench: SelectMapping's minimal forest vs one tree per view.
+
+Paper shape asserted (Sec. 2.4): the minimal forest never uses more pages
+than the one-tree-per-view layout (fewer non-leaf levels) while answering
+the same workload at least as cheaply overall.
+"""
+
+from repro.experiments import ablations
+
+
+def test_mapping_policy(benchmark, config):
+    result = benchmark.pedantic(
+        lambda: ablations.run_mapping_policy(config, verbose=True),
+        rounds=1, iterations=1,
+    )
+    minimal = result["SelectMapping"]
+    per_view = result["one-per-view"]
+    assert minimal["trees"] < per_view["trees"]
+    assert minimal["pages"] <= per_view["pages"]
+    # Query answers must not get materially worse under the minimal forest.
+    assert minimal["query_ms"] <= per_view["query_ms"] * 1.25

@@ -1,0 +1,22 @@
+"""Ablation bench: multi-sort-order replication of the apex view.
+
+Paper shape asserted (Sec. 3): the two extra sort orders of V{p,s,c} are
+what compensate for the conventional configuration's three composite
+indexes — removing them costs an order of magnitude of query time while
+saving storage.
+"""
+
+from repro.experiments import ablations
+
+
+def test_replication(benchmark, config):
+    result = benchmark.pedantic(
+        lambda: ablations.run_replication(config, verbose=True),
+        rounds=1, iterations=1,
+    )
+    with_rep = result["with replicas"]
+    without = result["no replicas"]
+    # Replication trades storage for query time.
+    assert with_rep["pages"] > without["pages"]
+    assert with_rep["query_ms"] < without["query_ms"]
+    assert without["query_ms"] / with_rep["query_ms"] > 3.0

@@ -1,0 +1,31 @@
+"""Ablation bench: low-coordinate packing order vs Hilbert curve.
+
+Paper shape asserted (Sec. 2.4): the low-coordinate sort keeps every view
+in one contiguous run (a single view transition in the leaf stream), while
+a space-filling curve interleaves views — which is why the paper considers
+"only sorts based on lowY, lowX and not space filling curves".
+"""
+
+from repro.experiments import ablations
+
+
+def test_sort_order_interleaving(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.run_sort_order(verbose=True),
+        rounds=1, iterations=1,
+    )
+    assert result["low_transitions"] == 1
+    assert result["hilbert_transitions"] > 10 * result["low_transitions"]
+
+
+def test_hilbert_key_throughput(benchmark):
+    """Microbench: the Hilbert encoder itself (for context)."""
+    from repro.rtree.packing import hilbert_sort_key
+
+    state = {"i": 0}
+
+    def encode():
+        state["i"] += 1
+        return hilbert_sort_key((state["i"] % 1000 + 1, 37), 2)
+
+    assert benchmark(encode) >= 0

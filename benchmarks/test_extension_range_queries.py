@@ -1,0 +1,50 @@
+"""Extension bench: arbitrary range queries (paper Sec. 3.1 prediction).
+
+The paper's experiments use equality predicates only and note that
+"R-trees in general behave faster in bounded range queries ... in a more
+general experiment where arbitrary range queries are allowed we expect
+that the Cubetrees would be even faster."  This bench runs that more
+general experiment and asserts the prediction: the Cubetree advantage on
+range workloads is at least as large as on the equality workload.
+"""
+
+from repro.experiments.common import FIG12_NODES
+from repro.query.generator import RandomQueryGenerator
+
+
+def test_range_query_advantage(benchmark, config, warehouse,
+                               loaded_cubetree, loaded_conventional):
+    _gen, data = warehouse
+    cube, _ = loaded_cubetree
+    conv, _ = loaded_conventional
+    qgen = RandomQueryGenerator(data.schema, seed=config.query_seed + 2)
+    per_node = max(10, config.queries_per_node // 4)
+    nodes = [node for node in FIG12_NODES if len(node) >= 2]
+
+    def measure():
+        totals = {"equality": {"cube": 0.0, "conv": 0.0},
+                  "range": {"cube": 0.0, "conv": 0.0}}
+        for node in nodes:
+            eq = qgen.generate_for_node(node, per_node)
+            rg = qgen.generate_range_queries(node, per_node,
+                                             width_fraction=0.05)
+            totals["equality"]["cube"] += sum(
+                cube.query(q).io.total_ms for q in eq)
+            totals["equality"]["conv"] += sum(
+                conv.query(q).io.total_ms for q in eq)
+            totals["range"]["cube"] += sum(
+                cube.query(q).io.total_ms for q in rg)
+            totals["range"]["conv"] += sum(
+                conv.query(q).io.total_ms for q in rg)
+        return totals
+
+    totals = benchmark.pedantic(measure, rounds=1, iterations=1)
+    eq_ratio = totals["equality"]["conv"] / totals["equality"]["cube"]
+    rg_ratio = totals["range"]["conv"] / totals["range"]["cube"]
+    print(f"\nequality advantage {eq_ratio:.1f}x, "
+          f"range advantage {rg_ratio:.1f}x")
+    # Cubetrees win range workloads...
+    assert rg_ratio > 3.0
+    # ...and the paper's prediction: at least as strongly as equality ones
+    # (allow 20% slack for workload noise).
+    assert rg_ratio > 0.8 * eq_ratio

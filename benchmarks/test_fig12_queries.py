@@ -1,0 +1,93 @@
+"""Figure 12 bench: 100 random slice queries per lattice view.
+
+Paper shape asserted: Cubetrees beat the conventional organization on
+every multi-attribute view and by roughly an order of magnitude overall;
+single-attribute views run at noise level (a page or two) for both.
+"""
+
+import pytest
+
+from repro.experiments.common import FIG12_NODES, node_label
+from repro.query.generator import RandomQueryGenerator
+
+
+@pytest.fixture(scope="module")
+def workload(config, warehouse):
+    _gen, data = warehouse
+    qgen = RandomQueryGenerator(data.schema, seed=config.query_seed)
+    return {
+        node: qgen.generate_for_node(node, config.queries_per_node)
+        for node in FIG12_NODES
+    }
+
+
+def run_batch(engine, queries):
+    return sum(engine.query(q).io.total_ms for q in queries)
+
+
+def test_fig12_per_view_totals(benchmark, workload, loaded_cubetree,
+                               loaded_conventional):
+    cube, _ = loaded_cubetree
+    conv, _ = loaded_conventional
+
+    def measure():
+        per_node = {}
+        for node, queries in workload.items():
+            per_node[node_label(node)] = {
+                "cubetrees": run_batch(cube, queries),
+                "conventional": run_batch(conv, queries),
+            }
+        return per_node
+
+    per_node = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    total_cube = sum(v["cubetrees"] for v in per_node.values())
+    total_conv = sum(v["conventional"] for v in per_node.values())
+    assert total_cube < total_conv
+    assert total_conv / total_cube > 4.0, (
+        f"overall query advantage collapsed: {total_conv / total_cube:.1f}x"
+    )
+    # Cubetrees win every multi-attribute view.
+    for node in FIG12_NODES:
+        if len(node) < 2:
+            continue
+        label = node_label(node)
+        assert per_node[label]["cubetrees"] < per_node[label]["conventional"], (
+            f"conventional won on {label}"
+        )
+    # Single-attribute views stay at noise level for both configurations.
+    for node in FIG12_NODES:
+        if len(node) == 1:
+            label = node_label(node)
+            assert per_node[label]["cubetrees"] < 500.0
+            assert per_node[label]["conventional"] < 500.0
+
+
+def test_cubetree_query_latency(benchmark, loaded_cubetree, workload):
+    """Microbench: single-query wall latency through the Cubetree engine."""
+    cube, _ = loaded_cubetree
+    queries = workload[("partkey", "suppkey", "custkey")]
+    state = {"i": 0}
+
+    def one_query():
+        q = queries[state["i"] % len(queries)]
+        state["i"] += 1
+        return cube.query(q)
+
+    result = benchmark(one_query)
+    assert len(result.rows) >= 0
+
+
+def test_conventional_query_latency(benchmark, loaded_conventional, workload):
+    """Microbench: single-query wall latency through the baseline."""
+    conv, _ = loaded_conventional
+    queries = workload[("partkey", "suppkey", "custkey")]
+    state = {"i": 0}
+
+    def one_query():
+        q = queries[state["i"] % len(queries)]
+        state["i"] += 1
+        return conv.query(q)
+
+    result = benchmark(one_query)
+    assert len(result.rows) >= 0

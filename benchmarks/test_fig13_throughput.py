@@ -1,0 +1,60 @@
+"""Figure 13 bench: system throughput (queries/sec) of both configurations.
+
+Paper shape asserted: Cubetree average throughput is several times the
+conventional average (paper: 10.1 vs 1.1 q/s).  The paper's "conventional
+peak barely matches the Cubetree low" holds at SF 1 where even the
+single-attribute views span many pages; at reduced scale those views fit
+in a page or two and the conventional best case becomes artificially
+fast, so only the average-ratio shape is asserted (see EXPERIMENTS.md).
+"""
+
+from repro.experiments.common import FIG12_NODES
+from repro.query.generator import RandomQueryGenerator
+
+
+def test_fig13_throughput(benchmark, config, warehouse, loaded_cubetree,
+                          loaded_conventional):
+    _gen, data = warehouse
+    cube, _ = loaded_cubetree
+    conv, _ = loaded_conventional
+    qgen = RandomQueryGenerator(data.schema, seed=config.query_seed + 1)
+    workload = {
+        node: qgen.generate_for_node(node, config.queries_per_node)
+        for node in FIG12_NODES
+    }
+
+    def measure():
+        stats = {}
+        for engine, name in ((cube, "cubetrees"), (conv, "conventional")):
+            qps = []
+            multi = []
+            for node, queries in workload.items():
+                ms = sum(engine.query(q).io.total_ms for q in queries)
+                rate = len(queries) / (ms / 1000.0) if ms else 1e9
+                qps.append(rate)
+                if len(node) >= 2:
+                    multi.append(rate)
+            total_queries = sum(len(q) for q in workload.values())
+            total_ms = sum(
+                len(queries) / v * 1000.0
+                for queries, v in zip(workload.values(), qps)
+            )
+            stats[name] = {
+                "min": min(qps),
+                "max": max(qps),
+                "avg": total_queries / (total_ms / 1000.0),
+                "multi_min": min(multi),
+                "multi_max": max(multi),
+            }
+        return stats
+
+    stats = benchmark.pedantic(measure, rounds=1, iterations=1)
+    ratio = stats["cubetrees"]["avg"] / stats["conventional"]["avg"]
+    assert ratio > 4.0, f"throughput advantage collapsed: {ratio:.1f}x"
+    # The Cubetree worst case stays interactive.
+    assert stats["cubetrees"]["min"] > 10.0
+    # The paper's headline: "the peak performance of the conventional
+    # approach barely matches the system low for the Cubetrees" — holds on
+    # the views that span many pages (allow 25% slack for workload noise).
+    assert (stats["conventional"]["multi_max"]
+            < 1.25 * stats["cubetrees"]["multi_min"])

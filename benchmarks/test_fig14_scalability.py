@@ -1,0 +1,27 @@
+"""Figure 14 bench: Cubetree query time vs dataset size.
+
+Paper shape asserted: doubling the dataset leaves Cubetree query time
+practically unchanged (paper shows a near-flat line from 1 GB to 2 GB;
+small growth comes from larger outputs).
+"""
+
+from dataclasses import replace
+
+from repro.experiments import fig14_scalability
+
+
+def test_fig14_scalability(benchmark, config):
+    # Keep the doubled build affordable: a trimmed query count is enough
+    # to expose the trend.
+    small_config = replace(config, queries_per_node=min(
+        50, config.queries_per_node))
+    result = benchmark.pedantic(
+        lambda: fig14_scalability.run(small_config, verbose=True),
+        rounds=1, iterations=1,
+    )
+    assert result["growth"] < 1.7, (
+        f"Cubetree query time grew {result['growth']:.2f}x when the "
+        "dataset doubled — the paper's flat trend is lost"
+    )
+    # The per-view numbers exist for every plotted view.
+    assert set(result["small"]) == set(result["big"])

@@ -1,0 +1,24 @@
+"""Storage-breakdown bench: the structure behind the Sec. 3.2 numbers.
+
+Paper shapes asserted: ~90% of Cubetree pages are compressed leaves, the
+packed leaves are nearly full, and the forest (with two apex replicas)
+still undercuts the conventional tables+indexes.
+"""
+
+from repro.experiments import storage_breakdown
+
+
+def test_storage_breakdown(benchmark, config):
+    result = benchmark.pedantic(
+        lambda: storage_breakdown.run(config, verbose=True),
+        rounds=1, iterations=1,
+    )
+    assert result["leaf_fraction"] > 0.85, (
+        f"only {result['leaf_fraction']:.0%} of pages are leaves"
+    )
+    assert result["cubetree_bytes"] < result["conventional_bytes"]
+    # The replicas triple the apex view's rows yet stay within budget.
+    sizes = result["view_sizes"]
+    replicas = [v for name, v in sizes.items() if "__rep_" in name]
+    assert len(replicas) == 2
+    assert all(v == sizes["V_psc"] for v in replicas)

@@ -1,0 +1,45 @@
+"""Table 5 bench: SelectMapping allocation + GHRU selection.
+
+Regenerates the paper's Table 5 rows and asserts both the selected
+view/index sets (Sec. 3) and the allocation
+``R1{x,y,z} + R2{x} + R3{x}``.
+"""
+
+from repro.core.mapping import select_mapping
+from repro.experiments import table5_mapping
+from repro.experiments.common import paper_views
+
+
+def test_table5_mapping(benchmark):
+    result = benchmark.pedantic(
+        lambda: table5_mapping.run(verbose=True), rounds=1, iterations=1
+    )
+
+    # Paper's V: {psc, ps, c, s, p, none}.
+    assert set(map(frozenset, result["selection_views"])) == {
+        frozenset(("partkey", "suppkey", "custkey")),
+        frozenset(("partkey", "suppkey")),
+        frozenset(("custkey",)),
+        frozenset(("suppkey",)),
+        frozenset(("partkey",)),
+        frozenset(),
+    }
+    # Paper's I: three composite indexes on the apex, one per leading attr.
+    assert len(result["selection_indexes"]) == 3
+    assert {k[0] for k in result["selection_indexes"]} == {
+        "partkey", "suppkey", "custkey",
+    }
+    # Table 5: three Cubetrees, R1 three-dimensional holding 4 views,
+    # R2/R3 one-dimensional singletons.
+    assert result["num_trees"] == 3
+    dims = [d for d, _views in result["allocation"]]
+    sizes = [len(views) for _d, views in result["allocation"]]
+    assert dims == [3, 1, 1]
+    assert sizes == [4, 1, 1]
+
+
+def test_select_mapping_throughput(benchmark):
+    """Microbench: the mapping algorithm itself is linear and fast."""
+    views = paper_views()
+    allocation = benchmark(lambda: select_mapping(views))
+    assert allocation.num_trees == 3

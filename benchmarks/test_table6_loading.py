@@ -1,0 +1,40 @@
+"""Table 6 bench: initial load + storage of both configurations.
+
+Paper shape asserted: Cubetrees load several times faster than the
+conventional tables+indexes (paper: ~16x) and use meaningfully less disk
+(paper: 51% less) despite carrying two extra apex replicas.
+"""
+
+from repro.experiments import table6_loading
+
+
+def test_table6_loading(benchmark, config):
+    result = benchmark.pedantic(
+        lambda: table6_loading.run(config, verbose=True),
+        rounds=1, iterations=1,
+    )
+    # Who wins, by roughly what factor.
+    assert result["ratio"] > 5.0, (
+        f"Cubetree load advantage collapsed: {result['ratio']:.1f}x"
+    )
+    # Storage: combined storage+index beats tables+B-trees.
+    assert result["savings"] > 0.2, (
+        f"storage saving too small: {result['savings']:.0%}"
+    )
+    # The conventional 'Views' phase dominates its 'Indices' phase
+    # (paper: 10h58m vs 51m).
+    assert result["conventional_views_ms"] > result["conventional_indexes_ms"]
+
+
+def test_cubetree_packing_rate(benchmark, config, warehouse):
+    """Microbench: wall-clock packing throughput of the Cubetree loader."""
+    from repro.experiments.common import build_cubetree_engine
+
+    _gen, data = warehouse
+
+    def load():
+        engine, report = build_cubetree_engine(config, data)
+        return report
+
+    report = benchmark.pedantic(load, rounds=1, iterations=1)
+    assert report.view_rows > 0

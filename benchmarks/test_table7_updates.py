@@ -1,0 +1,46 @@
+"""Table 7 bench: refreshing the warehouse with a 10% increment.
+
+Paper shape asserted: merge-pack is the fastest method by a wide margin;
+full recomputation is in the middle; per-tuple incremental maintenance is
+the slowest and blows the (scaled) 24-hour window exactly as the paper's
+"> 24 hours" row reports.
+"""
+
+from repro.experiments import table7_updates
+
+
+def test_table7_updates(benchmark, config):
+    result = benchmark.pedantic(
+        lambda: table7_updates.run(config, verbose=True),
+        rounds=1, iterations=1,
+    )
+    merge = result["merge_pack_ms"]
+    recompute = result["recompute_ms"]
+
+    # Merge-pack wins against recomputation by a healthy factor.
+    assert merge < recompute
+    assert recompute / merge > 3.0, (
+        f"merge-pack advantage collapsed: {recompute / merge:.1f}x"
+    )
+    # The per-tuple path misses the scaled down-time window (paper: >24h),
+    # or — if it finishes — is slower than recomputation.
+    if result["incremental_timed_out"]:
+        assert result["incremental_ms"] is None
+    else:
+        assert result["incremental_ms"] > recompute
+
+
+def test_merge_pack_rate(benchmark, config, warehouse, increment):
+    """Microbench: wall-clock merge-pack throughput."""
+    from repro.experiments.common import build_cubetree_engine
+
+    _gen, data = warehouse
+
+    def merge():
+        engine, _ = build_cubetree_engine(config, data)
+        return engine.update(increment)
+
+    report = benchmark.pedantic(merge, rounds=1, iterations=1)
+    assert report.rows_applied > 0
+    # Merge-pack I/O stays predominantly sequential.
+    assert report.io.sequential_writes > report.io.random_writes

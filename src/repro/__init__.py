@@ -1,0 +1,38 @@
+"""Cubetrees: packed R-tree storage for ROLAP aggregate views.
+
+A reproduction of Kotidis & Roussopoulos, *"An Alternative Storage
+Organization for ROLAP Aggregate Views Based on Cubetrees"* (SIGMOD 1998).
+
+Public API highlights
+---------------------
+
+* :class:`repro.core.engine.CubetreeEngine` — the paper's contribution:
+  materialize views as a forest of packed/compressed R-trees, answer
+  slice queries, refresh by merge-packing.
+* :class:`repro.core.conventional.ConventionalEngine` — the baseline:
+  the same views as relational summary tables + B-tree indexes.
+* :func:`repro.core.mapping.select_mapping` — the SelectMapping algorithm.
+* :class:`repro.warehouse.tpcd.TPCDGenerator` — deterministic TPC-D-style
+  data (the evaluation workload).
+* :mod:`repro.sql` — the SQL subset used to define views and queries.
+* :mod:`repro.experiments` — one module per table/figure of the paper.
+"""
+
+from repro.core.conventional import ConventionalEngine
+from repro.core.engine import CubetreeEngine
+from repro.core.mapping import select_mapping
+from repro.query.slice import SliceQuery
+from repro.relational.view import ViewDefinition
+from repro.warehouse.tpcd import TPCDGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConventionalEngine",
+    "CubetreeEngine",
+    "SliceQuery",
+    "TPCDGenerator",
+    "ViewDefinition",
+    "select_mapping",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""B+-tree indexes over the paged storage substrate.
+
+This is the index structure of the *conventional* configuration: composite
+integer keys (concatenations of view attributes, e.g. ``I{partkey, custkey,
+suppkey}``) mapping to heap-file RIDs.  Supports point/range/prefix search,
+one-at-a-time inserts with node splits, and bottom-up bulk loading from
+sorted input.
+"""
+
+from repro.btree.keys import compare_keys, prefix_range
+from repro.btree.tree import BPlusTree
+
+__all__ = ["BPlusTree", "compare_keys", "prefix_range"]

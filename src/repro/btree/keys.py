@@ -1,0 +1,50 @@
+"""Composite integer keys for B+-trees.
+
+A key is a tuple of ``arity`` signed 64-bit integers, compared
+lexicographically.  Prefix searches (equality on the first ``p`` attributes,
+open on the rest) become closed ranges by padding with the INT64 extremes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+INT64_MIN = -(2**63)
+INT64_MAX = 2**63 - 1
+
+Key = Tuple[int, ...]
+
+
+def validate_key(key: Sequence[int], arity: int) -> Key:
+    """Check shape and range of a key; return it as a tuple."""
+    if len(key) != arity:
+        raise ValueError(f"key {key!r} has arity {len(key)}, expected {arity}")
+    for part in key:
+        if not INT64_MIN <= part <= INT64_MAX:
+            raise ValueError(f"key component {part} out of int64 range")
+    return tuple(key)
+
+
+def compare_keys(left: Sequence[int], right: Sequence[int]) -> int:
+    """Lexicographic comparison; returns -1/0/+1."""
+    lt, rt = tuple(left), tuple(right)
+    if lt < rt:
+        return -1
+    if lt > rt:
+        return 1
+    return 0
+
+
+def prefix_range(prefix: Sequence[int], arity: int) -> Tuple[Key, Key]:
+    """Closed key range matching every key that starts with ``prefix``.
+
+    ``prefix_range((5,), 3)`` covers exactly the keys ``(5, *, *)``.
+    """
+    if len(prefix) > arity:
+        raise ValueError(
+            f"prefix of length {len(prefix)} longer than key arity {arity}"
+        )
+    pad = arity - len(prefix)
+    low = tuple(prefix) + (INT64_MIN,) * pad
+    high = tuple(prefix) + (INT64_MAX,) * pad
+    return low, high

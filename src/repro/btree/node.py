@@ -1,0 +1,147 @@
+"""On-page layout of B+-tree nodes.
+
+Leaf page layout (little-endian)::
+
+    offset 0  uint8    node type (1 = leaf)
+    offset 1  uint16   entry count
+    offset 3  int64    next-leaf page id (-1 for none)
+    offset 11 entries  each: arity * int64 key, int64 page_id, int32 slot
+
+Interior page layout::
+
+    offset 0  uint8    node type (2 = interior)
+    offset 1  uint16   separator count  (children = count + 1)
+    offset 3  keys     count * arity * int64
+    ...       children (count + 1) * int64
+
+Child ``i`` holds keys < separator ``i``; child ``count`` holds the rest
+(search goes right on equality, so duplicates of a separator live right of
+it).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+from repro.constants import PAGE_SIZE
+from repro.errors import StorageError
+from repro.storage.heap import RID
+
+LEAF_TYPE = 1
+INTERIOR_TYPE = 2
+
+_LEAF_HEADER = struct.Struct("<BHq")
+_INTERIOR_HEADER = struct.Struct("<BH")
+
+Key = Tuple[int, ...]
+
+
+def leaf_capacity(arity: int) -> int:
+    """Max entries a leaf of the given key arity can hold."""
+    entry = struct.calcsize(f"<{arity}qqi")
+    return (PAGE_SIZE - _LEAF_HEADER.size) // entry
+
+
+def interior_capacity(arity: int) -> int:
+    """Max separator keys an interior node can hold."""
+    key_bytes = arity * 8
+    # count keys + (count + 1) children must fit.
+    return (PAGE_SIZE - _INTERIOR_HEADER.size - 8) // (key_bytes + 8)
+
+
+class LeafNode:
+    """A deserialized leaf: parallel lists of keys and RIDs."""
+
+    __slots__ = ("arity", "keys", "rids", "next_leaf")
+
+    def __init__(self, arity: int) -> None:
+        self.arity = arity
+        self.keys: List[Key] = []
+        self.rids: List[RID] = []
+        self.next_leaf = -1
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def to_bytes(self) -> bytes:
+        """Serialize into a full page buffer."""
+        entry = struct.Struct(f"<{self.arity}qqi")
+        out = bytearray(PAGE_SIZE)
+        _LEAF_HEADER.pack_into(out, 0, LEAF_TYPE, len(self.keys), self.next_leaf)
+        off = _LEAF_HEADER.size
+        for key, rid in zip(self.keys, self.rids):
+            entry.pack_into(out, off, *key, rid.page_id, rid.slot)
+            off += entry.size
+        if off > PAGE_SIZE:
+            raise StorageError("leaf node overflow")
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes, arity: int) -> "LeafNode":
+        """Deserialize from a page buffer."""
+        node_type, count, next_leaf = _LEAF_HEADER.unpack_from(raw, 0)
+        if node_type != LEAF_TYPE:
+            raise StorageError(f"expected leaf page, found type {node_type}")
+        node = cls(arity)
+        node.next_leaf = next_leaf
+        entry = struct.Struct(f"<{arity}qqi")
+        off = _LEAF_HEADER.size
+        for _ in range(count):
+            fields = entry.unpack_from(raw, off)
+            node.keys.append(tuple(fields[:arity]))
+            node.rids.append(RID(fields[arity], fields[arity + 1]))
+            off += entry.size
+        return node
+
+
+class InteriorNode:
+    """A deserialized interior node: separators and child page ids."""
+
+    __slots__ = ("arity", "keys", "children")
+
+    def __init__(self, arity: int) -> None:
+        self.arity = arity
+        self.keys: List[Key] = []
+        self.children: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def to_bytes(self) -> bytes:
+        """Serialize into a full page buffer."""
+        out = bytearray(PAGE_SIZE)
+        _INTERIOR_HEADER.pack_into(out, 0, INTERIOR_TYPE, len(self.keys))
+        off = _INTERIOR_HEADER.size
+        key_struct = struct.Struct(f"<{self.arity}q")
+        for key in self.keys:
+            key_struct.pack_into(out, off, *key)
+            off += key_struct.size
+        for child in self.children:
+            struct.pack_into("<q", out, off, child)
+            off += 8
+        if off > PAGE_SIZE:
+            raise StorageError("interior node overflow")
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes, arity: int) -> "InteriorNode":
+        """Deserialize from a page buffer."""
+        node_type, count = _INTERIOR_HEADER.unpack_from(raw, 0)
+        if node_type != INTERIOR_TYPE:
+            raise StorageError(f"expected interior page, found type {node_type}")
+        node = cls(arity)
+        key_struct = struct.Struct(f"<{arity}q")
+        off = _INTERIOR_HEADER.size
+        for _ in range(count):
+            node.keys.append(tuple(key_struct.unpack_from(raw, off)))
+            off += key_struct.size
+        for _ in range(count + 1):
+            node.children.append(struct.unpack_from("<q", raw, off)[0])
+            off += 8
+        return node
+
+
+def node_type_of(raw: bytes) -> int:
+    """Peek the node-type byte of a serialized node page."""
+    return raw[0]

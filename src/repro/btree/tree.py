@@ -1,0 +1,297 @@
+"""The B+-tree proper: search, range scans, inserts with splits, deletes.
+
+Notes on semantics:
+
+* Duplicate keys are allowed (a key may map to several RIDs); the view
+  indexes of the experiments happen to be unique, which tests assert at a
+  higher layer.
+* Deletion is *lazy*: entries are removed from leaves but nodes are never
+  merged (the strategy of many production systems).  The experiments never
+  shrink indexes.
+
+Pin protocol: ``_fetch_node`` pins the page and returns ``(node, page)``;
+every path either calls ``_release(page)`` (read-only) or
+``_flush_node(node, page)`` (serialize + unpin dirty) exactly once.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.btree.keys import Key, validate_key
+from repro.btree.node import (
+    InteriorNode,
+    LeafNode,
+    interior_capacity,
+    leaf_capacity,
+    node_type_of,
+)
+from repro.errors import KeyNotFoundError, StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.heap import RID
+from repro.storage.page import Page
+
+
+class BPlusTree:
+    """A B+-tree mapping composite integer keys to heap RIDs.
+
+    Parameters
+    ----------
+    pool:
+        Shared buffer pool.
+    arity:
+        Number of int64 components in every key.
+    """
+
+    def __init__(self, pool: BufferPool, arity: int) -> None:
+        if arity < 1:
+            raise ValueError("key arity must be >= 1")
+        self.pool = pool
+        self.arity = arity
+        self.leaf_capacity = leaf_capacity(arity)
+        self.interior_capacity = interior_capacity(arity)
+        self.count = 0
+        self.height = 1
+        page = pool.new_page()
+        self.root_page_id = page.page_id
+        self._flush_node(LeafNode(arity), page)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.count
+
+    def insert(self, key: Sequence[int], rid: RID) -> None:
+        """Insert one (key, rid) entry, splitting nodes as needed."""
+        key = validate_key(key, self.arity)
+        split = self._insert(self.root_page_id, key, rid)
+        if split is not None:
+            sep, right_id = split
+            new_root = InteriorNode(self.arity)
+            new_root.keys = [sep]
+            new_root.children = [self.root_page_id, right_id]
+            page = self.pool.new_page()
+            self.root_page_id = page.page_id
+            self._flush_node(new_root, page)
+            self.height += 1
+        self.count += 1
+
+    def search(self, key: Sequence[int]) -> List[RID]:
+        """Return every RID stored under ``key`` (possibly empty)."""
+        key = validate_key(key, self.arity)
+        return [rid for _k, rid in self.range_scan(key, key)]
+
+    def search_one(self, key: Sequence[int]) -> Optional[RID]:
+        """Return one RID for ``key``, or None."""
+        matches = self.search(key)
+        return matches[0] if matches else None
+
+    def range_scan(
+        self, low: Sequence[int], high: Sequence[int]
+    ) -> Iterator[Tuple[Key, RID]]:
+        """Yield entries with ``low <= key <= high`` in key order."""
+        low_key = validate_key(low, self.arity)
+        high_key = validate_key(high, self.arity)
+        if low_key > high_key:
+            return
+        page_id = self._descend_to_leaf(low_key)
+        start_key: Tuple[int, ...] = low_key
+        while page_id != -1:
+            node, page = self._fetch_node(page_id)
+            assert isinstance(node, LeafNode)
+            start = bisect_left(node.keys, start_key)
+            for i in range(start, len(node.keys)):
+                if node.keys[i] > high_key:
+                    self._release(page)
+                    return
+                yield node.keys[i], node.rids[i]
+            next_id = node.next_leaf
+            self._release(page)
+            page_id = next_id
+            start_key = ()  # every later leaf starts within range
+
+    def scan_all(self) -> Iterator[Tuple[Key, RID]]:
+        """Yield every entry in key order."""
+        page_id = self._leftmost_leaf()
+        while page_id != -1:
+            node, page = self._fetch_node(page_id)
+            assert isinstance(node, LeafNode)
+            yield from zip(node.keys, node.rids)
+            next_id = node.next_leaf
+            self._release(page)
+            page_id = next_id
+
+    def delete(self, key: Sequence[int], rid: Optional[RID] = None) -> None:
+        """Remove one entry for ``key`` (matching ``rid`` when given).
+
+        Walks the leaf chain while duplicates of ``key`` continue, since a
+        duplicate run may span several leaves.
+        """
+        key = validate_key(key, self.arity)
+        page_id = self._descend_to_leaf(key)
+        while page_id != -1:
+            node, page = self._fetch_node(page_id)
+            assert isinstance(node, LeafNode)
+            idx = bisect_left(node.keys, key)
+            while idx < len(node.keys) and node.keys[idx] == key:
+                if rid is None or node.rids[idx] == rid:
+                    del node.keys[idx]
+                    del node.rids[idx]
+                    self._flush_node(node, page)
+                    self.count -= 1
+                    return
+                idx += 1
+            # Stop once this leaf holds keys beyond the target.
+            done = bool(node.keys) and node.keys[-1] > key
+            next_id = node.next_leaf
+            self._release(page)
+            if done:
+                break
+            page_id = next_id
+        raise KeyNotFoundError(f"key {key} not found in index")
+
+    @property
+    def num_pages(self) -> int:
+        """Pages owned by this tree (counted by traversal)."""
+        return self._count_pages(self.root_page_id)
+
+    def check_invariants(self) -> None:
+        """Verify ordering and entry count; raises StorageError on violation."""
+        keys = [key for key, _ in self.scan_all()]
+        if keys != sorted(keys):
+            raise StorageError("B+-tree leaf chain is not sorted")
+        if len(keys) != self.count:
+            raise StorageError(
+                f"entry count mismatch: scan={len(keys)} counter={self.count}"
+            )
+
+    # ------------------------------------------------------------------
+    # node I/O through the buffer pool
+    # ------------------------------------------------------------------
+    def _fetch_node(self, page_id: int):
+        """Fetch + deserialize a node; returns (node, pinned page)."""
+        page = self.pool.fetch_page(page_id)
+        if page.cached_obj is None:
+            raw = bytes(page.data)
+            if node_type_of(raw) == 1:
+                page.cached_obj = LeafNode.from_bytes(raw, self.arity)
+            else:
+                page.cached_obj = InteriorNode.from_bytes(raw, self.arity)
+        return page.cached_obj, page
+
+    def _release(self, page: Page) -> None:
+        self.pool.unpin_page(page.page_id)
+
+    def _flush_node(self, node, page: Page) -> None:
+        """Serialize a node into its pinned page and unpin dirty."""
+        page.data[:] = node.to_bytes()
+        page.cached_obj = node
+        self.pool.unpin_page(page.page_id, dirty=True)
+
+    # ------------------------------------------------------------------
+    # descent helpers
+    # ------------------------------------------------------------------
+    def _child_index(self, node: InteriorNode, key: Key) -> int:
+        return bisect_right(node.keys, key)
+
+    def _descend_to_leaf(self, key: Key) -> int:
+        """Find the leaf holding the *first* occurrence of ``key``.
+
+        Descends with ``bisect_left``: duplicates of a separator key may
+        span the boundary it marks (bulk loading fills leaves to capacity
+        regardless of duplicate runs), so scans must start at the leftmost
+        candidate leaf and walk right via the leaf chain.
+        """
+        page_id = self.root_page_id
+        while True:
+            node, page = self._fetch_node(page_id)
+            if isinstance(node, LeafNode):
+                self._release(page)
+                return page_id
+            child = node.children[bisect_left(node.keys, key)]
+            self._release(page)
+            page_id = child
+
+    def _leftmost_leaf(self) -> int:
+        page_id = self.root_page_id
+        while True:
+            node, page = self._fetch_node(page_id)
+            if isinstance(node, LeafNode):
+                self._release(page)
+                return page_id
+            child = node.children[0]
+            self._release(page)
+            page_id = child
+
+    # ------------------------------------------------------------------
+    # insert machinery
+    # ------------------------------------------------------------------
+    def _insert(
+        self, page_id: int, key: Key, rid: RID
+    ) -> Optional[Tuple[Key, int]]:
+        node, page = self._fetch_node(page_id)
+        if isinstance(node, LeafNode):
+            idx = bisect_right(node.keys, key)
+            node.keys.insert(idx, key)
+            node.rids.insert(idx, rid)
+            if len(node.keys) <= self.leaf_capacity:
+                self._flush_node(node, page)
+                return None
+            return self._split_leaf(node, page)
+
+        child_idx = self._child_index(node, key)
+        child_id = node.children[child_idx]
+        self._release(page)
+        split = self._insert(child_id, key, rid)
+        if split is None:
+            return None
+        sep, right_id = split
+        node, page = self._fetch_node(page_id)
+        node.keys.insert(child_idx, sep)
+        node.children.insert(child_idx + 1, right_id)
+        if len(node.keys) <= self.interior_capacity:
+            self._flush_node(node, page)
+            return None
+        return self._split_interior(node, page)
+
+    def _split_leaf(self, node: LeafNode, page: Page) -> Tuple[Key, int]:
+        mid = len(node.keys) // 2
+        right = LeafNode(self.arity)
+        right.keys = node.keys[mid:]
+        right.rids = node.rids[mid:]
+        right.next_leaf = node.next_leaf
+        node.keys = node.keys[:mid]
+        node.rids = node.rids[:mid]
+        right_page = self.pool.new_page()
+        node.next_leaf = right_page.page_id
+        self._flush_node(right, right_page)
+        self._flush_node(node, page)
+        return right.keys[0], right_page.page_id
+
+    def _split_interior(
+        self, node: InteriorNode, page: Page
+    ) -> Tuple[Key, int]:
+        mid = len(node.keys) // 2
+        push_up = node.keys[mid]
+        right = InteriorNode(self.arity)
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        right_page = self.pool.new_page()
+        self._flush_node(right, right_page)
+        self._flush_node(node, page)
+        return push_up, right_page.page_id
+
+    # ------------------------------------------------------------------
+    def _count_pages(self, page_id: int) -> int:
+        node, page = self._fetch_node(page_id)
+        try:
+            if isinstance(node, LeafNode):
+                return 1
+            children = list(node.children)
+        finally:
+            self._release(page)
+        return 1 + sum(self._count_pages(c) for c in children)

@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``generate``
+    Emit a deterministic TPC-D-style dataset as CSV (fact table plus
+    dimensions) for external use.
+``experiment``
+    Run one of the paper's experiments (or ``all``).
+``query``
+    Build the paper's configuration at a given scale and answer an ad-hoc
+    SQL slice query through the chosen engine.
+``info``
+    Print the library version and the simulated-device parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.constants import (
+    PAGE_SIZE,
+    RANDOM_IO_MS,
+    ROW_OP_OVERHEAD_MS,
+    SEQUENTIAL_IO_MS,
+)
+
+EXPERIMENTS = (
+    "table5", "table6", "fig12", "fig13", "fig14", "table7",
+    "storage", "baseline", "ablations", "all",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command-line parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cubetrees (SIGMOD 1998) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="emit TPC-D-style CSV data")
+    gen.add_argument("--scale", type=float, default=0.001)
+    gen.add_argument("--seed", type=int, default=42)
+    gen.add_argument("--out", default=".", help="output directory")
+    gen.add_argument("--increment", type=float, default=None,
+                     help="also emit an increment of this fraction")
+
+    exp = sub.add_parser("experiment", help="run a paper experiment")
+    exp.add_argument("name", choices=EXPERIMENTS)
+    exp.add_argument("--scale", type=float, default=None)
+    exp.add_argument("--queries", type=int, default=None)
+
+    qry = sub.add_parser("query", help="answer an ad-hoc SQL slice query")
+    qry.add_argument("sql", help='e.g. "select partkey, sum(quantity) '
+                     'from F where suppkey = 3 group by partkey"')
+    qry.add_argument("--scale", type=float, default=0.002)
+    qry.add_argument("--seed", type=int, default=42)
+    qry.add_argument("--engine", choices=("cubetree", "conventional"),
+                     default="cubetree")
+    qry.add_argument("--limit", type=int, default=20,
+                     help="max rows to print")
+
+    sub.add_parser("info", help="print version and device parameters")
+    return parser
+
+
+# ----------------------------------------------------------------------
+def cmd_generate(args: argparse.Namespace) -> int:
+    """``repro generate``: write TPC-D-style CSV files."""
+    import os
+
+    from repro.warehouse.tpcd import TPCDGenerator
+
+    generator = TPCDGenerator(scale_factor=args.scale, seed=args.seed)
+    data = generator.generate()
+    os.makedirs(args.out, exist_ok=True)
+
+    fact_path = os.path.join(args.out, "lineitem.csv")
+    with open(fact_path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(data.schema.fact_columns)
+        writer.writerows(data.facts)
+    print(f"wrote {len(data.facts)} fact rows to {fact_path}")
+
+    for fact_key, dim in data.schema.dimensions.items():
+        path = os.path.join(args.out, f"{dim.name}.csv")
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(dim.attributes)
+            writer.writerows(dim.rows)
+        print(f"wrote {len(dim)} {dim.name} rows to {path}")
+
+    if args.increment:
+        inc = generator.generate_increment(args.increment)
+        path = os.path.join(args.out, "increment.csv")
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(data.schema.fact_columns)
+            writer.writerows(inc)
+        print(f"wrote {len(inc)} increment rows to {path}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """``repro experiment``: run one (or all) paper experiments."""
+    from dataclasses import replace
+
+    from repro.experiments import (
+        ablations,
+        baseline_onthefly,
+        fig12_queries,
+        fig13_throughput,
+        fig14_scalability,
+        storage_breakdown,
+        table5_mapping,
+        table6_loading,
+        table7_updates,
+    )
+    from repro.experiments.common import ExperimentConfig
+
+    config = ExperimentConfig()
+    if args.scale is not None:
+        config = replace(config, scale_factor=args.scale)
+    if args.queries is not None:
+        config = replace(config, queries_per_node=args.queries)
+
+    modules = {
+        "table5": table5_mapping,
+        "table6": table6_loading,
+        "fig12": fig12_queries,
+        "fig13": fig13_throughput,
+        "fig14": fig14_scalability,
+        "table7": table7_updates,
+        "storage": storage_breakdown,
+        "baseline": baseline_onthefly,
+        "ablations": ablations,
+    }
+    if args.name == "all":
+        for module in modules.values():
+            module.run(config)
+    else:
+        modules[args.name].run(config)
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """``repro query``: answer an ad-hoc SQL slice query."""
+    from repro.experiments.common import (
+        build_conventional_engine,
+        build_cubetree_engine,
+        ExperimentConfig,
+    )
+    from repro.sql import parse_query
+    from repro.warehouse.tpcd import TPCDGenerator
+
+    generator = TPCDGenerator(scale_factor=args.scale, seed=args.seed)
+    data = generator.generate()
+    config = ExperimentConfig(scale_factor=args.scale, seed=args.seed)
+    if args.engine == "cubetree":
+        engine, _ = build_cubetree_engine(config, data)
+    else:
+        engine, _ = build_conventional_engine(config, data)
+
+    query = parse_query(args.sql, data.schema)
+    result = engine.query(query)
+    print(f"plan: {result.plan}")
+    print(f"simulated I/O: {result.io.total_ms:.1f} ms "
+          f"({result.io.total_ios} page accesses)")
+    for row in result.rows[: args.limit]:
+        print("  " + "\t".join(str(v) for v in row))
+    if len(result.rows) > args.limit:
+        print(f"  ... {len(result.rows) - args.limit} more rows")
+    return 0
+
+
+def cmd_info(_args: argparse.Namespace) -> int:
+    """``repro info``: print version and device parameters."""
+    print(f"repro {__version__}")
+    print(f"page size:           {PAGE_SIZE} bytes")
+    print(f"random page access:  {RANDOM_IO_MS} ms")
+    print(f"sequential access:   {SEQUENTIAL_IO_MS} ms")
+    print(f"row-op overhead:     {ROW_OP_OVERHEAD_MS} ms "
+          f"(conventional engine only)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": cmd_generate,
+        "experiment": cmd_experiment,
+        "query": cmd_query,
+        "info": cmd_info,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

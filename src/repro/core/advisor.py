@@ -1,0 +1,106 @@
+"""The view advisor: from schema + statistics to a ready configuration.
+
+The paper's workflow is manual: run GHRU 1-greedy over the lattice, read
+off the views and indexes, translate the index set into replica sort
+orders for the Cubetree side.  The advisor automates exactly that, so a
+downstream user can go from a star schema to both engine configurations in
+one call::
+
+    advice = advise(schema, num_facts=len(facts))
+    engine = CubetreeEngine(schema)
+    engine.materialize(advice.views, facts, replicate=advice.replicas)
+
+The replica derivation mirrors Sec. 3: for every *selected index* on a
+view whose key order differs from an order the Cubetree side already
+clusters by, add a replica stored in the reversed key order (a Cubetree
+packed in coordinate order ``reversed(key)`` clusters exactly like a
+B-tree on ``key``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from repro.cube.lattice import CubeLattice
+from repro.cube.selection import GreedySelection, select_views_and_indexes
+from repro.relational.view import ViewDefinition
+from repro.warehouse.star import StarSchema
+
+
+@dataclass
+class Advice:
+    """A complete materialization plan for both storage organizations."""
+
+    views: List[ViewDefinition] = field(default_factory=list)
+    #: view name -> B-tree search keys (conventional configuration).
+    indexes: Dict[str, List[Tuple[str, ...]]] = field(default_factory=dict)
+    #: view name -> replica attribute orders (Cubetree configuration).
+    replicas: Dict[str, List[Tuple[str, ...]]] = field(default_factory=dict)
+    selection: Optional[GreedySelection] = None
+
+    def view_named(self, name: str) -> ViewDefinition:
+        """Look up a planned view by name."""
+        for view in self.views:
+            if view.name == name:
+                return view
+        raise KeyError(name)
+
+
+def _view_name(attrs: Tuple[str, ...]) -> str:
+    if not attrs:
+        return "V_none"
+    return "V_" + "_".join(attrs)
+
+
+def advise(
+    schema: StarSchema,
+    num_facts: int,
+    space_budget_tuples: Optional[float] = None,
+    max_structures: Optional[int] = None,
+    correlated_domains: Optional[Mapping[FrozenSet[str], float]] = None,
+) -> Advice:
+    """Run selection and translate the result for both engines.
+
+    Parameters mirror
+    :func:`repro.cube.selection.select_views_and_indexes`; statistics come
+    from the schema's dimension tables.
+    """
+    lattice = CubeLattice(schema.fact_keys)
+    distinct = {
+        attr: float(schema.distinct_count(attr))
+        for attr in schema.fact_keys
+    }
+    selection = select_views_and_indexes(
+        lattice,
+        distinct,
+        num_facts,
+        space_budget_tuples=space_budget_tuples,
+        max_structures=max_structures,
+        correlated_domains=correlated_domains,
+    )
+
+    advice = Advice(selection=selection)
+    names: Dict[FrozenSet[str], str] = {}
+    for attrs in selection.views:
+        name = _view_name(attrs)
+        names[frozenset(attrs)] = name
+        advice.views.append(ViewDefinition(name, tuple(attrs)))
+
+    for key in selection.indexes:
+        owner = names.get(frozenset(key))
+        if owner is None:  # pragma: no cover - selection guarantees views
+            continue
+        advice.indexes.setdefault(owner, []).append(tuple(key))
+        # Cubetree equivalent: a replica packed in reversed key order
+        # clusters like the B-tree — unless the base view already does.
+        base = advice.view_named(owner)
+        replica_order = tuple(reversed(key))
+        existing = {base.group_by}
+        existing.update(
+            tuple(o) for o in advice.replicas.get(owner, [])
+        )
+        if replica_order not in existing:
+            advice.replicas.setdefault(owner, []).append(replica_order)
+
+    return advice

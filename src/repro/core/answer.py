@@ -1,0 +1,124 @@
+"""Turning view matches into query answers.
+
+Both engines retrieve *state rows* of the routed view; this module handles
+the rest: residual predicate filtering (bound attributes the physical
+access could not apply), roll-ups for hierarchy group-bys, re-aggregation
+to the query's grouping, and finalization of aggregate states into
+user-visible values.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Tuple
+
+from repro.errors import QueryError
+from repro.query.slice import SliceQuery
+from repro.relational.executor import combine_states, finalize_state
+from repro.relational.view import ViewDefinition
+from repro.warehouse.hierarchy import Hierarchy
+
+Row = Tuple[object, ...]
+Match = Tuple[Tuple[int, ...], Tuple[float, ...]]
+Extractor = Callable[[Tuple[int, ...]], int]
+
+#: hierarchy attribute -> (hierarchy, determining fact key).  Engines build
+#: this from the star schema, so the answer layer never guesses key names.
+HierarchyMap = Mapping[str, Tuple[Hierarchy, str]]
+
+
+def attribute_extractor(
+    view: ViewDefinition,
+    attr: str,
+    hierarchies: HierarchyMap,
+) -> Extractor:
+    """coords-of-view -> value of ``attr`` (direct or rolled up)."""
+    if attr in view.group_by:
+        idx = view.group_by.index(attr)
+        return lambda coords, i=idx: coords[i]
+    binding = hierarchies.get(attr)
+    if binding is not None:
+        hierarchy, source = binding
+        if source in view.group_by:
+            idx = view.group_by.index(source)
+            return lambda coords, i=idx, h=hierarchy: h.roll_up(coords[i])
+    raise QueryError(
+        f"attribute {attr!r} is not derivable from view {view.name!r}"
+    )
+
+
+#: A pushed-down predicate: attr -> closed interval (equality is (v, v)).
+Bounds = Dict[str, Tuple[int, int]]
+#: A residual predicate: an extractor plus the interval it must land in.
+Residual = Tuple[Extractor, int, int]
+
+
+def split_bindings(
+    view: ViewDefinition,
+    query: SliceQuery,
+    hierarchies: HierarchyMap,
+) -> Tuple[Bounds, List[Residual]]:
+    """Direct bounds (on view attributes) vs residual filters.
+
+    A predicate on an attribute the view stores directly can be pushed
+    into the physical access (Cubetree rectangle / B-tree prefix / row
+    filter); a predicate on a hierarchy attribute of a finer view must be
+    applied by rolling each match up.  Equality and range predicates are
+    handled uniformly as closed intervals.
+    """
+    direct: Bounds = {}
+    residual: List[Residual] = []
+    for attr, (low, high) in query.bounds.items():
+        if attr in view.group_by:
+            direct[attr] = (low, high)
+        else:
+            residual.append(
+                (attribute_extractor(view, attr, hierarchies), low, high)
+            )
+    return direct, residual
+
+
+def finalize_matches(
+    matches: Iterable[Match],
+    view: ViewDefinition,
+    query: SliceQuery,
+    hierarchies: HierarchyMap,
+    residual: List[Residual],
+) -> List[Row]:
+    """Aggregate matches to the query grouping and finalize the states."""
+    group_extractors = [
+        attribute_extractor(view, attr, hierarchies)
+        for attr in query.group_by
+    ]
+    widths = view.state_widths
+    funcs = [spec.func for spec in view.aggregates]
+
+    groups: Dict[Tuple[int, ...], List[Tuple[float, ...]]] = {}
+    for coords, values in matches:
+        if any(
+            not low <= extract(coords) <= high
+            for extract, low, high in residual
+        ):
+            continue
+        key = tuple(extract(coords) for extract in group_extractors)
+        states: List[Tuple[float, ...]] = []
+        offset = 0
+        for width in widths:
+            states.append(tuple(values[offset : offset + width]))
+            offset += width
+        existing = groups.get(key)
+        if existing is None:
+            groups[key] = states
+        else:
+            groups[key] = [
+                combine_states(func, old, new)
+                for func, old, new in zip(funcs, existing, states)
+            ]
+
+    rows: List[Row] = []
+    for key in sorted(groups):
+        finals = tuple(
+            finalize_state(func, state)
+            for func, state in zip(funcs, groups[key])
+        )
+        rows.append(key + finals)
+    return rows

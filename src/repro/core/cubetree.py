@@ -1,0 +1,193 @@
+"""One Cubetree: a packed, compressed R-tree holding one view per arity.
+
+Under the valid mapping (Sec. 2.2), a tuple of view ``V{a1..ak}`` becomes
+the point ``(a1, ..., ak, 0, ..., 0)`` in the tree's d-dimensional space;
+its aggregate states are the point's content.  Within a tree the view id
+stored on each leaf is simply the view's arity — SelectMapping guarantees
+at most one view per arity per tree, and the id is then stable across
+merge-packs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.btree.keys import INT64_MAX
+from repro.errors import MappingError, QueryError
+from repro.relational.executor import combine_states
+from repro.relational.view import ViewDefinition
+from repro.rtree.geometry import Rect
+from repro.rtree.merge import merge_pack
+from repro.rtree.packing import PackedRun, pack_rtree, sort_key
+from repro.rtree.tree import RTree
+from repro.storage.buffer import BufferPool
+
+Row = Tuple[object, ...]
+Values = Tuple[float, ...]
+
+
+class Cubetree:
+    """A packed R-tree materializing a set of views of distinct arities.
+
+    Parameters
+    ----------
+    pool:
+        Shared buffer pool.
+    dims:
+        Dimensionality (>= the largest view arity).
+    views:
+        The views this tree holds; at most one per arity.
+    """
+
+    def __init__(
+        self,
+        pool: BufferPool,
+        dims: int,
+        views: Sequence[ViewDefinition],
+    ) -> None:
+        self.pool = pool
+        self.dims = dims
+        self.views: Tuple[ViewDefinition, ...] = tuple(views)
+        arities = [view.arity for view in self.views]
+        if len(set(arities)) != len(arities):
+            raise MappingError("a Cubetree holds at most one view per arity")
+        if arities and max(arities) > dims:
+            raise MappingError(
+                f"view arity {max(arities)} exceeds tree dimensionality {dims}"
+            )
+        self._by_arity: Dict[int, ViewDefinition] = {
+            view.arity: view for view in self.views
+        }
+        self._by_name: Dict[str, ViewDefinition] = {
+            view.name: view for view in self.views
+        }
+        self.tree = RTree(pool, dims)
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def build(self, data: Mapping[str, Sequence[Row]]) -> None:
+        """Bulk-load from per-view state rows (sorted or not).
+
+        ``data`` maps view names to state rows (group values + aggregate
+        states).  Rows are re-sorted into packing order and streamed into
+        a freshly packed tree.
+        """
+        runs = self._runs_from(data)
+        self.tree = pack_rtree(self.pool, self.dims, runs)
+
+    def update(self, deltas: Mapping[str, Sequence[Row]]) -> None:
+        """Merge-pack a sorted delta into the tree (Fig. 15)."""
+        runs = self._runs_from(deltas)
+        self.tree = merge_pack(
+            self.pool, self.dims, self.tree, runs, combine=self._combine
+        )
+
+    def _runs_from(self, data: Mapping[str, Sequence[Row]]) -> List[PackedRun]:
+        runs: List[PackedRun] = []
+        for view in sorted(self.views, key=lambda v: v.arity):
+            rows = data.get(view.name)
+            if rows is None:
+                continue
+            arity = view.arity
+            entries = [
+                (
+                    tuple(int(value) for value in row[:arity]),
+                    tuple(float(value) for value in row[arity:]),
+                )
+                for row in rows
+            ]
+            entries.sort(key=lambda e: sort_key(e[0], self.dims))
+            runs.append(
+                PackedRun(arity, arity, view.total_state_width, entries)
+            )
+        return runs
+
+    def _combine(self, view_id: int, old: Values, delta: Values) -> Values:
+        view = self._by_arity.get(view_id)
+        if view is None:
+            raise MappingError(f"no view of arity {view_id} in this tree")
+        out: List[float] = []
+        offset = 0
+        for spec, width in zip(view.aggregates, view.state_widths):
+            merged = combine_states(
+                spec.func,
+                old[offset : offset + width],
+                delta[offset : offset + width],
+            )
+            out.extend(merged)
+            offset += width
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(
+        self, view_name: str, bindings: Mapping[str, object]
+    ) -> Iterator[Tuple[Tuple[int, ...], Values]]:
+        """Slice one view: yields (group coordinates, aggregate states).
+
+        Builds the query rectangle of Fig. 4: bound attributes become
+        degenerate or closed ranges, open attributes span the positive
+        axis, and the padding dimensions are pinned to zero so no other
+        view's region is touched.  Each binding value is either an int
+        (equality) or a ``(low, high)`` interval — R-trees handle range
+        predicates natively, which is the paper's point that "in a more
+        general experiment where arbitrary range queries are allowed ...
+        the Cubetrees would be even faster".
+        """
+        view = self._by_name.get(view_name)
+        if view is None:
+            raise QueryError(f"view {view_name!r} is not in this Cubetree")
+        unknown = set(bindings) - set(view.group_by)
+        if unknown:
+            raise QueryError(
+                f"bound attributes {sorted(unknown)} not in view "
+                f"{view_name!r}"
+            )
+        lows: List[int] = []
+        highs: List[int] = []
+        for attr in view.group_by:
+            if attr in bindings:
+                value = bindings[attr]
+                if isinstance(value, tuple):
+                    low, high = int(value[0]), int(value[1])
+                else:
+                    low = high = int(value)  # type: ignore[arg-type]
+                lows.append(low)
+                highs.append(high)
+            else:
+                lows.append(1)
+                highs.append(INT64_MAX)
+        arity = view.arity
+        lows.extend([0] * (self.dims - arity))
+        highs.extend([0] * (self.dims - arity))
+        rect = Rect(tuple(lows), tuple(highs))
+        for matched_id, point, values in self.tree.search(rect):
+            if matched_id != arity:  # pragma: no cover - defensive
+                raise MappingError("search strayed into another view region")
+            yield point[:arity], values
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.tree)
+
+    @property
+    def num_pages(self) -> int:
+        """Number of pages this structure occupies."""
+        return self.tree.num_pages
+
+    def leaf_utilization(self) -> float:
+        """Average leaf fill fraction (1.0 = packed full)."""
+        return self.tree.leaf_utilization()
+
+    def view_sizes(self) -> Dict[str, int]:
+        """Tuple count per view (one leaf-chain pass)."""
+        counts = {view.name: 0 for view in self.views}
+        for leaf in self.tree.scan_leaf_chain():
+            view = self._by_arity.get(leaf.view_id)
+            if view is not None:
+                counts[view.name] += len(leaf)
+        return counts

@@ -1,0 +1,209 @@
+"""CubetreeEngine — the "Cubetree Datablade" of the experiments.
+
+One object offers the full lifecycle the paper measures:
+
+* :meth:`materialize` — compute the selected views (sort-based, smallest
+  parent first), optionally replicate chosen views in extra sort orders,
+  run SelectMapping, and bulk-load the packed forest (Fig. 11);
+* :meth:`query` — route a slice query to the best view/sort order, search
+  the Cubetree, and aggregate/finalize the answer (Fig. 4);
+* :meth:`update` — compute the delta views from a warehouse increment and
+  merge-pack every tree (Fig. 15).
+
+All I/O flows through one simulated disk so the reports are directly
+comparable with :class:`~repro.core.conventional.ConventionalEngine` runs
+on an identical device.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.constants import DEFAULT_BUFFER_PAGES
+from repro.core.answer import finalize_matches, split_bindings
+from repro.core.forest import CubetreeForest
+from repro.core.mapping import select_mapping
+from repro.core.replication import permute_state_rows, replica_definition
+from repro.core.reports import LoadReport, PhaseReport, UpdateReport
+from repro.core.sorting import make_substrate_sorter
+from repro.cube.computation import CubeComputation
+from repro.cube.lattice import CubeLattice
+from repro.errors import QueryError
+from repro.query.result import QueryResult
+from repro.query.router import QueryRouter
+from repro.query.slice import SliceQuery
+from repro.relational.view import ViewDefinition
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+from repro.warehouse.hierarchy import Hierarchy
+from repro.warehouse.star import StarSchema
+
+Row = Tuple[object, ...]
+
+
+class CubetreeEngine:
+    """Materialized ROLAP views stored as a forest of Cubetrees."""
+
+    def __init__(
+        self,
+        schema: StarSchema,
+        hierarchies: Optional[Mapping[str, Hierarchy]] = None,
+        buffer_pages: int = DEFAULT_BUFFER_PAGES,
+        sort_chunk_rows: int = 100_000,
+        disk: Optional[DiskManager] = None,
+    ) -> None:
+        self.schema = schema
+        self.disk = disk if disk is not None else DiskManager()
+        self.pool = BufferPool(self.disk, capacity=buffer_pages)
+        self.computation = CubeComputation(
+            schema,
+            hierarchies,
+            sorter=make_substrate_sorter(self.pool, sort_chunk_rows),
+        )
+        self.hierarchies: Dict[str, Tuple[Hierarchy, str]] = {}
+        for attr, hierarchy in (hierarchies or {}).items():
+            source = self.computation._source_key(hierarchy)
+            self.hierarchies[attr] = (hierarchy, source)
+        self.lattice = CubeLattice(
+            schema.fact_keys,
+            {attr: source for attr, (_h, source) in self.hierarchies.items()},
+        )
+        self.router = QueryRouter(
+            self.lattice,
+            {
+                attr: float(schema.distinct_count(attr))
+                for attr in schema.groupable_attributes()
+            },
+        )
+        self.forest: Optional[CubetreeForest] = None
+        self.base_views: List[ViewDefinition] = []
+        self.replicas: Dict[str, str] = {}  # replica name -> base name
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def materialize(
+        self,
+        views: Sequence[ViewDefinition],
+        fact_rows: Sequence[Row],
+        replicate: Optional[Mapping[str, Sequence[Sequence[str]]]] = None,
+    ) -> LoadReport:
+        """Compute, map, and bulk-load the view set.
+
+        Parameters
+        ----------
+        views:
+            The selected views (paper's set V).
+        fact_rows:
+            The warehouse fact data.
+        replicate:
+            Optional ``view name -> list of replica attribute orders``
+            (the Datablade's multi-sort-order replication).
+        """
+        wall_start = time.perf_counter()
+        io_start = self.disk.cost_model.snapshot()
+
+        self.base_views = list(views)
+        data = self.computation.execute(fact_rows, self.base_views)
+
+        all_views = list(self.base_views)
+        by_name = {view.name: view for view in self.base_views}
+        self.replicas = {}
+        for base_name, orders in (replicate or {}).items():
+            base = by_name[base_name]
+            for order in orders:
+                replica = replica_definition(base, order)
+                all_views.append(replica)
+                self.replicas[replica.name] = base_name
+                data[replica.name] = list(
+                    permute_state_rows(base, data[base_name], order)
+                )
+
+        allocation = select_mapping(all_views)
+        self.forest = CubetreeForest(self.pool, allocation)
+        self.forest.build(data)
+        self.pool.flush_all()
+
+        report = LoadReport()
+        report.phases["views"] = PhaseReport(
+            io=self.disk.cost_model.stats - io_start,
+            wall_ms=(time.perf_counter() - wall_start) * 1000.0,
+        )
+        report.view_rows = sum(len(rows) for rows in data.values())
+        report.pages = self.forest.num_pages
+        report.bytes_on_disk = self.storage_bytes()
+        return report
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(self, query: SliceQuery) -> QueryResult:
+        """Answer one slice query through the forest."""
+        forest = self._require_forest()
+        wall_start = time.perf_counter()
+        io_start = self.disk.cost_model.snapshot()
+
+        decision = self.router.route(query, forest.access_paths())
+        view = decision.path.view
+        direct, residual = split_bindings(view, query, self.hierarchies)
+        matches = forest.query_view(view.name, direct)
+        rows = finalize_matches(
+            matches, view, query, self.hierarchies, residual
+        )
+        return QueryResult(
+            rows=rows,
+            io=self.disk.cost_model.stats - io_start,
+            wall_ms=(time.perf_counter() - wall_start) * 1000.0,
+            plan=decision.describe(),
+        )
+
+    # ------------------------------------------------------------------
+    # bulk-incremental updates
+    # ------------------------------------------------------------------
+    def update(self, fact_delta: Sequence[Row]) -> UpdateReport:
+        """Merge-pack a warehouse increment into every Cubetree."""
+        forest = self._require_forest()
+        wall_start = time.perf_counter()
+        io_start = self.disk.cost_model.snapshot()
+
+        deltas = self.computation.execute(fact_delta, self.base_views)
+        by_name = {view.name: view for view in self.base_views}
+        for replica_name, base_name in self.replicas.items():
+            replica = forest.view_definition(replica_name)
+            deltas[replica_name] = list(
+                permute_state_rows(
+                    by_name[base_name], deltas[base_name], replica.group_by
+                )
+            )
+        forest.update(deltas)
+        self.pool.flush_all()
+
+        return UpdateReport(
+            method="cubetree merge-pack",
+            io=self.disk.cost_model.stats - io_start,
+            wall_ms=(time.perf_counter() - wall_start) * 1000.0,
+            rows_applied=sum(len(rows) for rows in deltas.values()),
+        )
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def view_sizes(self) -> Dict[str, int]:
+        """Tuple count per materialized view."""
+        return self._require_forest().view_sizes()
+
+    def storage_pages(self) -> int:
+        """Total pages owned by this engine's structures."""
+        return self._require_forest().num_pages
+
+    def storage_bytes(self) -> int:
+        """Total bytes on disk (pages * PAGE_SIZE)."""
+        from repro.constants import PAGE_SIZE
+
+        return self.storage_pages() * PAGE_SIZE
+
+    def _require_forest(self) -> CubetreeForest:
+        if self.forest is None:
+            raise QueryError("engine has no materialized views yet")
+        return self.forest

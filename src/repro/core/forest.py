@@ -1,0 +1,142 @@
+"""The Cubetree forest: every materialized view, one query surface."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.core.cubetree import Cubetree
+from repro.core.mapping import CubetreeAllocation
+from repro.errors import QueryError
+from repro.query.router import AccessPath
+from repro.relational.view import ViewDefinition
+from repro.storage.buffer import BufferPool
+
+Row = Tuple[object, ...]
+
+
+class CubetreeForest:
+    """The collection of Cubetrees produced by SelectMapping."""
+
+    def __init__(
+        self, pool: BufferPool, allocation: CubetreeAllocation
+    ) -> None:
+        self.pool = pool
+        self.allocation = allocation
+        self.cubetrees: List[Cubetree] = [
+            Cubetree(pool, assignment.dims, assignment.views)
+            for assignment in allocation.trees
+        ]
+        self._view_tree: Dict[str, int] = {}
+        for i, assignment in enumerate(allocation.trees):
+            for view in assignment.views:
+                self._view_tree[view.name] = i
+        self._sizes: Dict[str, int] | None = None
+        self._paths: List[AccessPath] | None = None
+
+    # ------------------------------------------------------------------
+    def view_names(self) -> List[str]:
+        """Every view in the forest, sorted."""
+        return sorted(self._view_tree)
+
+    def view_definition(self, view_name: str) -> ViewDefinition:
+        """Definition of a view by name."""
+        tree = self._tree_for(view_name)
+        for view in tree.views:
+            if view.name == view_name:
+                return view
+        raise QueryError(f"unknown view {view_name!r}")  # pragma: no cover
+
+    def build(self, data: Mapping[str, Sequence[Row]]) -> None:
+        """Bulk-load every tree from the computed view data."""
+        missing = set(self._view_tree) - set(data)
+        if missing:
+            raise QueryError(f"no data for views {sorted(missing)}")
+        for tree in self.cubetrees:
+            tree.build(data)
+        self._sizes = {name: len(rows) for name, rows in data.items()}
+        self._paths = None
+
+    def update(self, deltas: Mapping[str, Sequence[Row]]) -> None:
+        """Merge-pack deltas into every tree that has any."""
+        for tree in self.cubetrees:
+            relevant = {
+                view.name: deltas[view.name]
+                for view in tree.views
+                if view.name in deltas
+            }
+            if relevant:
+                tree.update(relevant)
+        self._sizes = None  # recounted lazily on the next routing request
+        self._paths = None
+
+    def query_view(
+        self, view_name: str, bindings: Mapping[str, int]
+    ) -> Iterator[Tuple[Tuple[int, ...], Tuple[float, ...]]]:
+        """Slice one view (see Cubetree.query)."""
+        return self._tree_for(view_name).query(view_name, bindings)
+
+    # ------------------------------------------------------------------
+    def access_paths(self) -> List[AccessPath]:
+        """Router inputs: each view with its Cubetree sort order.
+
+        A view mapped with coordinate order ``(a1..ak)`` is packed sorted
+        by ``(ak, ..., a1)``, so that reversed order is the view's
+        clustering order — the Cubetree analogue of a B-tree search key.
+        """
+        if self._paths is None:
+            from repro.rtree.node import leaf_capacity
+
+            sizes = self.view_sizes()
+            paths = []
+            for name in self.view_names():
+                view = self.view_definition(name)
+                order = tuple(reversed(view.group_by))
+                paths.append(
+                    AccessPath(
+                        view,
+                        float(sizes[name]),
+                        (order,),
+                        rows_per_page=leaf_capacity(
+                            view.arity, view.total_state_width
+                        ),
+                        clustered=order,
+                    )
+                )
+            self._paths = paths
+        return self._paths
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def view_sizes(self) -> Dict[str, int]:
+        """Tuple count per view (cached; a leaf-chain pass when stale)."""
+        if self._sizes is None:
+            sizes: Dict[str, int] = {}
+            for tree in self.cubetrees:
+                sizes.update(tree.view_sizes())
+            self._sizes = sizes
+        return dict(self._sizes)
+
+    @property
+    def num_trees(self) -> int:
+        """Number of Cubetrees in the forest."""
+        return len(self.cubetrees)
+
+    @property
+    def num_pages(self) -> int:
+        """Number of pages this structure occupies."""
+        return sum(tree.num_pages for tree in self.cubetrees)
+
+    def leaf_utilization(self) -> float:
+        """Average leaf fill fraction (1.0 = packed full)."""
+        utils = [
+            tree.leaf_utilization() for tree in self.cubetrees if len(tree)
+        ]
+        return sum(utils) / len(utils) if utils else 0.0
+
+    # ------------------------------------------------------------------
+    def _tree_for(self, view_name: str) -> Cubetree:
+        try:
+            return self.cubetrees[self._view_tree[view_name]]
+        except KeyError:
+            raise QueryError(f"unknown view {view_name!r}") from None

@@ -1,0 +1,198 @@
+"""Saving and reopening a Cubetree database.
+
+A saved database is a directory holding two files:
+
+* ``pages.bin`` — every page of the simulated disk (leaf/interior nodes of
+  all Cubetrees plus free space), written as an out-of-band checkpoint;
+* ``meta.json`` — the catalog: star schema (including dimension rows),
+  hierarchies, view definitions, replicas, the SelectMapping allocation,
+  and each tree's root/leaf/ownership state.
+
+:func:`save_engine` checkpoints a :class:`CubetreeEngine`;
+:func:`load_engine` reconstructs an equivalent engine that answers the
+same queries and accepts further merge-pack updates.  (The conventional
+engine is a baseline for the experiments and deliberately has no
+persistence path.)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Tuple
+
+from repro.core.engine import CubetreeEngine
+from repro.core.forest import CubetreeForest
+from repro.core.mapping import CubetreeAllocation, TreeAssignment
+from repro.errors import ReproError
+from repro.relational.executor import AggFunc, AggSpec
+from repro.relational.view import ViewDefinition
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+from repro.warehouse.hierarchy import Hierarchy
+from repro.warehouse.star import Dimension, StarSchema
+
+META_NAME = "meta.json"
+PAGES_NAME = "pages.bin"
+FORMAT_VERSION = 1
+
+
+class PersistenceError(ReproError):
+    """A saved database is missing, incomplete, or version-incompatible."""
+
+
+# ----------------------------------------------------------------------
+# serialization helpers
+# ----------------------------------------------------------------------
+def _view_to_json(view: ViewDefinition) -> dict:
+    return {
+        "name": view.name,
+        "group_by": list(view.group_by),
+        "aggregates": [
+            {"func": spec.func.value, "attribute": spec.attribute}
+            for spec in view.aggregates
+        ],
+    }
+
+
+def _view_from_json(payload: dict) -> ViewDefinition:
+    aggregates = tuple(
+        AggSpec(AggFunc(item["func"]), item["attribute"])
+        for item in payload["aggregates"]
+    )
+    return ViewDefinition(
+        payload["name"], tuple(payload["group_by"]), aggregates=aggregates
+    )
+
+
+def _schema_to_json(schema: StarSchema) -> dict:
+    return {
+        "fact_keys": list(schema.fact_keys),
+        "measure": schema.measure,
+        "dimensions": {
+            fact_key: {
+                "name": dim.name,
+                "key": dim.key,
+                "attributes": list(dim.attributes),
+                "rows": [list(row) for row in dim.rows],
+            }
+            for fact_key, dim in schema.dimensions.items()
+        },
+    }
+
+
+def _schema_from_json(payload: dict) -> StarSchema:
+    dimensions = {
+        fact_key: Dimension(
+            item["name"],
+            item["key"],
+            tuple(item["attributes"]),
+            [tuple(row) for row in item["rows"]],
+        )
+        for fact_key, item in payload["dimensions"].items()
+    }
+    return StarSchema(
+        tuple(payload["fact_keys"]), payload["measure"], dimensions
+    )
+
+
+def _tree_state(tree) -> dict:
+    return {
+        "root_page_id": tree.tree.root_page_id,
+        "height": tree.tree.height,
+        "count": tree.tree.count,
+        "leaf_page_ids": list(tree.tree.leaf_page_ids),
+        "owned_page_ids": list(tree.tree.owned_page_ids),
+    }
+
+
+# ----------------------------------------------------------------------
+# public API
+# ----------------------------------------------------------------------
+def save_engine(engine: CubetreeEngine, directory: str) -> None:
+    """Checkpoint a loaded CubetreeEngine into ``directory``."""
+    forest = engine.forest
+    if forest is None:
+        raise PersistenceError("engine has no materialized views to save")
+    os.makedirs(directory, exist_ok=True)
+    engine.pool.flush_all()
+    engine.disk.dump_pages(os.path.join(directory, PAGES_NAME))
+
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "schema": _schema_to_json(engine.schema),
+        "hierarchies": [
+            {"attribute": attr, "fact_key": source,
+             "dim_attribute": hierarchy.attribute}
+            for attr, (hierarchy, source) in engine.hierarchies.items()
+        ],
+        "base_views": [_view_to_json(v) for v in engine.base_views],
+        "replicas": dict(engine.replicas),
+        "allocation": [
+            {
+                "dims": assignment.dims,
+                "views": [_view_to_json(v) for v in assignment.views],
+            }
+            for assignment in forest.allocation.trees
+        ],
+        "trees": [_tree_state(tree) for tree in forest.cubetrees],
+        "sizes": forest.view_sizes(),
+        "disk": engine.disk.allocation_state(),
+        "buffer_pages": engine.pool.capacity,
+    }
+    with open(os.path.join(directory, META_NAME), "w") as handle:
+        json.dump(meta, handle, indent=1)
+
+
+def load_engine(directory: str) -> CubetreeEngine:
+    """Reopen a database saved by :func:`save_engine`."""
+    meta_path = os.path.join(directory, META_NAME)
+    pages_path = os.path.join(directory, PAGES_NAME)
+    if not (os.path.exists(meta_path) and os.path.exists(pages_path)):
+        raise PersistenceError(f"no saved database in {directory!r}")
+    with open(meta_path) as handle:
+        meta = json.load(handle)
+    if meta.get("format_version") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported format version {meta.get('format_version')!r}"
+        )
+
+    schema = _schema_from_json(meta["schema"])
+    hierarchies: Dict[str, Hierarchy] = {}
+    for item in meta["hierarchies"]:
+        dim = schema.dimension_of(item["fact_key"])
+        hierarchies[item["attribute"]] = Hierarchy.from_dimension(
+            dim, item["dim_attribute"]
+        )
+
+    disk = DiskManager.restore(pages_path, meta["disk"])
+    engine = CubetreeEngine(
+        schema,
+        hierarchies=hierarchies,
+        buffer_pages=int(meta.get("buffer_pages", 256)),
+        disk=disk,
+    )
+    engine.base_views = [_view_from_json(v) for v in meta["base_views"]]
+    engine.replicas = dict(meta["replicas"])
+
+    trees: List[TreeAssignment] = []
+    for assignment in meta["allocation"]:
+        trees.append(
+            TreeAssignment(
+                int(assignment["dims"]),
+                tuple(_view_from_json(v) for v in assignment["views"]),
+            )
+        )
+    allocation = CubetreeAllocation(trees=trees)
+    forest = CubetreeForest(engine.pool, allocation)
+    for tree, state in zip(forest.cubetrees, meta["trees"]):
+        tree.tree.root_page_id = int(state["root_page_id"])
+        tree.tree.height = int(state["height"])
+        tree.tree.count = int(state["count"])
+        tree.tree.leaf_page_ids = [int(p) for p in state["leaf_page_ids"]]
+        tree.tree.owned_page_ids = [int(p) for p in state["owned_page_ids"]]
+    forest._sizes = {
+        name: int(size) for name, size in meta["sizes"].items()
+    }
+    engine.forest = forest
+    return engine

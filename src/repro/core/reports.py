@@ -1,0 +1,61 @@
+"""Measurement reports returned by the storage engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.storage.iomodel import IOStats
+
+
+@dataclass
+class PhaseReport:
+    """One measured phase: cost-model delta plus wall-clock time."""
+
+    io: IOStats = field(default_factory=IOStats)
+    wall_ms: float = 0.0
+
+    @property
+    def simulated_ms(self) -> float:
+        """Simulated I/O time plus engine overhead (ms)."""
+        return self.io.total_ms
+
+
+@dataclass
+class LoadReport:
+    """Initial-load measurements (Table 6 shape).
+
+    ``phases`` separates view materialization from index creation for the
+    conventional engine; the Cubetree engine reports a single ``views``
+    phase (its trees *are* the indexes).
+    """
+
+    phases: Dict[str, PhaseReport] = field(default_factory=dict)
+    view_rows: int = 0
+    pages: int = 0
+    bytes_on_disk: int = 0
+
+    @property
+    def total_simulated_ms(self) -> float:
+        """Simulated time summed over all phases."""
+        return sum(p.simulated_ms for p in self.phases.values())
+
+    @property
+    def total_wall_ms(self) -> float:
+        """Wall-clock time summed over all phases."""
+        return sum(p.wall_ms for p in self.phases.values())
+
+
+@dataclass
+class UpdateReport:
+    """Refresh measurements (Table 7 shape)."""
+
+    method: str = ""
+    io: IOStats = field(default_factory=IOStats)
+    wall_ms: float = 0.0
+    rows_applied: int = 0
+
+    @property
+    def simulated_ms(self) -> float:
+        """Simulated I/O time plus engine overhead (ms)."""
+        return self.io.total_ms

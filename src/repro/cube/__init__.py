@@ -1,0 +1,25 @@
+"""Data-cube machinery: the group-by lattice, sort-based cube computation,
+size estimation, and view/index selection.
+
+These components set up the experiments exactly the way the paper does:
+the lattice of Fig. 9 defines the candidate views, the GHRU 1-greedy
+algorithm picks the views *and* indexes to materialize, and the sort-based
+computation derives every view from its smallest materialized parent
+(Fig. 10, [AAD+96]).
+"""
+
+from repro.cube.computation import CubeComputation, CubePlanStep
+from repro.cube.cost import cardenas_estimate, estimate_view_size, query_cost
+from repro.cube.lattice import CubeLattice
+from repro.cube.selection import GreedySelection, select_views_and_indexes
+
+__all__ = [
+    "CubeComputation",
+    "CubeLattice",
+    "CubePlanStep",
+    "GreedySelection",
+    "cardenas_estimate",
+    "estimate_view_size",
+    "query_cost",
+    "select_views_and_indexes",
+]

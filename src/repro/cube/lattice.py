@@ -1,0 +1,136 @@
+"""The Data Cube lattice (Fig. 9) and its derives-from partial order.
+
+Each node is a set of grouping attributes; node ``V`` *derives from*
+``W`` when ``V``'s groups can be computed from ``W``'s tuples, i.e. when
+``V``'s attributes are a subset of ``W``'s (after resolving hierarchy
+attributes to the keys that determine them).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+
+Node = FrozenSet[str]
+
+
+class CubeLattice:
+    """Lattice over a tuple of base attributes.
+
+    Parameters
+    ----------
+    base_attributes:
+        The fact-table grouping attributes in canonical order (e.g.
+        ``('partkey', 'suppkey', 'custkey')``).
+    hierarchies:
+        Optional ``attribute -> determining base attribute`` map, e.g.
+        ``{'brand': 'partkey'}``.  Hierarchy attributes may appear in view
+        definitions; :meth:`derives_from` resolves them before the subset
+        test.
+    """
+
+    def __init__(
+        self,
+        base_attributes: Sequence[str],
+        hierarchies: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if len(set(base_attributes)) != len(base_attributes):
+            raise SchemaError("duplicate base attributes")
+        self.base_attributes: Tuple[str, ...] = tuple(base_attributes)
+        self.hierarchies: Dict[str, str] = dict(hierarchies or {})
+        for attr, source in self.hierarchies.items():
+            if source not in self.base_attributes:
+                raise SchemaError(
+                    f"hierarchy {attr!r} rolls up from unknown "
+                    f"attribute {source!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # nodes
+    # ------------------------------------------------------------------
+    def nodes(self) -> Iterator[Node]:
+        """Every lattice node, top (all attributes) first."""
+        n = len(self.base_attributes)
+        for size in range(n, -1, -1):
+            for combo in combinations(self.base_attributes, size):
+                yield frozenset(combo)
+
+    @property
+    def top(self) -> Node:
+        """The finest grouping (the apex view of Fig. 9)."""
+        return frozenset(self.base_attributes)
+
+    @property
+    def bottom(self) -> Node:
+        """The 'none' node — the super aggregate over the whole fact table."""
+        return frozenset()
+
+    def num_nodes(self) -> int:
+        """Total lattice nodes (2^d)."""
+        return 2 ** len(self.base_attributes)
+
+    def canonical_order(self, node: Node) -> Tuple[str, ...]:
+        """A node's attributes in base-attribute order."""
+        missing = node - set(self.base_attributes) - set(self.hierarchies)
+        if missing:
+            raise SchemaError(f"unknown attributes {sorted(missing)}")
+        base = [a for a in self.base_attributes if a in node]
+        extra = sorted(a for a in node if a in self.hierarchies)
+        return tuple(extra + base)
+
+    # ------------------------------------------------------------------
+    # the derives-from relation
+    # ------------------------------------------------------------------
+    def resolve(self, attrs: Sequence[str]) -> Node:
+        """Replace hierarchy attributes with their determining keys."""
+        out = set()
+        for attr in attrs:
+            if attr in self.hierarchies:
+                out.add(self.hierarchies[attr])
+            elif attr in self.base_attributes:
+                out.add(attr)
+            else:
+                raise SchemaError(f"unknown attribute {attr!r}")
+        return frozenset(out)
+
+    def derives_from(
+        self, target: Sequence[str], source: Sequence[str]
+    ) -> bool:
+        """Can a view grouping by ``target`` be computed from ``source``?
+
+        True when every target attribute is either present in the source or
+        is a hierarchy attribute whose determining key is present.  A
+        hierarchy attribute in the *source* only supports itself (rolling
+        back down is impossible).
+        """
+        source_set = set(source)
+        for attr in target:
+            if attr in source_set:
+                continue
+            determining = self.hierarchies.get(attr)
+            if determining is None or determining not in source_set:
+                return False
+        return True
+
+    def parents(self, node: Node) -> List[Node]:
+        """Direct parents: nodes with exactly one more base attribute."""
+        extra = [a for a in self.base_attributes if a not in node]
+        return [node | {a} for a in extra]
+
+    def children(self, node: Node) -> List[Node]:
+        """Direct children: nodes with exactly one fewer attribute."""
+        return [node - {a} for a in node]
+
+    def ancestors(self, node: Node) -> List[Node]:
+        """Every node the given node derives from (excluding itself)."""
+        return [
+            other
+            for other in self.nodes()
+            if node < other
+        ]
+
+    def descendants(self, node: Node) -> List[Node]:
+        """Every node derivable from the given node (excluding itself)."""
+        return [other for other in self.nodes() if other < node]

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single type at the API boundary.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class StorageError(ReproError):
+    """Low-level storage failure (bad page id, page overflow, ...)."""
+
+
+class PageOverflowError(StorageError):
+    """A record or node does not fit in a single page."""
+
+
+class InvalidRecordError(StorageError):
+    """A record does not match the schema it is being encoded against."""
+
+
+class IndexError_(ReproError):
+    """Base class for index (B+-tree / R-tree) errors."""
+
+
+class DuplicateKeyError(IndexError_):
+    """An insert found an existing entry with the same unique key."""
+
+
+class KeyNotFoundError(IndexError_):
+    """A lookup/update targeted a key that is not in the index."""
+
+
+class SchemaError(ReproError):
+    """A table/view definition is inconsistent."""
+
+
+class CatalogError(ReproError):
+    """Unknown or duplicate table/index/view name."""
+
+
+class InvalidCoordinateError(ReproError):
+    """A view tuple mapped to a Cubetree has a non-positive coordinate.
+
+    The valid-mapping transformation pads unused coordinates with zero, so
+    real coordinate values must be strictly positive integers (paper,
+    Sec. 2.2).
+    """
+
+
+class MappingError(ReproError):
+    """A set of views cannot be mapped as requested (e.g. two views of the
+    same arity forced into one Cubetree)."""
+
+
+class QueryError(ReproError):
+    """A query references unknown attributes or cannot be routed to any
+    materialized view."""
+
+
+class SQLError(ReproError):
+    """The SQL front end could not tokenize, parse, or bind a statement."""
+
+
+class UpdateTimeoutError(ReproError):
+    """An (simulated) update run exceeded its down-time window deadline."""

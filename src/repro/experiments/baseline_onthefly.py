@@ -1,0 +1,101 @@
+"""The need for materialization — the paper's first validated claim.
+
+"Our experiments first, validate the need for materializing OLAP views"
+(Sec. 4).  The introduction motivates it: without summary tables,
+"computing the sum of all sales from a fact table grouped by their region
+would require (no less than) scanning the whole fact table", join and
+bitmap indexes notwithstanding.
+
+Three configurations answer the same workload (the Fig. 12 slice queries
+*including* the no-predicate types, which are the ones materialization
+helps most):
+
+* on-the-fly — the fact table plus one join index per foreign key and
+  bitmap indexes for hierarchy attributes; every aggregate computed at
+  query time;
+* conventional — materialized summary tables + B-trees;
+* Cubetrees — the packed forest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.onthefly import OnTheFlyEngine
+from repro.experiments.common import (
+    FIG12_NODES,
+    ExperimentConfig,
+    build_conventional_engine,
+    build_cubetree_engine,
+    build_warehouse,
+    fmt_bytes,
+    fmt_duration,
+    node_label,
+    print_table,
+)
+from repro.query.generator import RandomQueryGenerator
+
+
+def run(config: Optional[ExperimentConfig] = None, verbose: bool = True) -> Dict:
+    """Regenerate the need-for-materialization comparison."""
+    config = config or ExperimentConfig()
+    _gen, data = build_warehouse(config)
+
+    onthefly = OnTheFlyEngine(data.schema, buffer_pages=config.buffer_pages)
+    fly_report = onthefly.load_fact(data.facts)
+    cube, cube_report = build_cubetree_engine(config, data)
+    conv, conv_report = build_conventional_engine(config, data)
+
+    qgen = RandomQueryGenerator(data.schema, seed=config.query_seed)
+    per_node = max(10, config.queries_per_node // 5)
+
+    rows = []
+    totals = {"on-the-fly": 0.0, "conventional": 0.0, "cubetrees": 0.0}
+    for node in FIG12_NODES:
+        queries = qgen.generate_for_node(node, per_node,
+                                         include_unbound=True)
+        ms = {
+            "on-the-fly": sum(
+                onthefly.query(q).io.total_ms for q in queries),
+            "conventional": sum(
+                conv.query(q).io.total_ms for q in queries),
+            "cubetrees": sum(cube.query(q).io.total_ms for q in queries),
+        }
+        for name in totals:
+            totals[name] += ms[name]
+        rows.append([node_label(node)] + [
+            fmt_duration(ms[name]) for name in
+            ("on-the-fly", "conventional", "cubetrees")
+        ])
+    rows.append(["TOTAL"] + [
+        fmt_duration(totals[name]) for name in
+        ("on-the-fly", "conventional", "cubetrees")
+    ])
+    print_table(
+        f"The need for materialization ({per_node} queries/view incl. "
+        "no-predicate types)",
+        ["view", "on-the-fly (no views)", "conventional", "Cubetrees"],
+        rows,
+        verbose,
+    )
+    print_table(
+        "Storage of each configuration",
+        ["configuration", "bytes on disk"],
+        [["on-the-fly (F + join/bitmap indexes)",
+          fmt_bytes(fly_report.bytes_on_disk)],
+         ["conventional (views + B-trees)",
+          fmt_bytes(conv_report.bytes_on_disk)],
+         ["Cubetrees (incl. replicas)",
+          fmt_bytes(cube_report.bytes_on_disk)]],
+        verbose,
+    )
+    return {
+        "totals_ms": totals,
+        "onthefly_bytes": fly_report.bytes_on_disk,
+        "conventional_bytes": conv_report.bytes_on_disk,
+        "cubetree_bytes": cube_report.bytes_on_disk,
+    }
+
+
+if __name__ == "__main__":
+    run()

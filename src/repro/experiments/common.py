@@ -1,0 +1,181 @@
+"""Shared experiment scaffolding: configuration, engine construction, the
+paper's selected views/indexes/replicas, and formatting helpers."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.conventional import ConventionalEngine
+from repro.core.engine import CubetreeEngine
+from repro.core.reports import LoadReport
+from repro.relational.view import ViewDefinition
+from repro.warehouse.tpcd import TPCDGenerator, WarehouseData
+
+#: The paper's selected view set V (Sec. 3, from GHRU 1-greedy).
+PAPER_VIEW_SPECS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("V_psc", ("partkey", "suppkey", "custkey")),
+    ("V_ps", ("partkey", "suppkey")),
+    ("V_c", ("custkey",)),
+    ("V_s", ("suppkey",)),
+    ("V_p", ("partkey",)),
+    ("V_none", ()),
+)
+
+#: The paper's selected index set I: three composite B-trees on the apex.
+PAPER_INDEX_KEYS: Tuple[Tuple[str, ...], ...] = (
+    ("custkey", "suppkey", "partkey"),
+    ("partkey", "custkey", "suppkey"),
+    ("suppkey", "partkey", "custkey"),
+)
+
+#: The Datablade replica orders for the apex view (Sec. 3): V{s,c,p} and
+#: V{c,p,s}, chosen so every dimension leads one sort order.
+PAPER_REPLICA_ORDERS: Tuple[Tuple[str, ...], ...] = (
+    ("suppkey", "custkey", "partkey"),
+    ("custkey", "partkey", "suppkey"),
+)
+
+#: The seven lattice nodes Fig. 12 plots (every node except "none").
+FIG12_NODES: Tuple[Tuple[str, ...], ...] = (
+    ("partkey", "suppkey", "custkey"),
+    ("partkey", "suppkey"),
+    ("partkey", "custkey"),
+    ("suppkey", "custkey"),
+    ("partkey",),
+    ("suppkey",),
+    ("custkey",),
+)
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs shared by every experiment.
+
+    The defaults reproduce the paper's setup scaled to laptop size:
+    TPC-D at ``scale_factor`` of SF 1 with a buffer pool that is small
+    relative to the data (the paper's 32 MB vs. ~600 MB regime).
+
+    Environment overrides: ``REPRO_SCALE`` and ``REPRO_QUERIES``.
+    """
+
+    scale_factor: float = field(
+        default_factory=lambda: float(os.environ.get("REPRO_SCALE", "0.01"))
+    )
+    seed: int = 42
+    query_seed: int = 7
+    buffer_pages: int = 256
+    queries_per_node: int = field(
+        default_factory=lambda: int(os.environ.get("REPRO_QUERIES", "100"))
+    )
+    increment_fraction: float = 0.1
+    sort_chunk_rows: int = 100_000
+
+
+def paper_views() -> List[ViewDefinition]:
+    """The materialized set V as ViewDefinitions."""
+    return [ViewDefinition(name, attrs) for name, attrs in PAPER_VIEW_SPECS]
+
+
+def paper_indexes() -> Dict[str, List[Tuple[str, ...]]]:
+    """The index set I, keyed by owning view."""
+    return {"V_psc": [tuple(key) for key in PAPER_INDEX_KEYS]}
+
+
+def paper_replicas() -> Dict[str, List[Tuple[str, ...]]]:
+    """The replication spec for the Cubetree configuration."""
+    return {"V_psc": [tuple(order) for order in PAPER_REPLICA_ORDERS]}
+
+
+def build_warehouse(config: ExperimentConfig) -> Tuple[TPCDGenerator, WarehouseData]:
+    """Generate the TPC-D warehouse for a configuration."""
+    gen = TPCDGenerator(scale_factor=config.scale_factor, seed=config.seed)
+    return gen, gen.generate()
+
+
+def build_cubetree_engine(
+    config: ExperimentConfig,
+    data: WarehouseData,
+    replicate: bool = True,
+) -> Tuple[CubetreeEngine, LoadReport]:
+    """Build + load the Cubetree configuration (with replicas)."""
+    engine = CubetreeEngine(
+        data.schema,
+        buffer_pages=config.buffer_pages,
+        sort_chunk_rows=config.sort_chunk_rows,
+    )
+    report = engine.materialize(
+        paper_views(),
+        data.facts,
+        replicate=paper_replicas() if replicate else None,
+    )
+    return engine, report
+
+
+def build_conventional_engine(
+    config: ExperimentConfig, data: WarehouseData
+) -> Tuple[ConventionalEngine, LoadReport]:
+    """Build + load the conventional configuration (with indexes)."""
+    engine = ConventionalEngine(
+        data.schema,
+        buffer_pages=config.buffer_pages,
+        sort_chunk_rows=config.sort_chunk_rows,
+    )
+    engine.load_fact(data.facts)
+    report = engine.materialize(paper_views(), indexes=paper_indexes())
+    return engine, report
+
+
+# ----------------------------------------------------------------------
+# formatting
+# ----------------------------------------------------------------------
+def fmt_duration(ms: float) -> str:
+    """Human-friendly duration for simulated times."""
+    if ms < 1_000:
+        return f"{ms:.1f} ms"
+    seconds = ms / 1000.0
+    if seconds < 120:
+        return f"{seconds:.2f} s"
+    minutes, secs = divmod(seconds, 60)
+    if minutes < 120:
+        return f"{int(minutes)}m {secs:04.1f}s"
+    hours, mins = divmod(minutes, 60)
+    return f"{int(hours)}h {int(mins)}m"
+
+
+def fmt_bytes(num: float) -> str:
+    """Human-friendly byte count."""
+    for unit in ("B", "KB", "MB", "GB"):
+        if num < 1024 or unit == "GB":
+            return f"{num:.1f} {unit}"
+        num /= 1024
+    return f"{num:.1f} GB"  # pragma: no cover
+
+
+def print_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    verbose: bool = True,
+) -> None:
+    """Render an aligned text table (the experiment output format)."""
+    if not verbose:
+        return
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in cells:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
+def node_label(node: Sequence[str]) -> str:
+    """Fig. 12's axis labels, e.g. 'partkey,suppkey'."""
+    return ",".join(node) if node else "none"

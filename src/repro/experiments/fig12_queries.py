@@ -1,0 +1,69 @@
+"""Figure 12 — total execution time of 100 random slice queries per view.
+
+The paper plots, for each of the seven lattice nodes, the total time of 100
+uniformly-drawn slice queries under both configurations: Cubetrees win
+every node, most queries run at sub-second levels, and the overall gap is
+about an order of magnitude.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.experiments.common import (
+    FIG12_NODES,
+    ExperimentConfig,
+    build_conventional_engine,
+    build_cubetree_engine,
+    build_warehouse,
+    fmt_duration,
+    node_label,
+    print_table,
+)
+from repro.query.generator import RandomQueryGenerator
+
+
+def run(config: Optional[ExperimentConfig] = None, verbose: bool = True) -> Dict:
+    """Regenerate the Fig. 12 series; returns per-node totals (ms)."""
+    config = config or ExperimentConfig()
+    _gen, data = build_warehouse(config)
+    cube, _ = build_cubetree_engine(config, data)
+    conv, _ = build_conventional_engine(config, data)
+    qgen = RandomQueryGenerator(data.schema, seed=config.query_seed)
+
+    per_node: Dict[str, Dict[str, float]] = {}
+    rows = []
+    for node in FIG12_NODES:
+        queries = qgen.generate_for_node(node, config.queries_per_node)
+        cube_ms = sum(cube.query(q).io.total_ms for q in queries)
+        conv_ms = sum(conv.query(q).io.total_ms for q in queries)
+        label = node_label(node)
+        per_node[label] = {"cubetrees": cube_ms, "conventional": conv_ms}
+        speedup = f"{conv_ms / cube_ms:.1f}x" if cube_ms else "-"
+        rows.append([
+            label, fmt_duration(conv_ms), fmt_duration(cube_ms), speedup,
+        ])
+
+    total_cube = sum(v["cubetrees"] for v in per_node.values())
+    total_conv = sum(v["conventional"] for v in per_node.values())
+    rows.append([
+        "TOTAL", fmt_duration(total_conv), fmt_duration(total_cube),
+        f"{total_conv / total_cube:.1f}x" if total_cube else "-",
+    ])
+    print_table(
+        f"Figure 12: total time of {config.queries_per_node} queries per "
+        f"view (simulated I/O; paper shows ~10x overall)",
+        ["view", "Conventional", "Cubetrees", "speedup"],
+        rows,
+        verbose,
+    )
+    return {
+        "per_node": per_node,
+        "total_cubetrees_ms": total_cube,
+        "total_conventional_ms": total_conv,
+        "ratio": total_conv / total_cube if total_cube else float("inf"),
+    }
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,95 @@
+"""Figure 13 — system throughput (queries/second), min and max.
+
+Paper: "the peak performance of the conventional approach barely matches
+the system low for the Cubetrees"; averages 1.1 q/s conventional vs
+10.1 q/s Cubetrees (~10x).
+
+Throughput is computed from simulated I/O time per query batch; min/max
+are taken across the per-node batches of the Fig. 12 workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.common import (
+    FIG12_NODES,
+    ExperimentConfig,
+    build_conventional_engine,
+    build_cubetree_engine,
+    build_warehouse,
+    node_label,
+    print_table,
+)
+from repro.query.generator import RandomQueryGenerator
+
+PAPER = {"conventional_avg": 1.1, "cubetrees_avg": 10.1}
+
+
+def run(config: Optional[ExperimentConfig] = None, verbose: bool = True) -> Dict:
+    """Regenerate Fig. 13; returns throughput stats in queries/sec."""
+    config = config or ExperimentConfig()
+    _gen, data = build_warehouse(config)
+    cube, _ = build_cubetree_engine(config, data)
+    conv, _ = build_conventional_engine(config, data)
+    qgen = RandomQueryGenerator(data.schema, seed=config.query_seed)
+
+    batches: Dict[str, List[float]] = {"cubetrees": [], "conventional": []}
+    multi: Dict[str, List[float]] = {"cubetrees": [], "conventional": []}
+    totals: Dict[str, float] = {"cubetrees": 0.0, "conventional": 0.0}
+    for node in FIG12_NODES:
+        queries = qgen.generate_for_node(node, config.queries_per_node)
+        for engine, name in ((cube, "cubetrees"), (conv, "conventional")):
+            ms = sum(engine.query(q).io.total_ms for q in queries)
+            totals[name] += ms
+            qps = len(queries) / (ms / 1000.0) if ms else float("inf")
+            batches[name].append(qps)
+            if len(node) >= 2:
+                multi[name].append(qps)
+
+    total_queries = len(FIG12_NODES) * config.queries_per_node
+    stats = {
+        name: {
+            "min": min(values),
+            "max": max(values),
+            "avg": (
+                total_queries / (totals[name] / 1000.0)
+                if totals[name]
+                else float("inf")
+            ),
+        }
+        for name, values in batches.items()
+    }
+    print_table(
+        "Figure 13: system throughput (queries/sec; "
+        f"paper averages: conventional {PAPER['conventional_avg']}, "
+        f"Cubetrees {PAPER['cubetrees_avg']})",
+        ["Configuration", "min", "max", "avg"],
+        [
+            [name,
+             f"{s['min']:.1f}", f"{s['max']:.1f}", f"{s['avg']:.1f}"]
+            for name, s in stats.items()
+        ],
+        verbose,
+    )
+    # The paper's "conventional peak barely matches the Cubetree low"
+    # holds on views that span many pages; at reduced scale that means
+    # the multi-attribute nodes (single-attribute views fit in 1-2 pages
+    # and distort the extremes — see EXPERIMENTS.md).
+    for name, values in multi.items():
+        stats[name]["multi_min"] = min(values)
+        stats[name]["multi_max"] = max(values)
+    print_table(
+        "Figure 13 (multi-attribute views only)",
+        ["Configuration", "min", "max"],
+        [
+            [name, f"{s['multi_min']:.1f}", f"{s['multi_max']:.1f}"]
+            for name, s in stats.items()
+        ],
+        verbose,
+    )
+    return stats
+
+
+if __name__ == "__main__":
+    run()

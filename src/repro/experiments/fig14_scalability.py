@@ -1,0 +1,73 @@
+"""Figure 14 — Cubetree query scalability (1 GB vs 2 GB dataset).
+
+Paper: "query performance is practically unaffected by the larger input.
+The small differences are caused by the variation on the output size."
+The Cubetree answer cost is a root-to-leaf descent plus the clustered
+matches, so doubling the data mostly deepens nothing and widens outputs
+slightly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional
+
+from repro.experiments.common import (
+    FIG12_NODES,
+    ExperimentConfig,
+    build_cubetree_engine,
+    build_warehouse,
+    fmt_duration,
+    node_label,
+    print_table,
+)
+from repro.query.generator import RandomQueryGenerator
+
+
+def _measure(config: ExperimentConfig) -> Dict[str, float]:
+    _gen, data = build_warehouse(config)
+    cube, _ = build_cubetree_engine(config, data)
+    qgen = RandomQueryGenerator(data.schema, seed=config.query_seed)
+    out: Dict[str, float] = {}
+    for node in FIG12_NODES:
+        queries = qgen.generate_for_node(node, config.queries_per_node)
+        out[node_label(node)] = sum(
+            cube.query(q).io.total_ms for q in queries
+        )
+    return out
+
+
+def run(config: Optional[ExperimentConfig] = None, verbose: bool = True) -> Dict:
+    """Regenerate Fig. 14: same workload at SF s and SF 2s."""
+    config = config or ExperimentConfig()
+    small = _measure(config)
+    big = _measure(replace(config, scale_factor=config.scale_factor * 2))
+
+    rows = [
+        [label, fmt_duration(small[label]), fmt_duration(big[label]),
+         f"{big[label] / small[label]:.2f}x" if small[label] else "-"]
+        for label in small
+    ]
+    total_small = sum(small.values())
+    total_big = sum(big.values())
+    rows.append([
+        "TOTAL", fmt_duration(total_small), fmt_duration(total_big),
+        f"{total_big / total_small:.2f}x" if total_small else "-",
+    ])
+    print_table(
+        f"Figure 14: Cubetree scalability "
+        f"(SF {config.scale_factor} vs SF {config.scale_factor * 2}; "
+        "paper: nearly flat from 1 GB to 2 GB)",
+        ["view", "1x dataset", "2x dataset", "growth"],
+        rows,
+        verbose,
+    )
+    return {
+        "small": small,
+        "big": big,
+        "growth": total_big / total_small if total_small else 1.0,
+    }
+
+
+if __name__ == "__main__":
+    run()

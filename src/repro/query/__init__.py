@@ -1,0 +1,22 @@
+"""The slice-query model of the paper's evaluation (Sec. 3.1).
+
+A slice query carries equality predicates on some attributes of a lattice
+node and groups the measure by the node's remaining attributes.  This
+package provides the query type, the uniform random generator used for the
+Fig. 12/13 workloads, and the cost-based router that picks the best
+materialized view (and index / sort order) for each query.
+"""
+
+from repro.query.generator import RandomQueryGenerator
+from repro.query.result import QueryResult
+from repro.query.router import AccessPath, QueryRouter, RoutingDecision
+from repro.query.slice import SliceQuery
+
+__all__ = [
+    "AccessPath",
+    "QueryResult",
+    "QueryRouter",
+    "RandomQueryGenerator",
+    "RoutingDecision",
+    "SliceQuery",
+]

@@ -1,0 +1,135 @@
+"""Uniform random slice-query generation (the Fig. 12/13 workload).
+
+"We used a random query generator, coded to provide a uniform selection of
+slice queries on the views ... We assumed equal probability for all types
+of queries, with the exception of queries with no selection predicate"
+(Sec. 3.3).  Queries with no predicate produce the whole view as output,
+diluting retrieval cost, so the generator excludes them by default.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+from typing import List, Sequence, Tuple
+
+from repro.errors import QueryError
+from repro.query.slice import SliceQuery
+from repro.warehouse.star import StarSchema
+
+
+class RandomQueryGenerator:
+    """Draws slice queries uniformly over the query types of a node.
+
+    Parameters
+    ----------
+    schema:
+        Provides the key domains that predicate constants are drawn from.
+    seed:
+        Generator seed (deterministic workloads).
+    """
+
+    def __init__(self, schema: StarSchema, seed: int = 0) -> None:
+        self.schema = schema
+        self._rng = random.Random(f"queries/{seed}")
+
+    def query_types(
+        self, node: Sequence[str], include_unbound: bool = False
+    ) -> List[Tuple[str, ...]]:
+        """The bound-attribute subsets available on a node."""
+        attrs = tuple(node)
+        start = 0 if include_unbound else 1
+        types: List[Tuple[str, ...]] = []
+        for size in range(start, len(attrs) + 1):
+            types.extend(combinations(attrs, size))
+        if not types:
+            # The super-aggregate node only has the unbound query type.
+            types.append(())
+        return types
+
+    def generate_for_node(
+        self,
+        node: Sequence[str],
+        count: int,
+        include_unbound: bool = False,
+    ) -> List[SliceQuery]:
+        """``count`` random queries on one lattice node."""
+        if count < 0:
+            raise QueryError("count must be non-negative")
+        types = self.query_types(node, include_unbound)
+        queries: List[SliceQuery] = []
+        for _ in range(count):
+            bound = self._rng.choice(types)
+            bindings = tuple(
+                (attr, self._random_value(attr)) for attr in bound
+            )
+            group_by = tuple(a for a in node if a not in bound)
+            queries.append(SliceQuery(group_by, bindings))
+        return queries
+
+    def generate_workload(
+        self,
+        nodes: Sequence[Sequence[str]],
+        per_node: int,
+        include_unbound: bool = False,
+    ) -> List[Tuple[Tuple[str, ...], List[SliceQuery]]]:
+        """The full Fig. 12 workload: a batch per lattice node."""
+        return [
+            (tuple(node),
+             self.generate_for_node(node, per_node, include_unbound))
+            for node in nodes
+        ]
+
+    def generate_range_queries(
+        self,
+        node: Sequence[str],
+        count: int,
+        width_fraction: float = 0.05,
+    ) -> List[SliceQuery]:
+        """Random *range* slice queries (the paper's "more general
+        experiment where arbitrary range queries are allowed").
+
+        Each query binds a uniformly-chosen non-empty attribute subset of
+        the node; every bound attribute carries a closed range spanning
+        ``width_fraction`` of its key domain.
+        """
+        if count < 0:
+            raise QueryError("count must be non-negative")
+        if not 0 < width_fraction <= 1:
+            raise QueryError("width_fraction must be in (0, 1]")
+        types = self.query_types(node, include_unbound=False)
+        queries: List[SliceQuery] = []
+        for _ in range(count):
+            bound = self._rng.choice(types)
+            ranges = []
+            for attr in bound:
+                domain = sorted(self._domain_of(attr))
+                width = max(1, int(len(domain) * width_fraction))
+                start = self._rng.randint(0, max(0, len(domain) - width))
+                ranges.append(
+                    (attr, domain[start], domain[start + width - 1])
+                )
+            group_by = tuple(a for a in node if a not in bound)
+            queries.append(SliceQuery(group_by, (), tuple(ranges)))
+        return queries
+
+    def _domain_of(self, attr: str) -> List[int]:
+        if attr in self.schema.dimensions:
+            return list(self.schema.key_domain(attr))
+        for dim in self.schema.dimensions.values():
+            if attr in dim.attributes:
+                idx = dim.attribute_index(attr)
+                return sorted({row[idx] for row in dim.rows})
+        raise QueryError(f"unknown attribute {attr!r}")
+
+    def _random_value(self, attr: str) -> int:
+        if attr in self.schema.dimensions:
+            domain = self.schema.key_domain(attr)
+            return self._rng.choice(list(domain))
+        # Hierarchy attribute: draw from its distinct values.
+        for dim in self.schema.dimensions.values():
+            if attr in dim.attributes:
+                idx = dim.attribute_index(attr)
+                values = sorted({row[idx] for row in dim.rows})
+                return self._rng.choice(values)
+        raise QueryError(f"unknown attribute {attr!r}")

@@ -1,0 +1,35 @@
+"""Query results with execution statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.storage.iomodel import IOStats
+
+Row = Tuple[object, ...]
+
+
+@dataclass
+class QueryResult:
+    """Rows plus the I/O this query cost.
+
+    ``rows`` are ``group-by values + finalized aggregate values``, sorted
+    by group key.  ``io`` is the cost-model delta measured around the
+    query; ``wall_ms`` the actual elapsed time; ``plan`` a human-readable
+    description of the chosen access path.
+    """
+
+    rows: List[Row] = field(default_factory=list)
+    io: IOStats = field(default_factory=IOStats)
+    wall_ms: float = 0.0
+    plan: str = ""
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def scalar(self) -> float:
+        """The single value of a no-group-by query."""
+        if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            raise ValueError("result is not a scalar")
+        return float(self.rows[0][0])  # type: ignore[arg-type]

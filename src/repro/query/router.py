@@ -1,0 +1,185 @@
+"""Cost-based routing of slice queries to materialized views.
+
+The paper hand-validated "the best way that each query should be written in
+SQL" per query type (Sec. 3.3) — e.g. discovering that the indexed apex
+view beats the seemingly-better-matching smaller view for query Q1.  The
+router automates that choice with a page-level cost model:
+
+* a **scan** reads the view's pages sequentially;
+* an **ordered access** (B-tree search key / Cubetree sort order) whose key
+  prefix lies inside the bound attributes narrows the matches by the
+  prefix's selectivity; fetching the matches is *sequential* when the
+  order agrees with the view's physical clustering (the Cubetree case, or
+  the one B-tree whose key matches the heap's insertion order) and one
+  *random* page per match otherwise (the unclustered-index case that makes
+  two of the conventional configuration's three composite indexes
+  expensive).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.constants import RANDOM_IO_MS, SEQUENTIAL_IO_MS
+from repro.cube.lattice import CubeLattice
+from repro.errors import QueryError
+from repro.query.slice import SliceQuery
+from repro.relational.view import ViewDefinition
+
+#: Pages touched descending an index to its first qualifying entry.
+_DESCENT_PAGES = 3
+
+
+@dataclass(frozen=True)
+class AccessPath:
+    """One candidate physical path to a view's tuples.
+
+    Parameters
+    ----------
+    view:
+        The view definition (a replica is its own view).
+    size:
+        Tuple count of the materialized view.
+    orders:
+        Physical orders usable for prefix access: B-tree keys on the view
+        (conventional), or the view's Cubetree sort order(s).
+    rows_per_page:
+        Tuples per data page (for page-cost estimates).
+    clustered:
+        The attribute order the view's *data* is physically sorted by, or
+        None when unknown.  Matches fetched through an order that agrees
+        with this clustering are read sequentially.
+    """
+
+    view: ViewDefinition
+    size: float
+    orders: Tuple[Tuple[str, ...], ...] = ()
+    rows_per_page: int = 100
+    clustered: Optional[Tuple[str, ...]] = None
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """The chosen plan for a query."""
+
+    path: AccessPath
+    order: Optional[Tuple[str, ...]]  # the order whose prefix is used
+    prefix: Tuple[str, ...]           # bound attrs usable as access prefix
+    est_cost: float                   # estimated milliseconds of I/O
+    needs_reaggregation: bool         # view is finer than the query node
+
+    def describe(self) -> str:
+        """Human-readable one-line rendering."""
+        via = f" via {self.order}" if self.order else " (scan)"
+        return f"{self.view_name}{via} ~{self.est_cost:.1f} ms"
+
+    @property
+    def view_name(self) -> str:
+        """Name of the routed view."""
+        return self.path.view.name
+
+
+class QueryRouter:
+    """Picks the cheapest access path for each slice query."""
+
+    def __init__(
+        self,
+        lattice: CubeLattice,
+        distinct_counts: Mapping[str, float],
+        random_ms: float = RANDOM_IO_MS,
+        sequential_ms: float = SEQUENTIAL_IO_MS,
+    ) -> None:
+        self.lattice = lattice
+        self.distinct = dict(distinct_counts)
+        self.random_ms = random_ms
+        self.sequential_ms = sequential_ms
+
+    def route(
+        self, query: SliceQuery, paths: Sequence[AccessPath]
+    ) -> RoutingDecision:
+        """Choose the cheapest plan, or raise QueryError if nothing answers."""
+        best: Optional[RoutingDecision] = None
+        node = tuple(query.node)
+        for path in paths:
+            if not self.lattice.derives_from(node, path.view.group_by):
+                continue
+            decision = self._best_plan_for(path, query)
+            if best is None or self._better(decision, best):
+                best = decision
+        if best is None:
+            raise QueryError(
+                f"no materialized view answers query over {sorted(node)}"
+            )
+        return best
+
+    # ------------------------------------------------------------------
+    def _attr_selectivity(self, attr: str, query: SliceQuery) -> float:
+        """Matching-fraction denominator of one bound attribute."""
+        if attr in query.binding_map:
+            return self.distinct.get(attr, 1.0)
+        low, high = query.range_map[attr]
+        width = high - low + 1
+        return max(1.0, self.distinct.get(attr, 1.0) / width)
+
+    def _best_plan_for(
+        self, path: AccessPath, query: SliceQuery
+    ) -> RoutingDecision:
+        needs_reagg = frozenset(path.view.group_by) != query.node
+        data_pages = max(1.0, path.size / max(path.rows_per_page, 1))
+        equality = set(query.binding_map)
+        ranged = set(query.range_map)
+
+        # Plan 0: sequential scan.
+        best_cost = self.random_ms + data_pages * self.sequential_ms
+        best_order: Optional[Tuple[str, ...]] = None
+        best_prefix: Tuple[str, ...] = ()
+
+        # Ordered accesses: a usable prefix is any run of equality-bound
+        # attributes, optionally ending with one range-bound attribute
+        # (entries stop being contiguous past a range component).
+        for order in path.orders:
+            prefix: List[str] = []
+            for attr in order:
+                if attr in equality:
+                    prefix.append(attr)
+                elif attr in ranged:
+                    prefix.append(attr)
+                    break
+                else:
+                    break
+            if not prefix:
+                continue
+            selectivity = 1.0
+            for attr in prefix:
+                selectivity *= self._attr_selectivity(attr, query)
+            matches = max(1.0, path.size / selectivity)
+            match_pages = max(1.0, matches / max(path.rows_per_page, 1))
+            cost = _DESCENT_PAGES * self.random_ms
+            if path.clustered is not None and tuple(
+                path.clustered[: len(prefix)]
+            ) == tuple(prefix):
+                # Matches are physically contiguous.
+                cost += self.random_ms + (match_pages - 1) * self.sequential_ms
+            else:
+                # One random data page per match (capped by the view size).
+                cost += min(matches, data_pages) * self.random_ms
+            if cost < best_cost:
+                best_cost = cost
+                best_order = order
+                best_prefix = tuple(prefix)
+
+        return RoutingDecision(
+            path, best_order, best_prefix, best_cost, needs_reagg
+        )
+
+    @staticmethod
+    def _better(a: RoutingDecision, b: RoutingDecision) -> bool:
+        # Cheaper wins; ties prefer the view that needs no reaggregation,
+        # then the smaller view.
+        if not math.isclose(a.est_cost, b.est_cost, rel_tol=1e-9):
+            return a.est_cost < b.est_cost
+        return (a.needs_reaggregation, a.path.size) < (
+            b.needs_reaggregation, b.path.size,
+        )

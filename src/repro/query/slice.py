@@ -1,0 +1,99 @@
+"""Slice queries: equality predicates + disjoint group-by attributes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class SliceQuery:
+    """One OLAP slice query.
+
+    Parameters
+    ----------
+    group_by:
+        Attributes the aggregate is grouped by (may be empty).
+    bindings:
+        ``(attribute, value)`` equality predicates, disjoint from
+        ``group_by``.
+    ranges:
+        ``(attribute, low, high)`` closed-range predicates — the paper's
+        "more general experiment where arbitrary range queries are
+        allowed" (Sec. 3.1).  Disjoint from both other attribute sets.
+
+    The query's *node* — the lattice element it belongs to — is the union
+    of all three attribute sets: "Give me the total sales per part for a
+    given customer C" has ``group_by = (partkey,)``, ``bindings =
+    ((custkey, C),)``, node ``{partkey, custkey}``.
+    """
+
+    group_by: Tuple[str, ...]
+    bindings: Tuple[Tuple[str, int], ...] = ()
+    ranges: Tuple[Tuple[str, int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        bound = [attr for attr, _ in self.bindings]
+        bound += [attr for attr, _lo, _hi in self.ranges]
+        if len(set(bound)) != len(bound):
+            raise QueryError("duplicate bound attribute")
+        overlap = set(self.group_by) & set(bound)
+        if overlap:
+            raise QueryError(
+                f"attributes {sorted(overlap)} both bound and grouped"
+            )
+        if len(set(self.group_by)) != len(self.group_by):
+            raise QueryError("duplicate group-by attribute")
+        for attr, low, high in self.ranges:
+            if low > high:
+                raise QueryError(
+                    f"empty range [{low}, {high}] on {attr!r}"
+                )
+
+    @property
+    def bound_attrs(self) -> Tuple[str, ...]:
+        """Every attribute carrying a predicate (equality first)."""
+        return tuple(attr for attr, _ in self.bindings) + tuple(
+            attr for attr, _lo, _hi in self.ranges
+        )
+
+    @property
+    def node(self) -> FrozenSet[str]:
+        """The lattice node this query slices."""
+        return frozenset(self.group_by) | frozenset(self.bound_attrs)
+
+    @property
+    def binding_map(self) -> dict:
+        """Equality predicates as a dict."""
+        return dict(self.bindings)
+
+    @property
+    def range_map(self) -> dict:
+        """Range predicates as attr -> (low, high)."""
+        return {attr: (low, high) for attr, low, high in self.ranges}
+
+    @property
+    def bounds(self) -> dict:
+        """Every predicate as a closed interval: attr -> (low, high)."""
+        out = {attr: (value, value) for attr, value in self.bindings}
+        out.update(self.range_map)
+        return out
+
+    def describe(self) -> str:
+        """SQL-ish rendering for logs and experiment output."""
+        select = ", ".join(self.group_by) if self.group_by else ""
+        predicates = [f"{a} = {v}" for a, v in self.bindings]
+        predicates += [
+            f"{a} between {lo} and {hi}" for a, lo, hi in self.ranges
+        ]
+        where = " and ".join(predicates)
+        parts = ["select"]
+        parts.append(f"{select}, sum(quantity)" if select else "sum(quantity)")
+        parts.append("from F")
+        if where:
+            parts.append(f"where {where}")
+        if self.group_by:
+            parts.append(f"group by {select}")
+        return " ".join(parts)

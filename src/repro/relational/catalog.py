@@ -1,0 +1,82 @@
+"""Catalog: name -> table / materialized view registry."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import CatalogError
+from repro.relational.table import Table
+from repro.relational.view import MaterializedView
+
+
+class Catalog:
+    """Tracks the tables and materialized views of one database."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+        self._views: Dict[str, MaterializedView] = {}
+
+    # ------------------------------------------------------------------
+    # tables
+    # ------------------------------------------------------------------
+    def register_table(self, table: Table) -> None:
+        """Add a table; duplicate names raise CatalogError."""
+        if table.name in self._tables:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> Table:
+        """Look a table up by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        """True when the table exists."""
+        return name in self._tables
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table from the catalog."""
+        if name not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        del self._tables[name]
+
+    def table_names(self) -> List[str]:
+        """Sorted table names."""
+        return sorted(self._tables)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def register_view(self, view: MaterializedView) -> None:
+        """Add a materialized view; duplicates raise CatalogError."""
+        name = view.definition.name
+        if name in self._views:
+            raise CatalogError(f"view {name!r} already exists")
+        self._views[name] = view
+
+    def view(self, name: str) -> MaterializedView:
+        """Look a materialized view up by name."""
+        try:
+            return self._views[name]
+        except KeyError:
+            raise CatalogError(f"unknown view {name!r}") from None
+
+    def has_view(self, name: str) -> bool:
+        """True when the view exists."""
+        return name in self._views
+
+    def drop_view(self, name: str) -> None:
+        """Remove a view from the catalog."""
+        if name not in self._views:
+            raise CatalogError(f"unknown view {name!r}")
+        del self._views[name]
+
+    def view_names(self) -> List[str]:
+        """Sorted view names."""
+        return sorted(self._views)
+
+    def views(self) -> List[MaterializedView]:
+        """Every materialized view, sorted by name."""
+        return [self._views[name] for name in sorted(self._views)]

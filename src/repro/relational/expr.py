@@ -1,0 +1,116 @@
+"""Predicates over rows.
+
+Predicates are written against attribute *names* and compiled against a
+schema into positional checkers, so the executor never does per-row name
+lookups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+from repro.relational.schema import TableSchema
+
+Row = Tuple[object, ...]
+RowPredicate = Callable[[Row], bool]
+
+
+class Predicate:
+    """Base class: something that compiles to a row checker."""
+
+    def compile(self, schema: TableSchema) -> RowPredicate:
+        """Compile to a positional row checker for the given schema."""
+        raise NotImplementedError
+
+    def attributes(self) -> Tuple[str, ...]:
+        """Attributes the predicate constrains (for planning)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """Matches everything."""
+
+    def compile(self, schema: TableSchema) -> RowPredicate:
+        """Compile to a positional row checker for the given schema."""
+        return lambda _row: True
+
+    def attributes(self) -> Tuple[str, ...]:
+        """Attributes this predicate constrains (for planning)."""
+        return ()
+
+
+@dataclass(frozen=True)
+class Equals(Predicate):
+    """``attribute = value`` — the paper's slice-query predicate form."""
+
+    attribute: str
+    value: object
+
+    def compile(self, schema: TableSchema) -> RowPredicate:
+        """Compile to a positional row checker for the given schema."""
+        idx = schema.index_of(self.attribute)
+        value = self.value
+        return lambda row: row[idx] == value
+
+    def attributes(self) -> Tuple[str, ...]:
+        """Attributes this predicate constrains (for planning)."""
+        return (self.attribute,)
+
+
+@dataclass(frozen=True)
+class Between(Predicate):
+    """``low <= attribute <= high`` (closed range)."""
+
+    attribute: str
+    low: object
+    high: object
+
+    def compile(self, schema: TableSchema) -> RowPredicate:
+        """Compile to a positional row checker for the given schema."""
+        idx = schema.index_of(self.attribute)
+        low, high = self.low, self.high
+        return lambda row: low <= row[idx] <= high  # type: ignore[operator]
+
+    def attributes(self) -> Tuple[str, ...]:
+        """Attributes this predicate constrains (for planning)."""
+        return (self.attribute,)
+
+
+class And(Predicate):
+    """Conjunction of predicates."""
+
+    def __init__(self, *parts: Predicate) -> None:
+        self.parts: Tuple[Predicate, ...] = tuple(parts)
+
+    def compile(self, schema: TableSchema) -> RowPredicate:
+        """Compile to a positional row checker for the given schema."""
+        checkers = [p.compile(schema) for p in self.parts]
+        return lambda row: all(check(row) for check in checkers)
+
+    def attributes(self) -> Tuple[str, ...]:
+        """Attributes this predicate constrains (for planning)."""
+        out: list[str] = []
+        for part in self.parts:
+            out.extend(part.attributes())
+        return tuple(out)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, And) and self.parts == other.parts
+
+    def __hash__(self) -> int:
+        return hash(("And", self.parts))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"And{self.parts!r}"
+
+
+def equals_conjunction(bindings: Sequence[Tuple[str, object]]) -> Predicate:
+    """Build the slice-query predicate: a conjunction of equalities."""
+    if not bindings:
+        return TruePredicate()
+    if len(bindings) == 1:
+        attr, value = bindings[0]
+        return Equals(attr, value)
+    return And(*(Equals(attr, value) for attr, value in bindings))

@@ -1,0 +1,70 @@
+"""Table schemas: named, typed columns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.storage.codec import ColumnSpec, RecordCodec
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """An ordered list of named columns.
+
+    Parameters
+    ----------
+    name:
+        Table name (catalog key).
+    column_names:
+        Attribute names, unique within the table.
+    column_specs:
+        Physical type of each column, parallel to ``column_names``.
+    """
+
+    name: str
+    column_names: Tuple[str, ...]
+    column_specs: Tuple[ColumnSpec, ...]
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Tuple[str, ColumnSpec]],
+    ) -> None:
+        if not columns:
+            raise SchemaError(f"table {name!r} needs at least one column")
+        names = tuple(cname for cname, _ in columns)
+        if len(set(names)) != len(names):
+            raise SchemaError(f"table {name!r} has duplicate column names")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "column_names", names)
+        object.__setattr__(
+            self, "column_specs", tuple(spec for _, spec in columns)
+        )
+
+    @property
+    def arity(self) -> int:
+        """Number of columns."""
+        return len(self.column_names)
+
+    def index_of(self, column: str) -> int:
+        """Position of a column; raises SchemaError for unknown names."""
+        try:
+            return self.column_names.index(column)
+        except ValueError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {column!r}"
+            ) from None
+
+    def indexes_of(self, columns: Sequence[str]) -> Tuple[int, ...]:
+        """Positions of several columns, in the given order."""
+        return tuple(self.index_of(c) for c in columns)
+
+    def has_column(self, column: str) -> bool:
+        """True when the table defines the column."""
+        return column in self.column_names
+
+    def codec(self) -> RecordCodec:
+        """Record codec matching this schema."""
+        return RecordCodec(self.column_specs)

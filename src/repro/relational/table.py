@@ -1,0 +1,72 @@
+"""Tables: a schema bound to a heap file."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.errors import InvalidRecordError
+from repro.relational.schema import TableSchema
+from repro.storage.buffer import BufferPool
+from repro.storage.heap import RID, HeapFile
+
+Row = Tuple[object, ...]
+
+
+class Table:
+    """A heap-file table with a schema."""
+
+    def __init__(self, pool: BufferPool, schema: TableSchema) -> None:
+        self.schema = schema
+        self.heap = HeapFile(pool, schema.codec())
+
+    def __len__(self) -> int:
+        return len(self.heap)
+
+    @property
+    def name(self) -> str:
+        """Table name (catalog key)."""
+        return self.schema.name
+
+    @property
+    def num_pages(self) -> int:
+        """Number of pages this structure occupies."""
+        return self.heap.num_pages
+
+    def insert(self, row: Sequence[object]) -> RID:
+        """Insert one row (per-tuple path, random I/O)."""
+        self._check_row(row)
+        return self.heap.insert(row)
+
+    def bulk_append(self, rows: Sequence[Sequence[object]]) -> List[RID]:
+        """Append many rows with sequential page writes (bulk-load path)."""
+        for row in rows:
+            self._check_row(row)
+        return self.heap.bulk_append(rows)
+
+    def fetch(self, rid: RID) -> Row:
+        """Read one row by RID."""
+        return self.heap.fetch(rid)
+
+    def update(self, rid: RID, row: Sequence[object]) -> None:
+        """Overwrite one row in place."""
+        self._check_row(row)
+        self.heap.update(rid, row)
+
+    def delete(self, rid: RID) -> None:
+        """Remove one row."""
+        self.heap.delete(rid)
+
+    def scan(self) -> Iterator[Tuple[RID, Row]]:
+        """Yield (rid, row) in page order."""
+        return self.heap.scan()
+
+    def scan_rows(self) -> Iterator[Row]:
+        """Yield rows in page order."""
+        return self.heap.scan_records()
+
+    def _check_row(self, row: Sequence[object]) -> None:
+        if len(row) != self.schema.arity:
+            raise InvalidRecordError(
+                f"table {self.name!r} expects {self.schema.arity} values, "
+                f"got {len(row)}"
+            )

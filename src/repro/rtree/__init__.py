@@ -1,0 +1,21 @@
+"""R-tree substrate for Cubetrees.
+
+Cubetrees are *packed* R-trees (Roussopoulos & Leifker 1985): bulk-loaded
+from sorted data with leaves filled to capacity and written sequentially.
+This package provides:
+
+* :mod:`repro.rtree.geometry` — integer hyper-rectangles;
+* :mod:`repro.rtree.node` — page layouts, including *compressed* leaves
+  that store only the meaningful coordinates of the view they belong to;
+* :mod:`repro.rtree.tree` — range search plus classic dynamic (Guttman)
+  inserts, kept as the ablation baseline that shows why packing matters;
+* :mod:`repro.rtree.packing` — the sort-order bulk loader;
+* :mod:`repro.rtree.merge` — the merge-pack bulk-incremental update.
+"""
+
+from repro.rtree.geometry import Rect
+from repro.rtree.merge import merge_pack
+from repro.rtree.packing import PackedRun, pack_rtree
+from repro.rtree.tree import RTree
+
+__all__ = ["Rect", "RTree", "PackedRun", "merge_pack", "pack_rtree"]

@@ -1,0 +1,101 @@
+"""Integer hyper-rectangles (MBRs) for the R-tree layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Rect:
+    """A closed axis-aligned box ``[lows[i], highs[i]]`` per dimension."""
+
+    lows: Tuple[int, ...]
+    highs: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lows) != len(self.highs):
+            raise ValueError("lows/highs dimensionality mismatch")
+        for lo, hi in zip(self.lows, self.highs):
+            if lo > hi:
+                raise ValueError(f"degenerate rect: low {lo} > high {hi}")
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality."""
+        return len(self.lows)
+
+    @classmethod
+    def from_point(cls, point: Sequence[int]) -> "Rect":
+        """The degenerate rect covering exactly one point."""
+        p = tuple(point)
+        return cls(p, p)
+
+    @classmethod
+    def cover(cls, rects: Iterable["Rect"]) -> "Rect":
+        """Smallest rect containing every input rect."""
+        rects = list(rects)
+        if not rects:
+            raise ValueError("cover of no rects")
+        dims = rects[0].dims
+        lows = tuple(min(r.lows[d] for r in rects) for d in range(dims))
+        highs = tuple(max(r.highs[d] for r in rects) for d in range(dims))
+        return cls(lows, highs)
+
+    @classmethod
+    def cover_points(cls, points: Iterable[Sequence[int]]) -> "Rect":
+        """Smallest rect containing every point."""
+        pts = [tuple(p) for p in points]
+        if not pts:
+            raise ValueError("cover of no points")
+        dims = len(pts[0])
+        lows = tuple(min(p[d] for p in pts) for d in range(dims))
+        highs = tuple(max(p[d] for p in pts) for d in range(dims))
+        return cls(lows, highs)
+
+    def contains_point(self, point: Sequence[int]) -> bool:
+        """True when the point lies inside this box."""
+        return all(
+            lo <= c <= hi
+            for lo, c, hi in zip(self.lows, point, self.highs)
+        )
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True when the other box lies fully inside this one."""
+        return all(
+            slo <= olo and ohi <= shi
+            for slo, shi, olo, ohi in zip(
+                self.lows, self.highs, other.lows, other.highs
+            )
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when the boxes overlap (closed bounds)."""
+        return all(
+            slo <= ohi and olo <= shi
+            for slo, shi, olo, ohi in zip(
+                self.lows, self.highs, other.lows, other.highs
+            )
+        )
+
+    def union(self, other: "Rect") -> "Rect":
+        """Smallest box covering both."""
+        return Rect(
+            tuple(min(a, b) for a, b in zip(self.lows, other.lows)),
+            tuple(max(a, b) for a, b in zip(self.highs, other.highs)),
+        )
+
+    def area(self) -> int:
+        """Hyper-volume (0 for degenerate boxes)."""
+        result = 1
+        for lo, hi in zip(self.lows, self.highs):
+            result *= hi - lo
+        return result
+
+    def margin(self) -> int:
+        """Sum of side lengths (used by some split heuristics)."""
+        return sum(hi - lo for lo, hi in zip(self.lows, self.highs))
+
+    def enlargement(self, other: "Rect") -> int:
+        """Extra area needed to absorb ``other`` (Guttman's criterion)."""
+        return self.union(other).area() - self.area()

@@ -1,0 +1,176 @@
+"""On-page layout of R-tree nodes, including compressed Cubetree leaves.
+
+Leaf page layout (little-endian)::
+
+    offset 0   uint8    node type (1 = leaf)
+    offset 1   uint16   entry count
+    offset 3   int32    view id (-1 when the leaf holds raw d-dim points)
+    offset 7   uint8    stored arity k (coords actually written per entry)
+    offset 8   uint8    number of aggregate values per entry
+    offset 9   int64    next-leaf page id (-1 for none)
+    offset 17  entries  each: k * int64 coords + n_aggs * float64 values
+
+This is the paper's leaf *compression*: a leaf belongs to exactly one view,
+so only that view's ``k`` meaningful coordinates are stored; the padding
+zeros of the valid mapping are implicit (Sec. 2.4).  The arity-0 super
+aggregate stores no coordinates at all — just its aggregate vector at the
+origin.
+
+Interior page layout::
+
+    offset 0  uint8    node type (2 = interior)
+    offset 1  uint16   entry count
+    offset 3  uint8    dimensionality d
+    offset 4  entries  each: int64 child page id + d int64 lows + d int64 highs
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+from repro.constants import PAGE_SIZE
+from repro.errors import StorageError
+from repro.rtree.geometry import Rect
+
+LEAF_TYPE = 1
+INTERIOR_TYPE = 2
+
+_LEAF_HEADER = struct.Struct("<BHiBBq")
+_INTERIOR_HEADER = struct.Struct("<BHB")
+
+Point = Tuple[int, ...]
+Values = Tuple[float, ...]
+
+
+def leaf_capacity(arity: int, n_aggs: int) -> int:
+    """Max entries for a leaf storing ``arity`` coords + ``n_aggs`` values."""
+    entry = arity * 8 + n_aggs * 8
+    if entry == 0:
+        return 1  # the arity-0 super aggregate with no values is degenerate
+    return (PAGE_SIZE - _LEAF_HEADER.size) // entry
+
+
+def interior_capacity(dims: int) -> int:
+    """Max entries an interior node of the given dimensionality holds."""
+    entry = 8 + 2 * dims * 8
+    return (PAGE_SIZE - _INTERIOR_HEADER.size) // entry
+
+
+class RLeafNode:
+    """A deserialized leaf: points of one view plus aggregate vectors."""
+
+    __slots__ = ("view_id", "arity", "n_aggs", "points", "values", "next_leaf")
+
+    def __init__(self, view_id: int, arity: int, n_aggs: int) -> None:
+        self.view_id = view_id
+        self.arity = arity
+        self.n_aggs = n_aggs
+        self.points: List[Point] = []
+        self.values: List[Values] = []
+        self.next_leaf = -1
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def mbr(self, dims: int) -> Rect:
+        """Full-dimensional MBR of this leaf's (padded) points."""
+        padded = [self.padded_point(p, dims) for p in self.points]
+        return Rect.cover_points(padded)
+
+    def padded_point(self, point: Point, dims: int) -> Point:
+        """Re-apply the valid mapping's zero padding up to ``dims``."""
+        return tuple(point) + (0,) * (dims - len(point))
+
+    def to_bytes(self) -> bytes:
+        """Serialize into a full page buffer."""
+        entry = struct.Struct(f"<{self.arity}q{self.n_aggs}d")
+        out = bytearray(PAGE_SIZE)
+        _LEAF_HEADER.pack_into(
+            out, 0, LEAF_TYPE, len(self.points), self.view_id,
+            self.arity, self.n_aggs, self.next_leaf,
+        )
+        off = _LEAF_HEADER.size
+        for point, values in zip(self.points, self.values):
+            entry.pack_into(out, off, *point, *values)
+            off += entry.size
+        if off > PAGE_SIZE:
+            raise StorageError("R-tree leaf overflow")
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "RLeafNode":
+        """Deserialize from a page buffer."""
+        node_type, count, view_id, arity, n_aggs, next_leaf = (
+            _LEAF_HEADER.unpack_from(raw, 0)
+        )
+        if node_type != LEAF_TYPE:
+            raise StorageError(f"expected R-tree leaf, found type {node_type}")
+        node = cls(view_id, arity, n_aggs)
+        node.next_leaf = next_leaf
+        entry = struct.Struct(f"<{arity}q{n_aggs}d")
+        off = _LEAF_HEADER.size
+        for _ in range(count):
+            fields = entry.unpack_from(raw, off)
+            node.points.append(tuple(int(v) for v in fields[:arity]))
+            node.values.append(tuple(fields[arity:]))
+            off += entry.size
+        return node
+
+
+class RInteriorNode:
+    """A deserialized interior node: child page ids and their MBRs."""
+
+    __slots__ = ("dims", "children", "mbrs")
+
+    def __init__(self, dims: int) -> None:
+        self.dims = dims
+        self.children: List[int] = []
+        self.mbrs: List[Rect] = []
+
+    def __len__(self) -> int:
+        return len(self.children)
+
+    def mbr(self) -> Rect:
+        """Minimum bounding rectangle of this node's entries."""
+        return Rect.cover(self.mbrs)
+
+    def to_bytes(self) -> bytes:
+        """Serialize into a full page buffer."""
+        out = bytearray(PAGE_SIZE)
+        _INTERIOR_HEADER.pack_into(
+            out, 0, INTERIOR_TYPE, len(self.children), self.dims
+        )
+        entry = struct.Struct(f"<q{2 * self.dims}q")
+        off = _INTERIOR_HEADER.size
+        for child, mbr in zip(self.children, self.mbrs):
+            entry.pack_into(out, off, child, *mbr.lows, *mbr.highs)
+            off += entry.size
+        if off > PAGE_SIZE:
+            raise StorageError("R-tree interior overflow")
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "RInteriorNode":
+        """Deserialize from a page buffer."""
+        node_type, count, dims = _INTERIOR_HEADER.unpack_from(raw, 0)
+        if node_type != INTERIOR_TYPE:
+            raise StorageError(
+                f"expected R-tree interior, found type {node_type}"
+            )
+        node = cls(dims)
+        entry = struct.Struct(f"<q{2 * dims}q")
+        off = _INTERIOR_HEADER.size
+        for _ in range(count):
+            fields = entry.unpack_from(raw, off)
+            node.children.append(fields[0])
+            node.mbrs.append(
+                Rect(tuple(fields[1 : 1 + dims]), tuple(fields[1 + dims :]))
+            )
+            off += entry.size
+        return node
+
+
+def node_type_of(raw: bytes) -> int:
+    """Peek the node-type byte of a serialized R-tree page."""
+    return raw[0]

@@ -1,0 +1,277 @@
+"""Sort-order bulk loading ("packing") of R-trees.
+
+This is the core mechanism behind Cubetrees (paper Sec. 2.3–2.4): the
+tuples of every view are sorted by *reversed* coordinate order — first by
+the last coordinate, then the one before it, and so on — and streamed into
+leaves that are filled to capacity and written sequentially.  Because the
+valid mapping pads unused coordinates with zero and real coordinates are
+strictly positive, the reversed-order sort groups views by ascending arity
+with no interleaving, so every view occupies a contiguous run of leaves and
+each leaf can be *compressed* to the view's own arity.
+
+The paper deliberately rejects space-filling-curve orders (Hilbert et al.)
+because they would interleave views; ``hilbert_sort_key`` is provided for
+the ablation bench that demonstrates this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import InvalidCoordinateError, MappingError
+from repro.rtree.geometry import Rect
+from repro.rtree.node import (
+    RInteriorNode,
+    RLeafNode,
+    interior_capacity,
+    leaf_capacity,
+)
+from repro.rtree.tree import RTree
+from repro.storage.buffer import BufferPool
+
+Point = Tuple[int, ...]
+Values = Tuple[float, ...]
+
+
+def sort_key(point: Sequence[int], dims: int) -> Tuple[int, ...]:
+    """The packing sort key of a (possibly compressed) point.
+
+    Pads the point with zeros up to ``dims`` and reverses it, so an
+    ``R{x,y}`` tree sorts its points in (y, x) order — exactly the order of
+    paper Tables 2 and 4.
+    """
+    padded = tuple(point) + (0,) * (dims - len(point))
+    return tuple(reversed(padded))
+
+
+@dataclass
+class PackedRun:
+    """One view's worth of sorted data heading into a packed tree.
+
+    Attributes
+    ----------
+    view_id:
+        Identifier the engine uses to find the view again.
+    arity:
+        Number of meaningful coordinates per point (0 for the super
+        aggregate, which is mapped to the origin).
+    n_aggs:
+        Aggregate values carried per point.
+    entries:
+        ``(point, values)`` pairs; ``point`` has exactly ``arity``
+        coordinates and the list is sorted by :func:`sort_key`.
+    """
+
+    view_id: int
+    arity: int
+    n_aggs: int
+    entries: Sequence[Tuple[Point, Values]]
+
+    def validate(self, dims: int) -> None:
+        """Check arity, coordinate positivity, and sort order."""
+        if not 0 <= self.arity <= dims:
+            raise MappingError(
+                f"view {self.view_id}: arity {self.arity} does not fit in "
+                f"a {dims}-dimensional Cubetree"
+            )
+        prev = None
+        for point, values in self.entries:
+            if len(point) != self.arity:
+                raise MappingError(
+                    f"view {self.view_id}: point {point} has "
+                    f"{len(point)} coords, expected {self.arity}"
+                )
+            if any(c <= 0 for c in point):
+                raise InvalidCoordinateError(
+                    f"view {self.view_id}: non-positive coordinate in "
+                    f"{point}; the valid mapping requires coordinates > 0"
+                )
+            if len(values) != self.n_aggs:
+                raise MappingError(
+                    f"view {self.view_id}: expected {self.n_aggs} "
+                    f"aggregate values, got {len(values)}"
+                )
+            key = sort_key(point, dims)
+            if prev is not None and key < prev:
+                raise MappingError(
+                    f"view {self.view_id}: entries are not in packing "
+                    f"sort order"
+                )
+            prev = key
+
+
+def pack_rtree(
+    pool: BufferPool,
+    dims: int,
+    runs: Sequence[PackedRun],
+    validate: bool = True,
+) -> RTree:
+    """Build a packed R-tree from per-view sorted runs.
+
+    ``runs`` must be ordered by ascending arity (SelectMapping guarantees at
+    most one view per arity per tree), which makes the concatenated stream
+    globally sorted.  Leaves are filled to capacity, never mix views, and
+    are written in strictly increasing page order — i.e. sequentially.
+    """
+    if validate:
+        seen_arity = set()
+        prev_last = None
+        for run in runs:
+            run.validate(dims)
+            if run.entries:
+                if run.arity in seen_arity:
+                    raise MappingError(
+                        f"two views of arity {run.arity} in one Cubetree"
+                    )
+                seen_arity.add(run.arity)
+                first = sort_key(run.entries[0][0], dims)
+                if prev_last is not None and first < prev_last:
+                    raise MappingError(
+                        "runs are not ordered by the global packing order"
+                    )
+                prev_last = sort_key(run.entries[-1][0], dims)
+
+    tree = RTree(pool, dims)
+    level: List[Tuple[Rect, int]] = []  # (mbr, page id) per node
+    prev_leaf: RLeafNode | None = None
+    prev_page = None
+    count = 0
+
+    for run in runs:
+        if not run.entries:
+            continue
+        cap = leaf_capacity(run.arity, run.n_aggs)
+        i = 0
+        while i < len(run.entries):
+            take = min(cap, len(run.entries) - i)
+            leaf = RLeafNode(run.view_id, run.arity, run.n_aggs)
+            chunk = run.entries[i : i + take]
+            leaf.points = [point for point, _ in chunk]
+            leaf.values = [values for _, values in chunk]
+            page = pool.new_page()
+            if prev_leaf is not None:
+                prev_leaf.next_leaf = page.page_id
+                tree._flush_node(prev_leaf, prev_page)
+            prev_leaf, prev_page = leaf, page
+            level.append((leaf.mbr(dims), page.page_id))
+            tree.leaf_page_ids.append(page.page_id)
+            tree.owned_page_ids.append(page.page_id)
+            count += take
+            i += take
+
+    if prev_leaf is None:
+        return tree  # no data: empty tree
+    prev_leaf.next_leaf = -1
+    tree._flush_node(prev_leaf, prev_page)
+
+    cap = interior_capacity(dims)
+    height = 1
+    while len(level) > 1:
+        next_level: List[Tuple[Rect, int]] = []
+        i = 0
+        while i < len(level):
+            take = min(cap, len(level) - i)
+            remaining = len(level) - i - take
+            if 0 < remaining < 2 and take > 2:
+                take -= 2 - remaining
+            group = level[i : i + take]
+            node = RInteriorNode(dims)
+            node.mbrs = [mbr for mbr, _ in group]
+            node.children = [pid for _, pid in group]
+            page = pool.new_page()
+            tree.owned_page_ids.append(page.page_id)
+            tree._flush_node(node, page)
+            next_level.append((node.mbr(), page.page_id))
+            i += take
+        level = next_level
+        height += 1
+
+    tree.root_page_id = level[0][1]
+    tree.height = height
+    tree.count = count
+    return tree
+
+
+def free_tree(pool: BufferPool, tree: RTree) -> int:
+    """Release every page of a tree back to the disk free list.
+
+    Used by merge-pack to retire the old tree once the new one is built.
+    Uses the tree's owned-page list when available (no I/O); trees built
+    before that bookkeeping existed fall back to a traversal.
+    Returns the number of pages freed.
+    """
+    if tree.root_page_id == -1:
+        return 0
+    if tree.owned_page_ids:
+        freed = list(tree.owned_page_ids)
+    else:
+        freed = _collect_pages(tree, tree.root_page_id)
+    for page_id in freed:
+        pool.discard_page(page_id)
+        pool.disk.free_page(page_id)
+    tree.root_page_id = -1
+    tree.leaf_page_ids = []
+    tree.owned_page_ids = []
+    tree.count = 0
+    tree.height = 0
+    return len(freed)
+
+
+def _collect_pages(tree: RTree, page_id: int) -> List[int]:
+    node, page = tree._fetch_node(page_id)
+    try:
+        if isinstance(node, RLeafNode):
+            return [page_id]
+        children = list(node.children)
+    finally:
+        tree._release(page)
+    pages = [page_id]
+    for child in children:
+        pages.extend(_collect_pages(tree, child))
+    return pages
+
+
+# ----------------------------------------------------------------------
+# ablation: space-filling-curve ordering the paper rejects
+# ----------------------------------------------------------------------
+def hilbert_sort_key(point: Sequence[int], dims: int, bits: int = 16):
+    """Hilbert-curve index of a padded point (for the sort-order ablation).
+
+    A compact iterative d-dimensional Hilbert encoding (Butz/Lawder style):
+    transposes the coordinate bits, applies the Gray-code walk, and returns
+    the curve index as an integer.
+    """
+    x = list(tuple(point) + (0,) * (dims - len(point)))
+    if any(c < 0 or c >= (1 << bits) for c in x):
+        raise ValueError(f"coordinates must fit in {bits} bits")
+    # Inverse undo excess work
+    m = 1 << (bits - 1)
+    q = m
+    while q > 1:
+        p = q - 1
+        for i in range(dims):
+            if x[i] & q:
+                x[0] ^= p
+            else:
+                t = (x[0] ^ x[i]) & p
+                x[0] ^= t
+                x[i] ^= t
+        q >>= 1
+    # Gray encode
+    for i in range(1, dims):
+        x[i] ^= x[i - 1]
+    t = 0
+    q = m
+    while q > 1:
+        if x[dims - 1] & q:
+            t ^= q - 1
+        q >>= 1
+    for i in range(dims):
+        x[i] ^= t
+    # Interleave bits: curve index
+    index = 0
+    for bit in range(bits - 1, -1, -1):
+        for i in range(dims):
+            index = (index << 1) | ((x[i] >> bit) & 1)
+    return index

@@ -1,0 +1,407 @@
+"""R-tree search plus classic dynamic (Guttman) insertion.
+
+The Cubetree engine never inserts one point at a time — it always packs
+(:mod:`repro.rtree.packing`) or merge-packs (:mod:`repro.rtree.merge`).
+Dynamic insertion with quadratic splits is kept as the ablation baseline
+demonstrating *why*: dynamically-built trees have ~50-70% leaf utilization
+and random write patterns, packed trees have ~100% and sequential writes.
+
+Pin protocol: ``_fetch_node`` pins and returns ``(node, page)``; callers
+``_release`` (read-only) or ``_flush_node`` (write + unpin dirty) once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import InvalidCoordinateError, StorageError
+from repro.rtree.geometry import Rect
+from repro.rtree.node import (
+    RInteriorNode,
+    RLeafNode,
+    interior_capacity,
+    leaf_capacity,
+    node_type_of,
+)
+from repro.storage.buffer import BufferPool
+from repro.storage.page import Page
+
+Point = Tuple[int, ...]
+Values = Tuple[float, ...]
+#: (view_id, padded point, aggregate values) — what searches yield.
+Match = Tuple[int, Point, Values]
+
+
+class RTree:
+    """A d-dimensional R-tree over the paged substrate.
+
+    Parameters
+    ----------
+    pool:
+        Shared buffer pool.
+    dims:
+        Dimensionality of the indexed space.
+    n_aggs:
+        Aggregate values carried per point (for dynamically built trees;
+        packed leaves carry their own per-view value counts).
+    """
+
+    def __init__(self, pool: BufferPool, dims: int, n_aggs: int = 1) -> None:
+        if dims < 1:
+            raise ValueError("dims must be >= 1")
+        self.pool = pool
+        self.dims = dims
+        self.n_aggs = n_aggs
+        self.interior_capacity = interior_capacity(dims)
+        self.dynamic_leaf_capacity = leaf_capacity(dims, n_aggs)
+        self.count = 0
+        self.height = 0
+        self.root_page_id = -1
+        #: Leaf page ids in sort order; maintained by the packer/merger so
+        #: merge-pack can stream the old tree sequentially.
+        self.leaf_page_ids: List[int] = []
+        #: Every page this tree owns (leaves + interiors), maintained by
+        #: the packer and by dynamic inserts so the tree can be retired
+        #: without re-reading it from disk.
+        self.owned_page_ids: List[int] = []
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.count
+
+    def search(self, rect: Rect) -> Iterator[Match]:
+        """Yield every stored point inside ``rect``."""
+        if rect.dims != self.dims:
+            raise ValueError(
+                f"query rect has {rect.dims} dims, tree has {self.dims}"
+            )
+        if self.root_page_id == -1:
+            return
+        yield from self._search(self.root_page_id, rect)
+
+    def scan_leaf_chain(self) -> Iterator[RLeafNode]:
+        """Yield leaves in packed (sort) order via the next-leaf chain."""
+        if not self.leaf_page_ids:
+            return
+        page_id = self.leaf_page_ids[0]
+        while page_id != -1:
+            node, page = self._fetch_node(page_id)
+            if not isinstance(node, RLeafNode):
+                self._release(page)
+                raise StorageError("leaf chain points at a non-leaf page")
+            yield node
+            next_id = node.next_leaf
+            self._release(page)
+            page_id = next_id
+
+    def scan_points(self) -> Iterator[Match]:
+        """Yield every stored point in leaf-chain order."""
+        for leaf in self.scan_leaf_chain():
+            for point, values in zip(leaf.points, leaf.values):
+                yield leaf.view_id, leaf.padded_point(point, self.dims), values
+
+    # ------------------------------------------------------------------
+    # dynamic insertion (ablation baseline)
+    # ------------------------------------------------------------------
+    def insert(self, point: Sequence[int], values: Sequence[float]) -> None:
+        """Guttman-style one-at-a-time insert of a full-dimensional point."""
+        pt = tuple(int(c) for c in point)
+        if len(pt) != self.dims:
+            raise ValueError(f"point has {len(pt)} dims, tree has {self.dims}")
+        if any(c < 0 for c in pt):
+            raise InvalidCoordinateError(f"negative coordinate in {pt}")
+        vals = tuple(float(v) for v in values)
+        if len(vals) != self.n_aggs:
+            raise ValueError(f"expected {self.n_aggs} aggregate values")
+
+        if self.root_page_id == -1:
+            leaf = RLeafNode(view_id=-1, arity=self.dims, n_aggs=self.n_aggs)
+            leaf.points.append(pt)
+            leaf.values.append(vals)
+            page = self.pool.new_page()
+            self.root_page_id = page.page_id
+            self.leaf_page_ids = [page.page_id]
+            self.owned_page_ids.append(page.page_id)
+            self.height = 1
+            self._flush_node(leaf, page)
+            self.count = 1
+            return
+
+        split = self._insert(self.root_page_id, pt, vals)
+        if split is not None:
+            (left_mbr, right_id, right_mbr) = split
+            new_root = RInteriorNode(self.dims)
+            new_root.children = [self.root_page_id, right_id]
+            new_root.mbrs = [left_mbr, right_mbr]
+            page = self.pool.new_page()
+            self.root_page_id = page.page_id
+            self.owned_page_ids.append(page.page_id)
+            self._flush_node(new_root, page)
+            self.height += 1
+        self.count += 1
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    @property
+    def num_pages(self) -> int:
+        """Pages owned by this tree."""
+        if self.root_page_id == -1:
+            return 0
+        return self._count_pages(self.root_page_id)
+
+    def leaf_utilization(self) -> float:
+        """Average leaf fill fraction (1.0 = every leaf at capacity)."""
+        total = 0.0
+        leaves = 0
+        for leaf in self.scan_leaf_chain():
+            cap = leaf_capacity(leaf.arity, leaf.n_aggs)
+            total += len(leaf) / cap
+            leaves += 1
+        return total / leaves if leaves else 0.0
+
+    def check_invariants(self) -> None:
+        """Verify MBR containment and the stored point count."""
+        if self.root_page_id == -1:
+            if self.count != 0:
+                raise StorageError("empty tree with non-zero count")
+            return
+        found = self._check_node(self.root_page_id)
+        if found != self.count:
+            raise StorageError(
+                f"point count mismatch: tree={found} counter={self.count}"
+            )
+
+    # ------------------------------------------------------------------
+    # node I/O
+    # ------------------------------------------------------------------
+    def _fetch_node(self, page_id: int):
+        page = self.pool.fetch_page(page_id)
+        if page.cached_obj is None:
+            raw = bytes(page.data)
+            if node_type_of(raw) == 1:
+                page.cached_obj = RLeafNode.from_bytes(raw)
+            else:
+                page.cached_obj = RInteriorNode.from_bytes(raw)
+        return page.cached_obj, page
+
+    def _release(self, page: Page) -> None:
+        self.pool.unpin_page(page.page_id)
+
+    def _flush_node(self, node, page: Page) -> None:
+        page.data[:] = node.to_bytes()
+        page.cached_obj = node
+        self.pool.unpin_page(page.page_id, dirty=True)
+
+    # ------------------------------------------------------------------
+    # search machinery
+    # ------------------------------------------------------------------
+    def _search(self, page_id: int, rect: Rect) -> Iterator[Match]:
+        node, page = self._fetch_node(page_id)
+        try:
+            if isinstance(node, RLeafNode):
+                for point, values in zip(node.points, node.values):
+                    padded = node.padded_point(point, self.dims)
+                    if rect.contains_point(padded):
+                        yield node.view_id, padded, values
+            else:
+                children = [
+                    child
+                    for child, mbr in zip(node.children, node.mbrs)
+                    if rect.intersects(mbr)
+                ]
+        finally:
+            self._release(page)
+        if isinstance(node, RInteriorNode):
+            for child in children:
+                yield from self._search(child, rect)
+
+    # ------------------------------------------------------------------
+    # dynamic-insert machinery (Guttman, quadratic split)
+    # ------------------------------------------------------------------
+    def _insert(
+        self, page_id: int, point: Point, values: Values
+    ) -> Optional[Tuple[Rect, int, Rect]]:
+        """Insert below ``page_id``.
+
+        Returns None when no split happened, else
+        ``(this node's new MBR, new sibling page id, sibling MBR)``.
+        The caller is responsible for updating its own entry for
+        ``page_id`` — searching works off interior MBRs, so we recompute
+        them on the way back up.
+        """
+        node, page = self._fetch_node(page_id)
+        if isinstance(node, RLeafNode):
+            node.points.append(point)
+            node.values.append(values)
+            if len(node.points) <= self.dynamic_leaf_capacity:
+                self._flush_node(node, page)
+                return None
+            return self._split_leaf(node, page)
+
+        # ChooseSubtree: least enlargement, ties by smallest area.
+        point_rect = Rect.from_point(point)
+        best_idx = min(
+            range(len(node.children)),
+            key=lambda i: (
+                node.mbrs[i].enlargement(point_rect),
+                node.mbrs[i].area(),
+            ),
+        )
+        child_id = node.children[best_idx]
+        self._release(page)
+        split = self._insert(child_id, point, values)
+
+        node, page = self._fetch_node(page_id)
+        if split is None:
+            node.mbrs[best_idx] = node.mbrs[best_idx].union(point_rect)
+            self._flush_node(node, page)
+            return None
+        child_mbr, right_id, right_mbr = split
+        node.mbrs[best_idx] = child_mbr
+        node.children.insert(best_idx + 1, right_id)
+        node.mbrs.insert(best_idx + 1, right_mbr)
+        if len(node.children) <= self.interior_capacity:
+            self._flush_node(node, page)
+            return None
+        return self._split_interior(node, page)
+
+    def _split_leaf(
+        self, node: RLeafNode, page: Page
+    ) -> Tuple[Rect, int, Rect]:
+        entries = [
+            (Rect.from_point(p), (p, v))
+            for p, v in zip(node.points, node.values)
+        ]
+        left, right = _quadratic_split(entries)
+        node.points = [p for _, (p, _) in left]
+        node.values = [v for _, (_, v) in left]
+        sibling = RLeafNode(node.view_id, node.arity, node.n_aggs)
+        sibling.points = [p for _, (p, _) in right]
+        sibling.values = [v for _, (_, v) in right]
+        sibling.next_leaf = node.next_leaf
+        right_page = self.pool.new_page()
+        node.next_leaf = right_page.page_id
+        self.owned_page_ids.append(right_page.page_id)
+        try:
+            idx = self.leaf_page_ids.index(page.page_id)
+            self.leaf_page_ids.insert(idx + 1, right_page.page_id)
+        except ValueError:
+            self.leaf_page_ids.append(right_page.page_id)
+        left_mbr = Rect.cover_points(node.points)
+        right_mbr = Rect.cover_points(sibling.points)
+        self._flush_node(sibling, right_page)
+        self._flush_node(node, page)
+        return left_mbr, right_page.page_id, right_mbr
+
+    def _split_interior(
+        self, node: RInteriorNode, page: Page
+    ) -> Tuple[Rect, int, Rect]:
+        entries = [
+            (mbr, (child, mbr))
+            for child, mbr in zip(node.children, node.mbrs)
+        ]
+        left, right = _quadratic_split(entries)
+        node.children = [c for _, (c, _) in left]
+        node.mbrs = [m for _, (_, m) in left]
+        sibling = RInteriorNode(self.dims)
+        sibling.children = [c for _, (c, _) in right]
+        sibling.mbrs = [m for _, (_, m) in right]
+        right_page = self.pool.new_page()
+        self.owned_page_ids.append(right_page.page_id)
+        left_mbr = node.mbr()
+        right_mbr = sibling.mbr()
+        self._flush_node(sibling, right_page)
+        self._flush_node(node, page)
+        return left_mbr, right_page.page_id, right_mbr
+
+    # ------------------------------------------------------------------
+    def _count_pages(self, page_id: int) -> int:
+        node, page = self._fetch_node(page_id)
+        try:
+            if isinstance(node, RLeafNode):
+                return 1
+            children = list(node.children)
+        finally:
+            self._release(page)
+        return 1 + sum(self._count_pages(c) for c in children)
+
+    def _check_node(self, page_id: int, bound: Optional[Rect] = None) -> int:
+        node, page = self._fetch_node(page_id)
+        try:
+            if isinstance(node, RLeafNode):
+                if node.points:
+                    mbr = node.mbr(self.dims)
+                    if bound is not None and not bound.contains_rect(mbr):
+                        raise StorageError("leaf escapes its parent MBR")
+                return len(node.points)
+            pairs = list(zip(node.children, node.mbrs))
+            if bound is not None:
+                for _child, mbr in pairs:
+                    if not bound.contains_rect(mbr):
+                        raise StorageError("child MBR escapes parent MBR")
+        finally:
+            self._release(page)
+        return sum(self._check_node(c, m) for c, m in pairs)
+
+
+def _quadratic_split(entries):
+    """Guttman's quadratic split over (mbr, payload) entries.
+
+    Returns two non-empty entry lists with a min fill of ~40%.
+    """
+    if len(entries) < 2:
+        raise StorageError("cannot split fewer than 2 entries")
+    min_fill = max(1, int(0.4 * len(entries)))
+
+    # PickSeeds: the pair wasting the most area if grouped together.
+    best_pair = (0, 1)
+    best_waste = None
+    for i in range(len(entries)):
+        for j in range(i + 1, len(entries)):
+            union = entries[i][0].union(entries[j][0])
+            waste = union.area() - entries[i][0].area() - entries[j][0].area()
+            if best_waste is None or waste > best_waste:
+                best_waste = waste
+                best_pair = (i, j)
+
+    left = [entries[best_pair[0]]]
+    right = [entries[best_pair[1]]]
+    left_mbr = entries[best_pair[0]][0]
+    right_mbr = entries[best_pair[1]][0]
+    rest = [
+        e for idx, e in enumerate(entries) if idx not in best_pair
+    ]
+
+    while rest:
+        # Honour the minimum fill before PickNext preference.
+        if len(left) + len(rest) == min_fill:
+            left.extend(rest)
+            break
+        if len(right) + len(rest) == min_fill:
+            right.extend(rest)
+            break
+        # PickNext: entry with the greatest preference for one group.
+        best_idx = max(
+            range(len(rest)),
+            key=lambda i: abs(
+                left_mbr.enlargement(rest[i][0])
+                - right_mbr.enlargement(rest[i][0])
+            ),
+        )
+        entry = rest.pop(best_idx)
+        d_left = left_mbr.enlargement(entry[0])
+        d_right = right_mbr.enlargement(entry[0])
+        if (d_left, left_mbr.area(), len(left)) <= (
+            d_right,
+            right_mbr.area(),
+            len(right),
+        ):
+            left.append(entry)
+            left_mbr = left_mbr.union(entry[0])
+        else:
+            right.append(entry)
+            right_mbr = right_mbr.union(entry[0])
+    return left, right

@@ -1,0 +1,27 @@
+"""A small SQL subset front end.
+
+The Cubetree Datablade "provides the end-user with a clean and transparent
+SQL interface" (Sec. 3); the paper defines every view and query in SQL.
+This package parses the subset those statements use —
+
+``SELECT`` lists with aggregate functions, ``FROM`` the fact table plus
+optional dimension tables, ``WHERE`` equality predicates (join conditions
+and constant selections), and ``GROUP BY`` —
+
+and binds the result to the library's native types
+(:class:`~repro.relational.view.ViewDefinition` /
+:class:`~repro.query.slice.SliceQuery`).
+"""
+
+from repro.sql.binder import bind_query, bind_view, parse_query, parse_view
+from repro.sql.parser import parse_select
+from repro.sql.tokens import tokenize
+
+__all__ = [
+    "bind_query",
+    "bind_view",
+    "parse_query",
+    "parse_select",
+    "parse_view",
+    "tokenize",
+]

@@ -1,0 +1,82 @@
+"""AST node types for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """``name`` or ``table.name``."""
+
+    name: str
+    table: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class AggCall:
+    """``func(column)`` or ``count(*)``."""
+
+    func: str                       # sum | count | min | max | avg
+    argument: Optional[ColumnRef]   # None for count(*)
+
+    def __str__(self) -> str:
+        arg = str(self.argument) if self.argument else "*"
+        return f"{self.func}({arg})"
+
+
+SelectItem = Union[ColumnRef, AggCall]
+
+
+@dataclass(frozen=True)
+class JoinCondition:
+    """``left_column = right_column``."""
+
+    left: ColumnRef
+    right: ColumnRef
+
+
+@dataclass(frozen=True)
+class ConstantCondition:
+    """``column = constant``."""
+
+    column: ColumnRef
+    value: float
+
+
+@dataclass(frozen=True)
+class RangeCondition:
+    """``column between low and high``."""
+
+    column: ColumnRef
+    low: float
+    high: float
+
+
+Condition = Union[JoinCondition, ConstantCondition, RangeCondition]
+
+
+@dataclass
+class SelectStatement:
+    """One parsed SELECT."""
+
+    select_list: List[SelectItem] = field(default_factory=list)
+    tables: List[str] = field(default_factory=list)
+    conditions: List[Condition] = field(default_factory=list)
+    group_by: List[ColumnRef] = field(default_factory=list)
+
+    @property
+    def aggregates(self) -> Tuple[AggCall, ...]:
+        """The aggregate calls of the select list."""
+        return tuple(i for i in self.select_list if isinstance(i, AggCall))
+
+    @property
+    def plain_columns(self) -> Tuple[ColumnRef, ...]:
+        """The non-aggregate columns of the select list."""
+        return tuple(
+            i for i in self.select_list if isinstance(i, ColumnRef)
+        )

@@ -1,0 +1,164 @@
+"""Binding parsed SQL to the library's native types.
+
+* :func:`bind_view` turns a ``SELECT ... FROM F [, dims] [WHERE joins]
+  GROUP BY ...`` statement into a
+  :class:`~repro.relational.view.ViewDefinition` — exactly how the paper
+  writes its views V1..V9.
+* :func:`bind_query` turns a slice query written against the fact table
+  into a :class:`~repro.query.slice.SliceQuery` ready for either engine.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import SQLError
+from repro.query.slice import SliceQuery
+from repro.relational.executor import AggFunc, AggSpec
+from repro.relational.view import ViewDefinition
+from repro.sql.ast import (
+    AggCall,
+    ColumnRef,
+    ConstantCondition,
+    JoinCondition,
+    RangeCondition,
+    SelectStatement,
+)
+from repro.sql.parser import parse_select
+from repro.warehouse.star import StarSchema
+
+FACT_NAME = "F"
+
+
+def _resolve_column(col: ColumnRef, schema: StarSchema) -> str:
+    """Canonical attribute name for a column reference."""
+    dims_by_name = {dim.name: dim for dim in schema.dimensions.values()}
+    if col.table is not None and col.table != FACT_NAME:
+        dim = dims_by_name.get(col.table)
+        if dim is None:
+            raise SQLError(f"unknown table {col.table!r}")
+        if col.name not in dim.attributes:
+            raise SQLError(
+                f"dimension {col.table!r} has no attribute {col.name!r}"
+            )
+        return col.name
+    if col.name in schema.fact_columns:
+        return col.name
+    # Unqualified dimension attribute: must be unambiguous.
+    owners = [
+        dim.name for dim in dims_by_name.values()
+        if col.name in dim.attributes
+    ]
+    if len(owners) == 1:
+        return col.name
+    if len(owners) > 1:
+        raise SQLError(
+            f"ambiguous column {col.name!r} (in {sorted(owners)})"
+        )
+    raise SQLError(f"unknown column {col!s}")
+
+
+def _bind_aggregate(call: AggCall, schema: StarSchema) -> AggSpec:
+    func = AggFunc(call.func)
+    if call.argument is None:
+        if func is not AggFunc.COUNT:
+            raise SQLError(f"{call.func}(*) is only valid for count")
+        return AggSpec(func)
+    attr = _resolve_column(call.argument, schema)
+    if attr not in schema.measures:
+        raise SQLError(
+            f"aggregates must target a measure {schema.measures!r}, "
+            f"not {attr!r}"
+        )
+    return AggSpec(func, attr)
+
+
+def bind_view(
+    stmt: SelectStatement, schema: StarSchema, name: str
+) -> ViewDefinition:
+    """Bind a parsed view statement against the warehouse schema."""
+    if FACT_NAME not in stmt.tables:
+        raise SQLError("view definitions must select from the fact table F")
+    dims_by_name = {dim.name: dim for dim in schema.dimensions.values()}
+    for table in stmt.tables:
+        if table != FACT_NAME and table not in dims_by_name:
+            raise SQLError(f"unknown table {table!r}")
+
+    for cond in stmt.conditions:
+        if isinstance(cond, (ConstantCondition, RangeCondition)):
+            raise SQLError(
+                "constant predicates are not allowed in view definitions"
+            )
+        assert isinstance(cond, JoinCondition)
+        _validate_join(cond, schema)
+
+    aggregates = tuple(
+        _bind_aggregate(call, schema) for call in stmt.aggregates
+    )
+    if not aggregates:
+        raise SQLError("a view needs at least one aggregate column")
+
+    group_attrs: Tuple[str, ...] = tuple(
+        _resolve_column(col, schema) for col in stmt.group_by
+    )
+    plain = tuple(_resolve_column(col, schema) for col in stmt.plain_columns)
+    if set(plain) != set(group_attrs):
+        raise SQLError(
+            "selected columns must match the GROUP BY list "
+            f"({sorted(plain)} vs {sorted(group_attrs)})"
+        )
+    return ViewDefinition(name, group_attrs, aggregates=aggregates)
+
+
+def _validate_join(cond: JoinCondition, schema: StarSchema) -> None:
+    sides = {cond.left, cond.right}
+    names = {c.table for c in sides}
+    if FACT_NAME not in names and None not in names:
+        raise SQLError("join conditions must involve the fact table")
+    for col in sides:
+        if col.table in (None, FACT_NAME):
+            if col.name not in schema.fact_keys:
+                raise SQLError(
+                    f"join column {col!s} is not a fact foreign key"
+                )
+
+
+def bind_query(stmt: SelectStatement, schema: StarSchema) -> SliceQuery:
+    """Bind a parsed slice query against the warehouse schema."""
+    if stmt.tables != [FACT_NAME]:
+        raise SQLError("slice queries select from the fact table F only")
+    bindings = []
+    ranges = []
+    for cond in stmt.conditions:
+        if isinstance(cond, JoinCondition):
+            raise SQLError("slice queries only take constant predicates")
+        attr = _resolve_column(cond.column, schema)
+        if isinstance(cond, RangeCondition):
+            low, high = int(cond.low), int(cond.high)
+            if low != cond.low or high != cond.high:
+                raise SQLError("range bounds must be integers (keys)")
+            ranges.append((attr, low, high))
+            continue
+        value = int(cond.value)
+        if value != cond.value:
+            raise SQLError("predicate constants must be integers (keys)")
+        bindings.append((attr, value))
+    group_by = tuple(_resolve_column(col, schema) for col in stmt.group_by)
+    plain = tuple(_resolve_column(col, schema) for col in stmt.plain_columns)
+    if set(plain) - set(group_by):
+        raise SQLError(
+            "non-aggregate select columns must appear in GROUP BY"
+        )
+    if not stmt.aggregates:
+        raise SQLError("slice queries must select an aggregate")
+    return SliceQuery(group_by, tuple(bindings), tuple(ranges))
+
+
+def parse_view(sql: str, schema: StarSchema, name: str) -> ViewDefinition:
+    """Parse + bind a view definition in one call."""
+    return bind_view(parse_select(sql), schema, name)
+
+
+def parse_query(sql: str, schema: StarSchema) -> SliceQuery:
+    """Parse + bind a slice query in one call."""
+    return bind_query(parse_select(sql), schema)

@@ -1,0 +1,120 @@
+"""Recursive-descent parser for the SQL subset."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import SQLError
+from repro.sql.ast import (
+    AggCall,
+    ColumnRef,
+    ConstantCondition,
+    JoinCondition,
+    RangeCondition,
+    SelectStatement,
+)
+from repro.sql.tokens import Token, TokenType, tokenize
+
+AGG_FUNCS = {"sum", "count", "min", "max", "avg"}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, ttype: TokenType, value: str | None = None) -> Token:
+        token = self.peek()
+        if token.type is not ttype or (
+            value is not None and token.value != value
+        ):
+            want = value or ttype.value
+            raise SQLError(
+                f"expected {want!r} at position {token.position}, "
+                f"found {token.value!r}"
+            )
+        return self.advance()
+
+    def accept(self, ttype: TokenType, value: str | None = None) -> bool:
+        token = self.peek()
+        if token.type is ttype and (value is None or token.value == value):
+            self.advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def parse(self) -> SelectStatement:
+        stmt = SelectStatement()
+        self.expect(TokenType.KEYWORD, "select")
+        stmt.select_list.append(self.select_item())
+        while self.accept(TokenType.COMMA):
+            stmt.select_list.append(self.select_item())
+
+        self.expect(TokenType.KEYWORD, "from")
+        stmt.tables.append(self.expect(TokenType.IDENT).value)
+        while self.accept(TokenType.COMMA):
+            stmt.tables.append(self.expect(TokenType.IDENT).value)
+
+        if self.accept(TokenType.KEYWORD, "where"):
+            stmt.conditions.append(self.condition())
+            while self.accept(TokenType.KEYWORD, "and"):
+                stmt.conditions.append(self.condition())
+
+        if self.accept(TokenType.KEYWORD, "group"):
+            self.expect(TokenType.KEYWORD, "by")
+            stmt.group_by.append(self.column_ref())
+            while self.accept(TokenType.COMMA):
+                stmt.group_by.append(self.column_ref())
+
+        self.expect(TokenType.END)
+        return stmt
+
+    # ------------------------------------------------------------------
+    def select_item(self):
+        token = self.peek()
+        if token.type is TokenType.KEYWORD and token.value in AGG_FUNCS:
+            func = self.advance().value
+            self.expect(TokenType.LPAREN)
+            if self.accept(TokenType.STAR):
+                argument = None
+            else:
+                argument = self.column_ref()
+            self.expect(TokenType.RPAREN)
+            return AggCall(func, argument)
+        return self.column_ref()
+
+    def column_ref(self) -> ColumnRef:
+        first = self.expect(TokenType.IDENT).value
+        if self.accept(TokenType.DOT):
+            second = self.expect(TokenType.IDENT).value
+            return ColumnRef(second, table=first)
+        return ColumnRef(first)
+
+    def condition(self):
+        left = self.column_ref()
+        if self.accept(TokenType.KEYWORD, "between"):
+            low = self.expect(TokenType.NUMBER)
+            self.expect(TokenType.KEYWORD, "and")
+            high = self.expect(TokenType.NUMBER)
+            return RangeCondition(left, float(low.value), float(high.value))
+        self.expect(TokenType.EQUALS)
+        token = self.peek()
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return ConstantCondition(left, float(token.value))
+        right = self.column_ref()
+        return JoinCondition(left, right)
+
+
+def parse_select(text: str) -> SelectStatement:
+    """Parse one SELECT statement of the supported subset."""
+    return _Parser(tokenize(text)).parse()

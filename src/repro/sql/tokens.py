@@ -1,0 +1,86 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List
+
+from repro.errors import SQLError
+
+KEYWORDS = {
+    "select", "from", "where", "group", "by", "and", "as", "between",
+    "sum", "count", "min", "max", "avg",
+}
+
+
+class TokenType(Enum):
+    """Kinds of tokens the SQL subset uses."""
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    COMMA = ","
+    DOT = "."
+    LPAREN = "("
+    RPAREN = ")"
+    STAR = "*"
+    EQUALS = "="
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One token: type, value, and source position."""
+    type: TokenType
+    value: str
+    position: int
+
+
+_SINGLE = {
+    ",": TokenType.COMMA,
+    ".": TokenType.DOT,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "*": TokenType.STAR,
+    "=": TokenType.EQUALS,
+}
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split a statement into tokens; raises SQLError on stray characters."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in _SINGLE:
+            tokens.append(Token(_SINGLE[ch], ch, i))
+            i += 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n and (text[j].isdigit() or text[j] == "."):
+                j += 1
+            tokens.append(Token(TokenType.NUMBER, text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            kind = (
+                TokenType.KEYWORD
+                if word.lower() in KEYWORDS
+                else TokenType.IDENT
+            )
+            value = word.lower() if kind is TokenType.KEYWORD else word
+            tokens.append(Token(kind, value, i))
+            i = j
+            continue
+        raise SQLError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token(TokenType.END, "", n))
+    return tokens

@@ -1,0 +1,34 @@
+"""Paged storage substrate shared by both storage engines.
+
+The conventional relational engine and the Cubetree engine are both built on
+this package so that their I/O behaviour (page counts, sequential/random mix,
+simulated elapsed time, bytes on disk) is directly comparable — the same
+comparison the paper makes by running both configurations inside one server.
+
+Public surface:
+
+* :class:`IOCostModel` / :class:`IOStats` — the simulated device.
+* :class:`DiskManager` — page allocation, reads, writes, accounting.
+* :class:`BufferPool` — LRU page cache with hit-ratio statistics.
+* :class:`RecordCodec` — fixed-width record (de)serialization.
+* :class:`HeapFile` — slotted-page record files with RIDs.
+"""
+
+from repro.storage.buffer import BufferPool
+from repro.storage.codec import ColumnType, RecordCodec
+from repro.storage.disk import DiskManager
+from repro.storage.heap import RID, HeapFile
+from repro.storage.iomodel import IOCostModel, IOStats
+from repro.storage.page import Page
+
+__all__ = [
+    "BufferPool",
+    "ColumnType",
+    "DiskManager",
+    "HeapFile",
+    "IOCostModel",
+    "IOStats",
+    "Page",
+    "RID",
+    "RecordCodec",
+]

@@ -1,0 +1,65 @@
+"""Blob storage: arbitrary byte strings spread across pages.
+
+Used by structures whose payloads are not fixed-width records — e.g. the
+compressed bitmaps of :mod:`repro.relational.bitmap`.  Each blob occupies
+a contiguous run of pages (so reading one blob is sequential I/O) with its
+length stored in the handle, not on the page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.constants import PAGE_SIZE
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+
+
+@dataclass(frozen=True)
+class BlobHandle:
+    """Where a blob lives: first page, page count, byte length."""
+
+    first_page: int
+    num_pages: int
+    length: int
+
+
+class BlobFile:
+    """Append-only blob storage over a buffer pool."""
+
+    def __init__(self, pool: BufferPool) -> None:
+        self.pool = pool
+        self.handles: List[BlobHandle] = []
+
+    def append(self, payload: bytes) -> BlobHandle:
+        """Store a byte string; returns its handle."""
+        num_pages = max(1, (len(payload) + PAGE_SIZE - 1) // PAGE_SIZE)
+        page_ids = self.pool.disk.allocate_run(num_pages)
+        for i, page_id in enumerate(page_ids):
+            chunk = payload[i * PAGE_SIZE : (i + 1) * PAGE_SIZE]
+            chunk = chunk.ljust(PAGE_SIZE, b"\x00")
+            self.pool.disk.write_page(page_id, chunk)
+        handle = BlobHandle(page_ids[0], num_pages, len(payload))
+        self.handles.append(handle)
+        return handle
+
+    def read(self, handle: BlobHandle) -> bytes:
+        """Read a blob back (page-granular, sequential)."""
+        if handle.num_pages < 1:
+            raise StorageError("empty blob handle")
+        out = bytearray()
+        for page_id in range(
+            handle.first_page, handle.first_page + handle.num_pages
+        ):
+            page = self.pool.fetch_page(page_id)
+            try:
+                out.extend(page.data)
+            finally:
+                self.pool.unpin_page(page_id)
+        return bytes(out[: handle.length])
+
+    @property
+    def num_pages(self) -> int:
+        """Number of pages this structure occupies."""
+        return sum(handle.num_pages for handle in self.handles)

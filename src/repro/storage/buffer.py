@@ -1,0 +1,181 @@
+"""LRU buffer pool with hit-ratio statistics.
+
+The paper argues that minimizing the number of Cubetrees "increases the
+buffer hit ratio, i.e. the probability of having the top-level pages of the
+trees in memory" (Sec. 2.4).  The pool therefore tracks hits and misses so
+experiments and ablations can report that ratio directly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.constants import DEFAULT_BUFFER_PAGES
+from repro.errors import StorageError
+from repro.storage.disk import DiskManager
+from repro.storage.page import Page
+
+
+@dataclass
+class BufferStats:
+    """Hit/miss counters for one buffer pool."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total page requests (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of page requests served from memory (0.0 when idle)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+
+class BufferPool:
+    """Caches :class:`Page` objects over a :class:`DiskManager` with LRU
+    replacement.
+
+    Pinned pages (``pin_count > 0``) are never evicted; callers must balance
+    :meth:`fetch_page`/:meth:`new_page` with :meth:`unpin_page`.
+    """
+
+    def __init__(
+        self,
+        disk: DiskManager,
+        capacity: int = DEFAULT_BUFFER_PAGES,
+        eviction_batch: int = 64,
+    ) -> None:
+        """``eviction_batch`` pages are evicted together when the pool
+        fills, with dirty victims written back in page-id order — the
+        batched background-writer discipline that keeps bulk-load and
+        merge output I/O sequential even while reads interleave."""
+        if capacity < 1:
+            raise ValueError("buffer pool needs capacity >= 1")
+        if eviction_batch < 1:
+            raise ValueError("eviction_batch must be >= 1")
+        self.disk = disk
+        self.capacity = capacity
+        self.eviction_batch = eviction_batch
+        self.stats = BufferStats()
+        self._frames: "OrderedDict[int, Page]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # page access
+    # ------------------------------------------------------------------
+    def fetch_page(self, page_id: int) -> Page:
+        """Return the page, reading it from disk on a miss.  Pins the page."""
+        page = self._frames.get(page_id)
+        if page is not None:
+            self.stats.hits += 1
+            self._frames.move_to_end(page_id)
+        else:
+            self.stats.misses += 1
+            data = self.disk.read_page(page_id)
+            page = Page(page_id, data)
+            self._admit(page)
+        page.pin_count += 1
+        return page
+
+    def new_page(self) -> Page:
+        """Allocate a fresh page on disk and return it pinned.
+
+        The new page is *not* read from disk (it has no contents yet).
+        """
+        page_id = self.disk.allocate_page()
+        page = Page(page_id)
+        self._admit(page)
+        page.pin_count += 1
+        return page
+
+    def unpin_page(self, page_id: int, dirty: bool = False) -> None:
+        """Release one pin; optionally mark the page dirty."""
+        page = self._frames.get(page_id)
+        if page is None:
+            raise StorageError(f"unpin of page {page_id} not in pool")
+        if page.pin_count <= 0:
+            raise StorageError(f"page {page_id} is not pinned")
+        page.pin_count -= 1
+        if dirty:
+            page.dirty = True
+
+    # ------------------------------------------------------------------
+    # write-back
+    # ------------------------------------------------------------------
+    def flush_page(self, page_id: int) -> None:
+        """Write one dirty page back to disk."""
+        page = self._frames.get(page_id)
+        if page is None:
+            return
+        if page.dirty:
+            self.disk.write_page(page.page_id, bytes(page.data))
+            page.dirty = False
+
+    def flush_all(self) -> None:
+        """Write every dirty page back to disk in page-id order (pages
+        stay cached; ordering keeps the flush burst sequential)."""
+        for page_id in sorted(self._frames):
+            self.flush_page(page_id)
+
+    def clear(self) -> None:
+        """Flush everything and empty the pool (simulates a cold cache)."""
+        self.flush_all()
+        for page in self._frames.values():
+            if page.pin_count > 0:
+                raise StorageError(
+                    f"cannot clear pool: page {page.page_id} is pinned"
+                )
+        self._frames.clear()
+
+    def discard_page(self, page_id: int) -> None:
+        """Drop a page from the pool *without* writing it back.
+
+        Used when the page is being freed on disk (e.g. retiring an old
+        Cubetree after a merge-pack), so flushing would be wasted work.
+        """
+        page = self._frames.pop(page_id, None)
+        if page is not None and page.pin_count > 0:
+            self._frames[page_id] = page
+            raise StorageError(f"cannot discard pinned page {page_id}")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_cached(self) -> int:
+        """Pages currently held in the pool."""
+        return len(self._frames)
+
+    def _admit(self, page: Page) -> None:
+        if len(self._frames) >= self.capacity:
+            self._evict_batch()
+        self._frames[page.page_id] = page
+
+    def _evict_batch(self) -> None:
+        """Evict up to ``eviction_batch`` LRU pages, writing dirty ones in
+        page-id order so the write burst is (mostly) sequential."""
+        # Always clear a full batch of headroom: evicting one page at a
+        # time would interleave every read with a write and destroy the
+        # sequentiality of bulk operations.
+        want = max(1, min(self.eviction_batch, len(self._frames)))
+        victims: list[Page] = []
+        for page_id, page in self._frames.items():  # LRU order
+            if page.pin_count == 0:
+                victims.append(page)
+                if len(victims) >= want:
+                    break
+        if not victims:
+            raise StorageError("buffer pool exhausted: every page is pinned")
+        for victim in victims:
+            del self._frames[victim.page_id]
+            self.stats.evictions += 1
+            victim.cached_obj = None
+        for victim in sorted(
+            (v for v in victims if v.dirty), key=lambda p: p.page_id
+        ):
+            self.disk.write_page(victim.page_id, bytes(victim.data))

@@ -1,0 +1,121 @@
+"""Fixed-width record serialization.
+
+Tables and materialized views store tuples as fixed-width records so slotted
+pages stay simple and record sizes are predictable — the property the
+storage-size experiments rely on.  Supported column types:
+
+* ``INT64`` — signed 8-byte integer (dimension keys, counts);
+* ``FLOAT64`` — 8-byte IEEE double (aggregate values);
+* ``STRING(n)`` — UTF-8, zero-padded to ``n`` bytes (dimension attributes).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import Enum
+from typing import Sequence, Tuple
+
+from repro.errors import InvalidRecordError
+
+
+class ColumnType(Enum):
+    """Physical column types understood by the codec."""
+
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    STRING = "string"
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One column: a type plus, for strings, a byte width."""
+
+    ctype: ColumnType
+    width: int = 8
+
+    def __post_init__(self) -> None:
+        if self.ctype in (ColumnType.INT64, ColumnType.FLOAT64):
+            if self.width != 8:
+                raise InvalidRecordError(
+                    f"{self.ctype.value} columns are always 8 bytes"
+                )
+        elif self.width < 1:
+            raise InvalidRecordError("string columns need width >= 1")
+
+
+def int_column() -> ColumnSpec:
+    """Convenience constructor for an INT64 column."""
+    return ColumnSpec(ColumnType.INT64)
+
+
+def float_column() -> ColumnSpec:
+    """Convenience constructor for a FLOAT64 column."""
+    return ColumnSpec(ColumnType.FLOAT64)
+
+
+def string_column(width: int) -> ColumnSpec:
+    """Convenience constructor for a STRING(width) column."""
+    return ColumnSpec(ColumnType.STRING, width)
+
+
+class RecordCodec:
+    """Encodes/decodes tuples against a fixed column layout."""
+
+    def __init__(self, columns: Sequence[ColumnSpec]) -> None:
+        if not columns:
+            raise InvalidRecordError("a record needs at least one column")
+        self.columns = tuple(columns)
+        fmt = ["<"]
+        for col in self.columns:
+            if col.ctype is ColumnType.INT64:
+                fmt.append("q")
+            elif col.ctype is ColumnType.FLOAT64:
+                fmt.append("d")
+            else:
+                fmt.append(f"{col.width}s")
+        self._struct = struct.Struct("".join(fmt))
+
+    @property
+    def record_size(self) -> int:
+        """Bytes per encoded record."""
+        return self._struct.size
+
+    def encode(self, values: Sequence[object]) -> bytes:
+        """Serialize one tuple of Python values."""
+        if len(values) != len(self.columns):
+            raise InvalidRecordError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        prepared = []
+        for col, value in zip(self.columns, values):
+            if col.ctype is ColumnType.STRING:
+                raw = str(value).encode("utf-8")
+                if len(raw) > col.width:
+                    raise InvalidRecordError(
+                        f"string {value!r} exceeds column width {col.width}"
+                    )
+                prepared.append(raw)
+            elif col.ctype is ColumnType.INT64:
+                prepared.append(int(value))  # type: ignore[arg-type]
+            else:
+                prepared.append(float(value))  # type: ignore[arg-type]
+        try:
+            return self._struct.pack(*prepared)
+        except struct.error as exc:  # out-of-range ints etc.
+            raise InvalidRecordError(str(exc)) from exc
+
+    def decode(self, raw: bytes) -> Tuple[object, ...]:
+        """Deserialize one record back into a Python tuple."""
+        if len(raw) != self._struct.size:
+            raise InvalidRecordError(
+                f"expected {self._struct.size} bytes, got {len(raw)}"
+            )
+        fields = self._struct.unpack(raw)
+        out = []
+        for col, value in zip(self.columns, fields):
+            if col.ctype is ColumnType.STRING:
+                out.append(value.rstrip(b"\x00").decode("utf-8"))
+            else:
+                out.append(value)
+        return tuple(out)

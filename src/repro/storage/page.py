@@ -1,0 +1,45 @@
+"""In-memory representation of one disk page."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.constants import PAGE_SIZE
+
+
+class Page:
+    """A fixed-size byte buffer plus bookkeeping used by the buffer pool.
+
+    Higher layers (heap files, B+-trees, Cubetrees) deserialize page bytes
+    into structured node objects.  Deserializing on every access is wasteful,
+    so a page carries an optional ``cached_obj`` slot: the owning layer may
+    stash the deserialized object there and reuse it while the page stays in
+    the pool.  The cache is dropped on eviction.  The layer that mutates a
+    node is responsible for serializing it back into :attr:`data` and calling
+    :meth:`mark_dirty` (the pool only writes back :attr:`data`).
+    """
+
+    __slots__ = ("page_id", "data", "dirty", "pin_count", "cached_obj")
+
+    def __init__(self, page_id: int, data: Optional[bytearray] = None) -> None:
+        if data is None:
+            data = bytearray(PAGE_SIZE)
+        if len(data) != PAGE_SIZE:
+            raise ValueError(
+                f"page data must be exactly {PAGE_SIZE} bytes, got {len(data)}"
+            )
+        self.page_id = page_id
+        self.data = data
+        self.dirty = False
+        self.pin_count = 0
+        self.cached_obj: Any = None
+
+    def mark_dirty(self) -> None:
+        """Flag the page for write-back on eviction/flush."""
+        self.dirty = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Page(id={self.page_id}, dirty={self.dirty}, "
+            f"pins={self.pin_count})"
+        )

@@ -1,0 +1,65 @@
+"""A minimal write-ahead log for the conventional engine.
+
+The paper's conventional configuration pays the full transactional path of
+the Informix server on every row it materializes or refreshes; the Cubetree
+Datablade's bulk load and merge-pack are non-logged operations (rebuildable
+from their sorted inputs).  This module models that asymmetry: the WAL
+appends fixed-size records into log pages and charges the shared cost model
+one *sequential* page write whenever a log page fills, plus a *random*
+write (the head moves away from the log) on every commit that forces a
+partial page.
+
+Only the costing matters to the experiments, so record payloads are not
+retained.
+"""
+
+from __future__ import annotations
+
+from repro.constants import PAGE_SIZE
+from repro.storage.iomodel import IOCostModel
+
+#: Bytes a row-level log record occupies (header + RID + before/after image
+#: of a small aggregate row).
+DEFAULT_RECORD_BYTES = 64
+
+
+class WriteAheadLog:
+    """Appends log records and prices the resulting page writes."""
+
+    def __init__(
+        self,
+        cost_model: IOCostModel,
+        record_bytes: int = DEFAULT_RECORD_BYTES,
+    ) -> None:
+        if record_bytes < 1:
+            raise ValueError("record_bytes must be >= 1")
+        self.cost_model = cost_model
+        self.record_bytes = record_bytes
+        self.records_logged = 0
+        self.pages_written = 0
+        self._bytes_in_page = 0
+
+    def log_row_operation(self, count: int = 1) -> None:
+        """Append ``count`` row-level records (insert/update/delete)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self.records_logged += count
+        self._bytes_in_page += count * self.record_bytes
+        while self._bytes_in_page >= PAGE_SIZE:
+            self._bytes_in_page -= PAGE_SIZE
+            self._write_page(sequential=True)
+
+    def commit(self) -> None:
+        """Force the partial log page to disk (group-commit boundary)."""
+        if self._bytes_in_page > 0:
+            self._bytes_in_page = 0
+            self._write_page(sequential=False)
+
+    def _write_page(self, sequential: bool) -> None:
+        self.pages_written += 1
+        if sequential:
+            self.cost_model.stats.sequential_writes += 1
+            self.cost_model.stats.simulated_ms += self.cost_model.sequential_ms
+        else:
+            self.cost_model.stats.random_writes += 1
+            self.cost_model.stats.simulated_ms += self.cost_model.random_ms

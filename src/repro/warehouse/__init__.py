@@ -1,0 +1,20 @@
+"""Star-schema warehouse model and TPC-D-style data generation.
+
+The paper's experiments use the TPC-D business warehouse restricted to the
+part / supplier / customer dimensions with the ``quantity`` measure
+(Fig. 1).  :mod:`repro.warehouse.tpcd` is a deterministic DBGEN-alike for
+that subset (plus a ``time`` dimension for the Sec. 2.4 example), with 10%
+increments for the refresh experiment.
+"""
+
+from repro.warehouse.hierarchy import Hierarchy
+from repro.warehouse.star import Dimension, StarSchema
+from repro.warehouse.tpcd import TPCDGenerator, WarehouseData
+
+__all__ = [
+    "Dimension",
+    "Hierarchy",
+    "StarSchema",
+    "TPCDGenerator",
+    "WarehouseData",
+]

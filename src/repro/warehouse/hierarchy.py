@@ -1,0 +1,70 @@
+"""Attribute hierarchies along dimensions (day -> month -> year, etc.).
+
+A hierarchy maps a dimension's key values to a coarser integer-coded
+attribute, enabling the paper's roll-up/drill-down views (e.g. grouping
+fact rows by ``part.brand`` requires the part-key -> brand mapping that a
+join with the ``part`` dimension would produce).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Tuple
+
+from repro.errors import SchemaError
+from repro.warehouse.star import Dimension
+
+
+@dataclass(frozen=True)
+class Hierarchy:
+    """One level of a dimension hierarchy.
+
+    Parameters
+    ----------
+    dimension:
+        Dimension name this level belongs to.
+    attribute:
+        The coarser attribute (``brand``, ``month``, ...).
+    mapping:
+        dimension key value -> integer-coded attribute value.
+    """
+
+    dimension: str
+    attribute: str
+    mapping: Dict[int, int]
+
+    @classmethod
+    def from_dimension(cls, dim: Dimension, attribute: str) -> "Hierarchy":
+        """Extract a level from a dimension table's column."""
+        column = dim.column_map(attribute)
+        for key, value in column.items():
+            if not isinstance(value, int):
+                raise SchemaError(
+                    f"hierarchy attribute {attribute!r} of {dim.name!r} "
+                    f"must be integer-coded, found {type(value).__name__}"
+                )
+        return cls(dim.name, attribute, column)  # type: ignore[arg-type]
+
+    def roll_up(self, key: int) -> int:
+        """Map a fine key to its coarse value."""
+        try:
+            return self.mapping[key]
+        except KeyError:
+            raise SchemaError(
+                f"{self.dimension}.{self.attribute}: unknown key {key}"
+            ) from None
+
+    def distinct_count(self) -> int:
+        """Number of distinct coarse values of this level."""
+        return len(set(self.mapping.values()))
+
+    def roll_up_rows(
+        self, rows: Iterable[Tuple], key_index: int
+    ) -> Iterator[Tuple]:
+        """Replace column ``key_index`` of each row with its coarse value.
+
+        This is the pre-joined form of ``F JOIN dim GROUP BY dim.attr``.
+        """
+        for row in rows:
+            coarse = self.roll_up(row[key_index])  # type: ignore[arg-type]
+            yield row[:key_index] + (coarse,) + row[key_index + 1 :]

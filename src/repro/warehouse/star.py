@@ -1,0 +1,130 @@
+"""Star schema model: dimensions linked by a central fact table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import SchemaError
+
+
+@dataclass
+class Dimension:
+    """One dimension table.
+
+    Parameters
+    ----------
+    name:
+        Dimension name (``part``, ``supplier``, ...).
+    key:
+        Primary-key attribute referenced by the fact table.
+    attributes:
+        All attribute names, with ``key`` first.
+    rows:
+        Tuples parallel to ``attributes``.  Attribute values used for
+        grouping (brands, months, ...) are integer-coded so they can be
+        Cubetree coordinates directly.
+    """
+
+    name: str
+    key: str
+    attributes: Tuple[str, ...]
+    rows: List[Tuple] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.attributes or self.attributes[0] != self.key:
+            raise SchemaError(
+                f"dimension {self.name!r}: first attribute must be the key"
+            )
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def attribute_index(self, attr: str) -> int:
+        """Position of an attribute within this dimension's rows."""
+        try:
+            return self.attributes.index(attr)
+        except ValueError:
+            raise SchemaError(
+                f"dimension {self.name!r} has no attribute {attr!r}"
+            ) from None
+
+    def column_map(self, attr: str) -> Dict[int, object]:
+        """key value -> attribute value (for joining / hierarchy lookups)."""
+        idx = self.attribute_index(attr)
+        return {row[0]: row[idx] for row in self.rows}
+
+    def distinct_count(self, attr: str) -> int:
+        """Number of distinct values of an attribute."""
+        idx = self.attribute_index(attr)
+        return len({row[idx] for row in self.rows})
+
+
+@dataclass
+class StarSchema:
+    """The warehouse: a fact table schema plus its dimensions.
+
+    Parameters
+    ----------
+    fact_keys:
+        Foreign-key attributes of the fact table, in column order.
+    measure:
+        The primary measure attribute name (``quantity``).
+    dimensions:
+        ``fact key attribute -> Dimension``.
+    extra_measures:
+        Further measure columns after the primary one (TPC-D's
+        ``extendedprice`` etc.); views may aggregate any of them.
+    """
+
+    fact_keys: Tuple[str, ...]
+    measure: str
+    dimensions: Dict[str, Dimension]
+    extra_measures: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for key in self.fact_keys:
+            if key not in self.dimensions:
+                raise SchemaError(f"no dimension for fact key {key!r}")
+        names = (self.measure,) + self.extra_measures
+        if len(set(names)) != len(names):
+            raise SchemaError("duplicate measure names")
+
+    @property
+    def measures(self) -> Tuple[str, ...]:
+        """Every measure column, primary first."""
+        return (self.measure,) + self.extra_measures
+
+    @property
+    def fact_columns(self) -> Tuple[str, ...]:
+        """Fact-table column names: foreign keys then the measures."""
+        return self.fact_keys + self.measures
+
+    def dimension_of(self, fact_key: str) -> Dimension:
+        """The dimension referenced by a fact foreign key."""
+        try:
+            return self.dimensions[fact_key]
+        except KeyError:
+            raise SchemaError(f"unknown fact key {fact_key!r}") from None
+
+    def distinct_count(self, attr: str) -> int:
+        """Distinct values of a groupable attribute (fact key or hierarchy
+        attribute of some dimension)."""
+        if attr in self.dimensions:
+            return len(self.dimensions[attr])
+        for dim in self.dimensions.values():
+            if attr in dim.attributes:
+                return dim.distinct_count(attr)
+        raise SchemaError(f"unknown attribute {attr!r}")
+
+    def groupable_attributes(self) -> Tuple[str, ...]:
+        """Every attribute a view may group by."""
+        out: List[str] = list(self.fact_keys)
+        for fact_key in self.fact_keys:
+            dim = self.dimensions[fact_key]
+            out.extend(a for a in dim.attributes[1:] if a not in out)
+        return tuple(out)
+
+    def key_domain(self, fact_key: str) -> Sequence[int]:
+        """The key values of a dimension (query generators draw from it)."""
+        return [row[0] for row in self.dimension_of(fact_key).rows]

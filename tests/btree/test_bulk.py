@@ -1,0 +1,105 @@
+"""Tests for bottom-up B+-tree bulk loading."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.btree.bulk import bulk_load_btree
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+from repro.storage.heap import RID
+
+
+def make_pool(capacity=256):
+    disk = DiskManager()
+    return disk, BufferPool(disk, capacity=capacity)
+
+
+def entries_for(n, arity=1):
+    if arity == 1:
+        return [((i,), RID(i, 0)) for i in range(n)]
+    return [((i, i * 2), RID(i, 0)) for i in range(n)]
+
+
+def test_bulk_load_empty():
+    _disk, pool = make_pool()
+    tree = bulk_load_btree(pool, 1, [])
+    assert len(tree) == 0
+    assert list(tree.scan_all()) == []
+
+
+def test_bulk_load_single_leaf():
+    _disk, pool = make_pool()
+    tree = bulk_load_btree(pool, 1, entries_for(10))
+    assert len(tree) == 10
+    assert tree.height == 1
+    assert [k[0] for k, _ in tree.scan_all()] == list(range(10))
+
+
+def test_bulk_load_multi_level():
+    _disk, pool = make_pool()
+    n = 100_000
+    tree = bulk_load_btree(pool, 1, entries_for(n))
+    assert tree.height >= 2
+    tree.check_invariants()
+    assert tree.search((n - 1,)) == [RID(n - 1, 0)]
+    assert tree.search((0,)) == [RID(0, 0)]
+    assert tree.search((n,)) == []
+
+
+def test_bulk_load_composite_keys():
+    _disk, pool = make_pool()
+    tree = bulk_load_btree(pool, 2, entries_for(5000, arity=2))
+    assert tree.search((123, 246)) == [RID(123, 0)]
+    tree.check_invariants()
+
+
+def test_bulk_load_rejects_unsorted():
+    _disk, pool = make_pool()
+    bad = [((2,), RID(0, 0)), ((1,), RID(1, 0))]
+    with pytest.raises(StorageError):
+        bulk_load_btree(pool, 1, bad)
+
+
+def test_bulk_load_rejects_bad_fill():
+    _disk, pool = make_pool()
+    with pytest.raises(ValueError):
+        bulk_load_btree(pool, 1, [], fill=0.0)
+
+
+def test_bulk_load_then_insert():
+    """The tree stays a normal B+-tree after bulk load."""
+    _disk, pool = make_pool()
+    tree = bulk_load_btree(pool, 1, [((i * 2,), RID(i, 0)) for i in range(2000)])
+    tree.insert((2001,), RID(9999, 0))
+    tree.check_invariants()
+    assert tree.search((2001,)) == [RID(9999, 0)]
+
+
+def test_bulk_load_writes_are_mostly_sequential():
+    disk, pool = make_pool(capacity=8)
+    before = disk.cost_model.snapshot()
+    bulk_load_btree(pool, 1, entries_for(50_000))
+    pool.flush_all()
+    delta = disk.cost_model.stats - before
+    assert delta.sequential_writes > delta.random_writes
+
+
+def test_full_fill_packs_tighter_than_default():
+    disk_a, pool_a = make_pool()
+    tree_a = bulk_load_btree(pool_a, 1, entries_for(20_000), fill=1.0)
+    disk_b, pool_b = make_pool()
+    tree_b = bulk_load_btree(pool_b, 1, entries_for(20_000), fill=0.7)
+    assert tree_a.num_pages < tree_b.num_pages
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.sets(st.integers(0, 10_000), max_size=600))
+def test_bulk_load_equals_inserts_property(keys):
+    sorted_keys = sorted(keys)
+    entries = [((k,), RID(k, 0)) for k in sorted_keys]
+    _disk, pool = make_pool()
+    tree = bulk_load_btree(pool, 1, entries)
+    tree.check_invariants()
+    assert [k[0] for k, _ in tree.scan_all()] == sorted_keys

@@ -1,0 +1,61 @@
+"""Tests for composite key helpers."""
+
+import pytest
+
+from repro.btree.keys import (
+    INT64_MAX,
+    INT64_MIN,
+    compare_keys,
+    prefix_range,
+    validate_key,
+)
+
+
+def test_validate_key_ok():
+    assert validate_key([1, 2, 3], 3) == (1, 2, 3)
+
+
+def test_validate_key_wrong_arity():
+    with pytest.raises(ValueError):
+        validate_key((1, 2), 3)
+
+
+def test_validate_key_out_of_range():
+    with pytest.raises(ValueError):
+        validate_key((2**63,), 1)
+
+
+def test_compare_keys():
+    assert compare_keys((1, 2), (1, 3)) == -1
+    assert compare_keys((2, 0), (1, 9)) == 1
+    assert compare_keys((4, 4), (4, 4)) == 0
+
+
+def test_prefix_range_full_prefix():
+    low, high = prefix_range((7, 8, 9), 3)
+    assert low == (7, 8, 9)
+    assert high == (7, 8, 9)
+
+
+def test_prefix_range_partial():
+    low, high = prefix_range((5,), 3)
+    assert low == (5, INT64_MIN, INT64_MIN)
+    assert high == (5, INT64_MAX, INT64_MAX)
+
+
+def test_prefix_range_empty_prefix_covers_everything():
+    low, high = prefix_range((), 2)
+    assert low == (INT64_MIN, INT64_MIN)
+    assert high == (INT64_MAX, INT64_MAX)
+
+
+def test_prefix_longer_than_arity_raises():
+    with pytest.raises(ValueError):
+        prefix_range((1, 2, 3), 2)
+
+
+def test_prefix_range_semantics():
+    low, high = prefix_range((5,), 2)
+    assert low <= (5, 0) <= high
+    assert not low <= (4, 10**9) <= high
+    assert not low <= (6, -(10**9)) <= high

@@ -1,0 +1,72 @@
+"""Tests for B+-tree node serialization."""
+
+from repro.btree.node import (
+    InteriorNode,
+    LeafNode,
+    interior_capacity,
+    leaf_capacity,
+    node_type_of,
+)
+from repro.storage.heap import RID
+
+
+def test_leaf_roundtrip():
+    node = LeafNode(arity=2)
+    node.keys = [(1, 2), (3, 4)]
+    node.rids = [RID(10, 0), RID(11, 5)]
+    node.next_leaf = 42
+    clone = LeafNode.from_bytes(node.to_bytes(), arity=2)
+    assert clone.keys == node.keys
+    assert clone.rids == node.rids
+    assert clone.next_leaf == 42
+
+
+def test_leaf_roundtrip_empty():
+    node = LeafNode(arity=3)
+    clone = LeafNode.from_bytes(node.to_bytes(), arity=3)
+    assert clone.keys == []
+    assert clone.next_leaf == -1
+
+
+def test_leaf_roundtrip_at_capacity():
+    arity = 3
+    cap = leaf_capacity(arity)
+    node = LeafNode(arity)
+    node.keys = [(i, i, i) for i in range(cap)]
+    node.rids = [RID(i, 0) for i in range(cap)]
+    clone = LeafNode.from_bytes(node.to_bytes(), arity)
+    assert len(clone.keys) == cap
+
+
+def test_interior_roundtrip():
+    node = InteriorNode(arity=1)
+    node.keys = [(10,), (20,)]
+    node.children = [100, 101, 102]
+    clone = InteriorNode.from_bytes(node.to_bytes(), arity=1)
+    assert clone.keys == node.keys
+    assert clone.children == node.children
+
+
+def test_interior_roundtrip_at_capacity():
+    arity = 2
+    cap = interior_capacity(arity)
+    node = InteriorNode(arity)
+    node.keys = [(i, i) for i in range(cap)]
+    node.children = list(range(cap + 1))
+    clone = InteriorNode.from_bytes(node.to_bytes(), arity)
+    assert len(clone.keys) == cap
+    assert len(clone.children) == cap + 1
+
+
+def test_node_type_peek():
+    leaf = LeafNode(1)
+    interior = InteriorNode(1)
+    interior.children = [0]
+    assert node_type_of(leaf.to_bytes()) == 1
+    assert node_type_of(interior.to_bytes()) == 2
+
+
+def test_capacities_positive_for_reasonable_arity():
+    for arity in range(1, 9):
+        assert leaf_capacity(arity) > 10
+        assert interior_capacity(arity) > 10

@@ -1,0 +1,198 @@
+"""Tests for B+-tree operations."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.btree.keys import prefix_range
+from repro.btree.tree import BPlusTree
+from repro.errors import KeyNotFoundError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+from repro.storage.heap import RID
+
+
+def make_tree(arity=1, capacity=256):
+    disk = DiskManager()
+    pool = BufferPool(disk, capacity=capacity)
+    return pool, BPlusTree(pool, arity)
+
+
+def test_insert_and_search():
+    _pool, tree = make_tree()
+    tree.insert((5,), RID(1, 0))
+    assert tree.search((5,)) == [RID(1, 0)]
+    assert tree.search((6,)) == []
+    assert len(tree) == 1
+
+
+def test_search_one():
+    _pool, tree = make_tree()
+    assert tree.search_one((1,)) is None
+    tree.insert((1,), RID(0, 0))
+    assert tree.search_one((1,)) == RID(0, 0)
+
+
+def test_many_inserts_cause_splits_and_stay_sorted():
+    _pool, tree = make_tree()
+    n = 5000
+    order = list(range(n))
+    random.Random(7).shuffle(order)
+    for i in order:
+        tree.insert((i,), RID(i, 0))
+    assert tree.height > 1
+    tree.check_invariants()
+    keys = [k for k, _ in tree.scan_all()]
+    assert keys == [(i,) for i in range(n)]
+
+
+def test_range_scan():
+    _pool, tree = make_tree()
+    for i in range(100):
+        tree.insert((i,), RID(i, 0))
+    got = [k[0] for k, _ in tree.range_scan((10,), (20,))]
+    assert got == list(range(10, 21))
+
+
+def test_range_scan_empty_when_low_above_high():
+    _pool, tree = make_tree()
+    tree.insert((1,), RID(0, 0))
+    assert list(tree.range_scan((5,), (2,))) == []
+
+
+def test_range_scan_spans_leaves():
+    _pool, tree = make_tree()
+    n = 2000
+    for i in range(n):
+        tree.insert((i,), RID(i, 0))
+    got = [k[0] for k, _ in tree.range_scan((0,), (n - 1,))]
+    assert got == list(range(n))
+
+
+def test_composite_keys_and_prefix_scan():
+    _pool, tree = make_tree(arity=3)
+    rows = [(a, b, c) for a in range(5) for b in range(5) for c in range(5)]
+    random.Random(3).shuffle(rows)
+    for i, key in enumerate(rows):
+        tree.insert(key, RID(i, 0))
+    low, high = prefix_range((2,), 3)
+    got = [k for k, _ in tree.range_scan(low, high)]
+    assert got == [(2, b, c) for b in range(5) for c in range(5)]
+    low, high = prefix_range((2, 3), 3)
+    got = [k for k, _ in tree.range_scan(low, high)]
+    assert got == [(2, 3, c) for c in range(5)]
+
+
+def test_duplicate_keys_supported():
+    _pool, tree = make_tree()
+    tree.insert((7,), RID(0, 0))
+    tree.insert((7,), RID(1, 0))
+    assert sorted(tree.search((7,))) == [RID(0, 0), RID(1, 0)]
+
+
+def test_delete():
+    _pool, tree = make_tree()
+    for i in range(50):
+        tree.insert((i,), RID(i, 0))
+    tree.delete((25,))
+    assert tree.search((25,)) == []
+    assert len(tree) == 49
+    tree.check_invariants()
+
+
+def test_delete_specific_rid_among_duplicates():
+    _pool, tree = make_tree()
+    tree.insert((7,), RID(0, 0))
+    tree.insert((7,), RID(1, 0))
+    tree.delete((7,), RID(0, 0))
+    assert tree.search((7,)) == [RID(1, 0)]
+
+
+def test_delete_missing_raises():
+    _pool, tree = make_tree()
+    with pytest.raises(KeyNotFoundError):
+        tree.delete((1,))
+
+
+def test_descending_inserts():
+    _pool, tree = make_tree()
+    for i in reversed(range(3000)):
+        tree.insert((i,), RID(i, 0))
+    tree.check_invariants()
+
+
+def test_survives_tiny_buffer_pool():
+    """Every node round-trips through (de)serialization under eviction."""
+    disk = DiskManager()
+    pool = BufferPool(disk, capacity=4)
+    tree = BPlusTree(pool, 1)
+    n = 3000
+    order = list(range(n))
+    random.Random(11).shuffle(order)
+    for i in order:
+        tree.insert((i,), RID(i, 0))
+    assert pool.stats.evictions > 0
+    tree.check_invariants()
+    assert [k[0] for k, _ in tree.scan_all()] == list(range(n))
+
+
+def test_num_pages_grows():
+    _pool, tree = make_tree()
+    assert tree.num_pages == 1
+    for i in range(3000):
+        tree.insert((i,), RID(i, 0))
+    assert tree.num_pages > 5
+
+
+def test_invalid_arity_raises():
+    disk = DiskManager()
+    pool = BufferPool(disk)
+    with pytest.raises(ValueError):
+        BPlusTree(pool, 0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(0, 500), max_size=400),
+       st.integers(0, 500), st.integers(0, 500))
+def test_range_scan_matches_naive_property(values, a, b):
+    _pool, tree = make_tree()
+    for i, v in enumerate(values):
+        tree.insert((v,), RID(i, 0))
+    low, high = min(a, b), max(a, b)
+    got = sorted(k[0] for k, _ in tree.range_scan((low,), (high,)))
+    expected = sorted(v for v in values if low <= v <= high)
+    assert got == expected
+
+
+def test_duplicate_runs_spanning_leaves():
+    """Regression: a duplicate run longer than a leaf must be fully
+    visible to search/range_scan/delete (descent must go leftmost)."""
+    _pool, tree = make_tree()
+    n = tree.leaf_capacity * 3  # the run spans at least three leaves
+    for i in range(n):
+        tree.insert((7,), RID(i, 0))
+    tree.insert((6,), RID(n, 0))
+    tree.insert((8,), RID(n + 1, 0))
+    assert len(tree.search((7,))) == n
+    got = [k for k, _ in tree.range_scan((7,), (7,))]
+    assert len(got) == n
+    # delete a specific rid living deep in the run
+    tree.delete((7,), RID(n - 1, 0))
+    assert len(tree.search((7,))) == n - 1
+    tree.check_invariants()
+
+
+def test_bulk_loaded_duplicate_runs_spanning_leaves():
+    from repro.btree.bulk import bulk_load_btree
+    from repro.storage.buffer import BufferPool
+    from repro.storage.disk import DiskManager
+
+    pool = BufferPool(DiskManager(), capacity=64)
+    entries = [((1,), RID(i, 0)) for i in range(600)]
+    entries += [((2,), RID(1000 + i, 0)) for i in range(600)]
+    tree = bulk_load_btree(pool, 1, entries)
+    assert len(tree.search((1,))) == 600
+    assert len(tree.search((2,))) == 600
+    assert len(list(tree.range_scan((2,), (2,)))) == 600

@@ -1,0 +1,55 @@
+"""Shared fixtures: both engines over the same tiny TPC-D warehouse."""
+
+import pytest
+
+from repro.core.conventional import ConventionalEngine
+from repro.core.engine import CubetreeEngine
+from repro.relational.view import ViewDefinition
+from repro.warehouse.tpcd import TPCDGenerator
+
+PAPER_REPLICA_ORDERS = [
+    ("suppkey", "custkey", "partkey"),
+    ("custkey", "partkey", "suppkey"),
+]
+PAPER_INDEX_KEYS = [
+    ("custkey", "suppkey", "partkey"),
+    ("partkey", "custkey", "suppkey"),
+    ("suppkey", "partkey", "custkey"),
+]
+
+
+def paper_views():
+    return [
+        ViewDefinition("V_psc", ("partkey", "suppkey", "custkey")),
+        ViewDefinition("V_ps", ("partkey", "suppkey")),
+        ViewDefinition("V_c", ("custkey",)),
+        ViewDefinition("V_s", ("suppkey",)),
+        ViewDefinition("V_p", ("partkey",)),
+        ViewDefinition("V_none", ()),
+    ]
+
+
+@pytest.fixture(scope="module")
+def warehouse():
+    gen = TPCDGenerator(scale_factor=0.0005, seed=11)
+    return gen, gen.generate()
+
+
+@pytest.fixture(scope="module")
+def cubetree_engine(warehouse):
+    _gen, data = warehouse
+    engine = CubetreeEngine(data.schema, buffer_pages=512)
+    engine.materialize(
+        paper_views(), data.facts,
+        replicate={"V_psc": PAPER_REPLICA_ORDERS},
+    )
+    return engine
+
+
+@pytest.fixture(scope="module")
+def conventional_engine(warehouse):
+    _gen, data = warehouse
+    engine = ConventionalEngine(data.schema, buffer_pages=512)
+    engine.load_fact(data.facts)
+    engine.materialize(paper_views(), indexes={"V_psc": PAPER_INDEX_KEYS})
+    return engine

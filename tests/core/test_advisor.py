@@ -1,0 +1,88 @@
+"""Tests for the view advisor."""
+
+import pytest
+
+from repro.core.advisor import Advice, advise
+from repro.core.engine import CubetreeEngine
+from repro.core.conventional import ConventionalEngine
+from repro.query.slice import SliceQuery
+from repro.warehouse.tpcd import TPCDGenerator
+
+
+@pytest.fixture(scope="module")
+def warehouse():
+    gen = TPCDGenerator(scale_factor=0.0005, seed=17)
+    return gen.generate()
+
+
+@pytest.fixture(scope="module")
+def advice(warehouse):
+    return advise(
+        warehouse.schema,
+        num_facts=warehouse.num_facts,
+        max_structures=9,
+        correlated_domains={
+            frozenset({"partkey", "suppkey"}):
+                4.0 * warehouse.schema.distinct_count("partkey"),
+        },
+    )
+
+
+def test_advice_selects_paper_style_sets(advice):
+    names = {view.name for view in advice.views}
+    assert "V_none" in names
+    assert "V_partkey_suppkey_custkey" in names
+    # At this tiny scale the greedy keeps 2-3 apex indexes (the full
+    # three-rotation family appears at SF-1 statistics; see
+    # tests/cube/test_selection.py).
+    apex_indexes = advice.indexes.get("V_partkey_suppkey_custkey", [])
+    assert len(apex_indexes) >= 2
+    structures = len(advice.views) + sum(
+        len(keys) for keys in advice.indexes.values()
+    )
+    assert structures <= 9
+
+
+def test_replicas_cover_every_selected_index(advice):
+    """For each selected index, some Cubetree order clusters like it."""
+    for owner, keys in advice.indexes.items():
+        base = advice.view_named(owner)
+        orders = {tuple(reversed(base.group_by))}
+        for replica in advice.replicas.get(owner, []):
+            orders.add(tuple(reversed(replica)))
+        for key in keys:
+            assert tuple(key) in orders, (key, orders)
+
+
+def test_replicas_never_duplicate_base_order(advice):
+    for owner, replicas in advice.replicas.items():
+        base = advice.view_named(owner)
+        assert base.group_by not in {tuple(r) for r in replicas}
+        assert len({tuple(r) for r in replicas}) == len(replicas)
+
+
+def test_view_named_unknown_raises(advice):
+    with pytest.raises(KeyError):
+        advice.view_named("nope")
+
+
+def test_advice_drives_both_engines(warehouse, advice):
+    cube = CubetreeEngine(warehouse.schema)
+    cube.materialize(advice.views, warehouse.facts,
+                     replicate=advice.replicas)
+    conv = ConventionalEngine(warehouse.schema)
+    conv.load_fact(warehouse.facts)
+    conv.materialize(advice.views, indexes=advice.indexes)
+
+    partkey = warehouse.facts[0][0]
+    q = SliceQuery(("suppkey",), (("partkey", partkey),))
+    assert cube.query(q).rows == conv.query(q).rows
+    assert len(cube.query(q).rows) > 0
+
+
+def test_empty_advice_for_zero_budget(warehouse):
+    advice = advise(warehouse.schema, warehouse.num_facts,
+                    space_budget_tuples=0.5)
+    assert advice.views == [] or all(
+        len(v.group_by) == 0 for v in advice.views
+    )

@@ -1,0 +1,223 @@
+"""Cross-engine tests: both storage organizations must give identical
+answers to every query, before and after updates.
+
+A brute-force in-memory oracle (plain dict aggregation over the raw fact
+rows) arbitrates, so a shared bug in both engines cannot hide.
+"""
+
+import pytest
+
+from repro.core.conventional import ConventionalEngine
+from repro.core.engine import CubetreeEngine
+from repro.errors import QueryError, UpdateTimeoutError
+from repro.query.generator import RandomQueryGenerator
+from repro.query.slice import SliceQuery
+from repro.warehouse.tpcd import TPCDGenerator
+
+from tests.core.conftest import (
+    PAPER_INDEX_KEYS,
+    PAPER_REPLICA_ORDERS,
+    paper_views,
+)
+
+NODES = [
+    ("partkey", "suppkey", "custkey"),
+    ("partkey", "suppkey"),
+    ("partkey", "custkey"),
+    ("suppkey", "custkey"),
+    ("partkey",),
+    ("suppkey",),
+    ("custkey",),
+]
+
+
+def oracle(facts, query: SliceQuery):
+    """Aggregate the raw fact rows directly."""
+    attrs = ("partkey", "suppkey", "custkey")
+    bind = query.binding_map
+    groups = {}
+    for row in facts:
+        values = dict(zip(attrs, row[:3]))
+        if any(values[a] != v for a, v in bind.items()):
+            continue
+        key = tuple(values[a] for a in query.group_by)
+        groups[key] = groups.get(key, 0.0) + float(row[3])
+    return [key + (total,) for key, total in sorted(groups.items())]
+
+
+def test_load_reports_sane(cubetree_engine, conventional_engine):
+    assert cubetree_engine.storage_pages() > 0
+    assert conventional_engine.storage_pages() > 0
+    sizes_cube = cubetree_engine.view_sizes()
+    sizes_conv = conventional_engine.view_sizes()
+    for name, size in sizes_conv.items():
+        assert sizes_cube[name] == size
+
+
+def test_view_sizes_match_paper_structure(cubetree_engine, warehouse):
+    _gen, data = warehouse
+    sizes = cubetree_engine.view_sizes()
+    assert sizes["V_none"] == 1
+    assert sizes["V_ps"] <= 4 * data.schema.distinct_count("partkey")
+    assert sizes["V_psc"] <= len(data.facts)
+    # Replicas mirror the base view exactly.
+    for name, size in sizes.items():
+        if name.startswith("V_psc__rep"):
+            assert size == sizes["V_psc"]
+
+
+@pytest.mark.parametrize("node", NODES, ids=["-".join(n) for n in NODES])
+def test_engines_agree_with_oracle(
+    node, warehouse, cubetree_engine, conventional_engine
+):
+    _gen, data = warehouse
+    qgen = RandomQueryGenerator(data.schema, seed=5)
+    for query in qgen.generate_for_node(node, 12, include_unbound=True):
+        expected = oracle(data.facts, query)
+        got_cube = cubetree_engine.query(query)
+        got_conv = conventional_engine.query(query)
+        assert got_cube.rows == expected, query.describe()
+        assert got_conv.rows == expected, query.describe()
+
+
+def test_super_aggregate_scalar(warehouse, cubetree_engine,
+                                conventional_engine):
+    _gen, data = warehouse
+    expected = float(sum(row[3] for row in data.facts))
+    q = SliceQuery((), ())
+    assert cubetree_engine.query(q).scalar() == expected
+    assert conventional_engine.query(q).scalar() == expected
+
+
+def test_query_before_materialize_raises():
+    data = TPCDGenerator(scale_factor=0.0005, seed=2).generate()
+    engine = CubetreeEngine(data.schema)
+    with pytest.raises(QueryError):
+        engine.query(SliceQuery((), ()))
+    conv = ConventionalEngine(data.schema)
+    with pytest.raises(QueryError):
+        conv.query(SliceQuery((), ()))
+    with pytest.raises(QueryError):
+        conv.materialize(paper_views())  # fact table not loaded
+
+
+def test_engines_agree_after_update():
+    gen = TPCDGenerator(scale_factor=0.0005, seed=3)
+    data = gen.generate()
+    delta = gen.generate_increment(0.1)
+
+    cube = CubetreeEngine(data.schema, buffer_pages=512)
+    cube.materialize(paper_views(), data.facts,
+                     replicate={"V_psc": PAPER_REPLICA_ORDERS})
+    conv = ConventionalEngine(data.schema, buffer_pages=512)
+    conv.load_fact(data.facts)
+    conv.materialize(paper_views(), indexes={"V_psc": PAPER_INDEX_KEYS})
+
+    cube.update(delta)
+    conv.update_incremental(delta)
+
+    all_facts = list(data.facts) + list(delta)
+    qgen = RandomQueryGenerator(data.schema, seed=7)
+    for node in NODES:
+        for query in qgen.generate_for_node(node, 4):
+            expected = oracle(all_facts, query)
+            assert cube.query(query).rows == expected, query.describe()
+            assert conv.query(query).rows == expected, query.describe()
+
+
+def test_conventional_recompute_equals_incremental():
+    gen = TPCDGenerator(scale_factor=0.0005, seed=4)
+    data = gen.generate()
+    delta = gen.generate_increment(0.1)
+    all_facts = list(data.facts) + list(delta)
+
+    inc = ConventionalEngine(data.schema, buffer_pages=512)
+    inc.load_fact(data.facts)
+    inc.materialize(paper_views(), indexes={"V_psc": PAPER_INDEX_KEYS})
+    inc.update_incremental(delta)
+
+    rec = ConventionalEngine(data.schema, buffer_pages=512)
+    rec.load_fact(data.facts)
+    rec.materialize(paper_views(), indexes={"V_psc": PAPER_INDEX_KEYS})
+    rec.update_recompute(all_facts)
+
+    qgen = RandomQueryGenerator(data.schema, seed=8)
+    for query in qgen.generate_for_node(("partkey", "custkey"), 5):
+        assert inc.query(query).rows == rec.query(query).rows
+
+
+def test_incremental_update_timeout():
+    gen = TPCDGenerator(scale_factor=0.0005, seed=5)
+    data = gen.generate()
+    conv = ConventionalEngine(data.schema, buffer_pages=64)
+    conv.load_fact(data.facts)
+    conv.materialize(paper_views(), indexes={"V_psc": PAPER_INDEX_KEYS})
+    with pytest.raises(UpdateTimeoutError):
+        conv.update_incremental(gen.generate_increment(0.1),
+                                deadline_ms=0.01)
+
+
+def test_cubetree_update_is_mostly_sequential():
+    gen = TPCDGenerator(scale_factor=0.0005, seed=6)
+    data = gen.generate()
+    cube = CubetreeEngine(data.schema, buffer_pages=128)
+    cube.materialize(paper_views(), data.facts)
+    report = cube.update(gen.generate_increment(0.1))
+    io = report.io
+    assert io.sequential_writes > io.random_writes
+
+
+def test_query_reports_plan_and_io(cubetree_engine):
+    q = SliceQuery(("partkey",), (("custkey", 3),))
+    result = cubetree_engine.query(q)
+    assert "V_psc" in result.plan
+    assert result.wall_ms >= 0.0
+
+
+def test_query_results_survive_updates():
+    """QueryResult is fully materialized: no cursor can dangle into pages
+    that a later merge-pack retires."""
+    gen = TPCDGenerator(scale_factor=0.0005, seed=12)
+    data = gen.generate()
+    cube = CubetreeEngine(data.schema, buffer_pages=64)
+    cube.materialize(paper_views(), data.facts)
+    q = SliceQuery(("partkey",), (("custkey", data.facts[0][2]),))
+    before = cube.query(q)
+    rows_snapshot = list(before.rows)
+    cube.update(gen.generate_increment(0.3))
+    # The old result object is still intact and unchanged.
+    assert before.rows == rows_snapshot
+    # And fresh queries reflect the update.
+    after = cube.query(q)
+    assert sum(r[-1] for r in after.rows) >= sum(
+        r[-1] for r in before.rows
+    )
+
+
+def test_week_of_refreshes_stays_consistent():
+    """Several rounds of (increment -> refresh -> query) keep both engines
+    agreeing with the oracle — repeated merge-packs must not drift."""
+    gen = TPCDGenerator(scale_factor=0.0003, seed=77)
+    data = gen.generate()
+    cube = CubetreeEngine(data.schema, buffer_pages=128)
+    cube.materialize(paper_views(), data.facts,
+                     replicate={"V_psc": PAPER_REPLICA_ORDERS})
+    conv = ConventionalEngine(data.schema, buffer_pages=128)
+    conv.load_fact(data.facts)
+    conv.materialize(paper_views(), indexes={"V_psc": PAPER_INDEX_KEYS})
+
+    all_facts = list(data.facts)
+    qgen = RandomQueryGenerator(data.schema, seed=13)
+    for day in range(1, 4):
+        delta = gen.generate_increment(0.15, stream=f"round-{day}")
+        cube.update(delta)
+        conv.update_incremental(delta)
+        all_facts.extend(delta)
+        for node in (("partkey", "suppkey", "custkey"), ("suppkey",)):
+            for query in qgen.generate_for_node(node, 4,
+                                                include_unbound=True):
+                expected = oracle(all_facts, query)
+                assert cube.query(query).rows == expected, (
+                    day, query.describe())
+                assert conv.query(query).rows == expected, (
+                    day, query.describe())

@@ -1,0 +1,111 @@
+"""Tests for the SelectMapping algorithm (paper Fig. 5 / Table 5)."""
+
+import pytest
+
+from repro.core.mapping import select_mapping
+from repro.errors import MappingError
+from repro.relational.view import ViewDefinition
+
+
+def v(name, attrs):
+    return ViewDefinition(name, tuple(attrs))
+
+
+def test_empty_input():
+    allocation = select_mapping([])
+    assert allocation.num_trees == 0
+
+
+def test_single_view():
+    allocation = select_mapping([v("V_a", ("a",))])
+    assert allocation.num_trees == 1
+    assert allocation.trees[0].dims == 1
+    assert allocation.trees[0].views[0].name == "V_a"
+
+
+def test_no_two_views_of_same_arity_share_a_tree():
+    views = [v(f"V{i}", tuple(f"a{j}" for j in range(i % 3 + 1)))
+             for i in range(9)]
+    allocation = select_mapping(views)
+    for tree in allocation.trees:
+        arities = tree.arities()
+        assert len(set(arities)) == len(arities)
+
+
+def test_paper_table_5_allocation():
+    """The TPC-D view set maps to R1{x,y,z} + R2{x} + R3{x} (Table 5)."""
+    views = [
+        v("V_psc", ("partkey", "suppkey", "custkey")),
+        v("V_ps", ("partkey", "suppkey")),
+        v("V_c", ("custkey",)),
+        v("V_s", ("suppkey",)),
+        v("V_p", ("partkey",)),
+        v("V_none", ()),
+    ]
+    allocation = select_mapping(views)
+    assert allocation.num_trees == 3
+    t1, t2, t3 = allocation.trees
+    assert t1.dims == 3
+    assert [view.name for view in t1.views] == [
+        "V_none", "V_c", "V_ps", "V_psc",
+    ]
+    assert t2.dims == 1
+    assert [view.name for view in t2.views] == ["V_s"]
+    assert t3.dims == 1
+    assert [view.name for view in t3.views] == ["V_p"]
+
+
+def test_paper_fig_7_allocation():
+    """The nine-view example of Sec. 2.4 maps to three Cubetrees."""
+    views = [
+        v("V1", ("brand",)),
+        v("V2", ("suppkey", "partkey")),
+        v("V3", ("brand2", "suppkey2", "custkey", "month")),
+        v("V4", ("partkey", "suppkey3", "custkey2", "year")),
+        v("V5", ("partkey2", "custkey3", "year2")),
+        v("V6", ("custkey4",)),
+        v("V7", ("custkey5", "partkey3")),
+        v("V8", ("partkey4",)),
+        v("V9", ("suppkey4", "custkey6")),
+    ]
+    allocation = select_mapping(views)
+    # S1 = {V1, V6, V8}, S2 = {V2, V7, V9}, S3 = {V5}, S4 = {V3, V4}
+    # -> three trees: two 4-d and one 2-d, matching Fig. 7.
+    assert allocation.num_trees == 3
+    dims = sorted(tree.dims for tree in allocation.trees)
+    assert dims == [2, 4, 4]
+
+
+def test_minimality():
+    """#trees equals the largest arity group size."""
+    views = [v("Va", ("x",)), v("Vb", ("y",)), v("Vc", ("z",)),
+             v("Vbig", ("x", "y", "z"))]
+    allocation = select_mapping(views)
+    assert allocation.num_trees == 3
+
+
+def test_lone_super_aggregate_gets_one_dim():
+    allocation = select_mapping([v("V_none", ())])
+    assert allocation.num_trees == 1
+    assert allocation.trees[0].dims == 1
+
+
+def test_duplicate_names_rejected():
+    with pytest.raises(MappingError):
+        select_mapping([v("V", ("a",)), v("V", ("b",))])
+
+
+def test_tree_of():
+    views = [v("V_a", ("a",)), v("V_b", ("b",))]
+    allocation = select_mapping(views)
+    assert allocation.tree_of("V_a") == 0
+    assert allocation.tree_of("V_b") == 1
+    with pytest.raises(MappingError):
+        allocation.tree_of("nope")
+
+
+def test_describe_contains_every_view():
+    views = [v("V_a", ("a",)), v("V_ab", ("a", "b"))]
+    text = select_mapping(views).describe()
+    assert "V_a" in text and "V_ab" in text
+    assert "R1{x1,x2}" in text

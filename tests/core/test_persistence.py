@@ -1,0 +1,109 @@
+"""Tests for saving and reopening a Cubetree database."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.engine import CubetreeEngine
+from repro.core.persistence import (
+    PersistenceError,
+    load_engine,
+    save_engine,
+)
+from repro.query.generator import RandomQueryGenerator
+from repro.query.slice import SliceQuery
+from repro.relational.view import ViewDefinition
+from repro.warehouse.tpcd import TPCDGenerator
+
+VIEWS = [
+    ViewDefinition("V_ps", ("partkey", "suppkey")),
+    ViewDefinition("V_s", ("suppkey",)),
+    ViewDefinition("V_none", ()),
+]
+
+
+@pytest.fixture()
+def saved(tmp_path):
+    gen = TPCDGenerator(scale_factor=0.0005, seed=23)
+    data = gen.generate()
+    engine = CubetreeEngine(data.schema, buffer_pages=128)
+    engine.materialize(
+        VIEWS, data.facts,
+        replicate={"V_ps": [("suppkey", "partkey")]},
+    )
+    directory = str(tmp_path / "db")
+    save_engine(engine, directory)
+    return gen, data, engine, directory
+
+
+def test_save_creates_files(saved):
+    _gen, _data, _engine, directory = saved
+    assert os.path.exists(os.path.join(directory, "meta.json"))
+    assert os.path.exists(os.path.join(directory, "pages.bin"))
+    assert os.path.getsize(os.path.join(directory, "pages.bin")) > 0
+
+
+def test_reopened_engine_answers_identically(saved):
+    _gen, data, original, directory = saved
+    reopened = load_engine(directory)
+    qgen = RandomQueryGenerator(data.schema, seed=3)
+    for node in (("partkey", "suppkey"), ("suppkey",), ("partkey",)):
+        for query in qgen.generate_for_node(node, 8, include_unbound=True):
+            assert reopened.query(query).rows == original.query(query).rows
+
+
+def test_reopened_engine_accepts_updates(saved):
+    gen, data, original, directory = saved
+    reopened = load_engine(directory)
+    increment = gen.generate_increment(0.2)
+    reopened.update(increment)
+    expected = float(
+        sum(r[-1] for r in data.facts) + sum(r[-1] for r in increment)
+    )
+    assert reopened.query(SliceQuery((), ())).scalar() == expected
+
+
+def test_reopened_view_sizes_and_replicas(saved):
+    _gen, _data, original, directory = saved
+    reopened = load_engine(directory)
+    assert reopened.view_sizes() == original.view_sizes()
+    assert reopened.replicas == original.replicas
+    assert reopened.forest.num_trees == original.forest.num_trees
+
+
+def test_hierarchies_survive_roundtrip(tmp_path):
+    data = TPCDGenerator(scale_factor=0.0005, seed=8).generate()
+    hierarchies = {"brand": data.hierarchy("partkey", "brand")}
+    engine = CubetreeEngine(data.schema, hierarchies=hierarchies)
+    engine.materialize([ViewDefinition("V_p", ("partkey",)),
+                        ViewDefinition("V_none", ())], data.facts)
+    directory = str(tmp_path / "db")
+    save_engine(engine, directory)
+    reopened = load_engine(directory)
+    query = SliceQuery(("brand",), ())
+    assert reopened.query(query).rows == engine.query(query).rows
+
+
+def test_save_unloaded_engine_raises(tmp_path):
+    data = TPCDGenerator(scale_factor=0.0005, seed=2).generate()
+    engine = CubetreeEngine(data.schema)
+    with pytest.raises(PersistenceError):
+        save_engine(engine, str(tmp_path / "db"))
+
+
+def test_load_missing_directory_raises(tmp_path):
+    with pytest.raises(PersistenceError):
+        load_engine(str(tmp_path / "nope"))
+
+
+def test_load_bad_version_raises(saved, tmp_path):
+    _gen, _data, _engine, directory = saved
+    meta_path = os.path.join(directory, "meta.json")
+    with open(meta_path) as handle:
+        meta = json.load(handle)
+    meta["format_version"] = 999
+    with open(meta_path, "w") as handle:
+        json.dump(meta, handle)
+    with pytest.raises(PersistenceError):
+        load_engine(directory)

@@ -1,0 +1,197 @@
+"""Tests for sort-based cube computation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cube.computation import CubeComputation
+from repro.errors import SchemaError
+from repro.relational.executor import AggFunc, AggSpec
+from repro.relational.view import ViewDefinition
+from repro.warehouse.hierarchy import Hierarchy
+from repro.warehouse.star import Dimension, StarSchema
+
+
+def small_schema():
+    part = Dimension("part", "partkey", ("partkey", "brand"),
+                     rows=[(i, (i - 1) % 3 + 1) for i in range(1, 10)])
+    supp = Dimension("supplier", "suppkey", ("suppkey",),
+                     rows=[(i,) for i in range(1, 5)])
+    return StarSchema(("partkey", "suppkey"), "quantity",
+                      {"partkey": part, "suppkey": supp})
+
+
+def facts():
+    return [
+        (1, 1, 10), (1, 1, 5), (1, 2, 3),
+        (2, 1, 7), (4, 2, 2), (4, 2, 1),
+    ]
+
+
+def v(name, attrs, aggs=None):
+    if aggs is None:
+        return ViewDefinition(name, tuple(attrs))
+    return ViewDefinition(name, tuple(attrs), aggregates=tuple(aggs))
+
+
+def test_compute_top_view_from_fact():
+    comp = CubeComputation(small_schema())
+    out = comp.execute(facts(), [v("V_ps", ("partkey", "suppkey"))])
+    assert out["V_ps"] == [
+        (1, 1, 15.0), (1, 2, 3.0), (2, 1, 7.0), (4, 2, 3.0),
+    ]
+
+
+def test_compute_super_aggregate():
+    comp = CubeComputation(small_schema())
+    out = comp.execute(facts(), [v("V_none", ())])
+    assert out["V_none"] == [(28.0,)]
+
+
+def test_child_computed_from_parent_equals_from_fact():
+    comp = CubeComputation(small_schema())
+    both = comp.execute(
+        facts(), [v("V_ps", ("partkey", "suppkey")), v("V_p", ("partkey",))]
+    )
+    solo = comp.execute(facts(), [v("V_p", ("partkey",))])
+    assert both["V_p"] == solo["V_p"]
+    assert both["V_p"] == [(1, 18.0), (2, 7.0), (4, 3.0)]
+
+
+def test_plan_uses_smallest_parent():
+    comp = CubeComputation(small_schema())
+    views = [
+        v("V_ps", ("partkey", "suppkey")),
+        v("V_p", ("partkey",)),
+        v("V_none", ()),
+    ]
+    steps = {s.view.name: s.parent for s in comp.plan(views, 1000)}
+    assert steps["V_ps"] is None
+    assert steps["V_p"] == "V_ps"
+    assert steps["V_none"] == "V_p"  # smallest ancestor
+
+
+def test_plan_describe():
+    comp = CubeComputation(small_schema())
+    steps = comp.plan([v("V_ps", ("partkey", "suppkey"))], 100)
+    assert steps[0].describe() == "V_ps <- F"
+
+
+def test_hierarchy_view_from_fact():
+    schema = small_schema()
+    brand = Hierarchy.from_dimension(schema.dimensions["partkey"], "brand")
+    comp = CubeComputation(schema, {"brand": brand})
+    out = comp.execute(facts(), [v("V_brand", ("brand",))])
+    # parts 1,4 -> brand 1; part 2 -> brand 2
+    assert out["V_brand"] == [(1, 21.0), (2, 7.0)]
+
+
+def test_hierarchy_view_from_parent():
+    schema = small_schema()
+    brand = Hierarchy.from_dimension(schema.dimensions["partkey"], "brand")
+    comp = CubeComputation(schema, {"brand": brand})
+    out = comp.execute(
+        facts(),
+        [v("V_ps", ("partkey", "suppkey")), v("V_brand", ("brand",))],
+    )
+    assert out["V_brand"] == [(1, 21.0), (2, 7.0)]
+    plan = comp.plan(
+        [v("V_ps", ("partkey", "suppkey")), v("V_brand", ("brand",))],
+        len(facts()),
+    )
+    parents = {s.view.name: s.parent for s in plan}
+    assert parents["V_brand"] == "V_ps"
+
+
+def test_unknown_attribute_raises():
+    comp = CubeComputation(small_schema())
+    with pytest.raises(SchemaError):
+        comp.execute(facts(), [v("V_bad", ("nope",))])
+
+
+def test_multiple_aggregates():
+    comp = CubeComputation(small_schema())
+    aggs = (AggSpec(AggFunc.SUM, "quantity"),
+            AggSpec(AggFunc.COUNT),
+            AggSpec(AggFunc.AVG, "quantity"))
+    out = comp.execute(facts(), [v("V_p", ("partkey",), aggs)])
+    # part 1: sum 18, count 3, avg state (18, 3)
+    assert out["V_p"][0] == (1, 18.0, 3.0, 18.0, 3.0)
+
+
+def test_min_max_aggregates_derive_correctly():
+    comp = CubeComputation(small_schema())
+    aggs = (AggSpec(AggFunc.MIN, "quantity"), AggSpec(AggFunc.MAX, "quantity"))
+    out = comp.execute(
+        facts(),
+        [v("V_ps", ("partkey", "suppkey"), aggs), v("V_p", ("partkey",), aggs)],
+    )
+    assert out["V_p"] == [(1, 3.0, 10.0), (2, 7.0, 7.0), (4, 1.0, 2.0)]
+
+
+def test_mismatched_aggregates_fall_back_to_fact():
+    comp = CubeComputation(small_schema())
+    parent = v("V_ps", ("partkey", "suppkey"))
+    child = v("V_p", ("partkey",),
+              aggs := (AggSpec(AggFunc.MIN, "quantity"),))
+    plan = comp.plan([parent, child], len(facts()))
+    parents = {s.view.name: s.parent for s in plan}
+    assert parents["V_p"] is None  # different aggregates: recompute from F
+
+
+def test_compute_one_from_fact():
+    comp = CubeComputation(small_schema())
+    rows = comp.compute_one_from_fact(facts(), v("V_s", ("suppkey",)))
+    assert rows == [(1, 22.0), (2, 6.0)]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(1, 9), st.integers(1, 4), st.integers(1, 50)),
+    max_size=200,
+))
+def test_parent_derivation_invariant_property(fact_rows):
+    """Any view computed via a parent equals the same view from facts."""
+    comp = CubeComputation(small_schema())
+    views = [v("V_ps", ("partkey", "suppkey")),
+             v("V_s", ("suppkey",)), v("V_none", ())]
+    chained = comp.execute(fact_rows, views)
+    for view in views[1:]:
+        solo = comp.execute(fact_rows, [view])
+        assert chained[view.name] == solo[view.name]
+
+
+def test_multiple_measures_aggregate_independently():
+    """Views can aggregate different measure columns (extendedprice)."""
+    from repro.warehouse.tpcd import TPCDGenerator
+
+    gen = TPCDGenerator(scale_factor=0.0005, seed=9, include_price=True)
+    data = gen.generate()
+    comp = CubeComputation(data.schema)
+    view = ViewDefinition(
+        "V_s", ("suppkey",),
+        aggregates=(AggSpec(AggFunc.SUM, "quantity"),
+                    AggSpec(AggFunc.SUM, "extendedprice"),
+                    AggSpec(AggFunc.COUNT)),
+    )
+    rows = comp.execute(data.facts, [view])["V_s"]
+    expected = {}
+    for partkey, suppkey, _c, quantity, price in data.facts:
+        q, p, n = expected.get(suppkey, (0.0, 0.0, 0))
+        expected[suppkey] = (q + quantity, p + price, n + 1)
+    assert rows == [
+        (s,) + tuple(map(float, expected[s])) for s in sorted(expected)
+    ]
+
+
+def test_non_measure_aggregate_rejected():
+    from repro.warehouse.tpcd import TPCDGenerator
+
+    data = TPCDGenerator(scale_factor=0.0005, seed=9).generate()
+    comp = CubeComputation(data.schema)
+    view = ViewDefinition(
+        "V_bad", ("suppkey",),
+        aggregates=(AggSpec(AggFunc.SUM, "partkey"),),
+    )
+    with pytest.raises(SchemaError):
+        comp.execute(data.facts, [view])

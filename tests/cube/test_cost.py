@@ -1,0 +1,92 @@
+"""Tests for the selection cost model."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cube.cost import (
+    cardenas_estimate,
+    estimate_view_size,
+    query_cost,
+)
+
+
+def test_cardenas_degenerate_cases():
+    assert cardenas_estimate(100, 0) == 0.0
+    assert cardenas_estimate(0, 10) == 0.0
+    assert cardenas_estimate(1, 10) == 1.0
+
+
+def test_cardenas_small_domain_saturates():
+    # 10 distinct values, many draws -> ~10 distinct observed
+    assert cardenas_estimate(10, 10_000) == pytest.approx(10.0)
+
+
+def test_cardenas_large_domain_near_row_count():
+    # domain >> rows -> almost every row is distinct
+    assert cardenas_estimate(1e12, 1000) == pytest.approx(1000.0, rel=1e-3)
+
+
+@given(st.integers(1, 10**6), st.integers(0, 10**6))
+def test_cardenas_bounds_property(domain, rows):
+    est = cardenas_estimate(domain, rows)
+    assert 0.0 <= est <= min(domain, rows) + 1e-6
+
+
+def test_estimate_view_size_super_aggregate():
+    assert estimate_view_size((), {}, 1000) == 1.0
+
+
+def test_estimate_view_size_products():
+    counts = {"a": 10.0, "b": 20.0}
+    est = estimate_view_size(("a", "b"), counts, 10**6)
+    assert est == pytest.approx(200.0, rel=1e-6)
+
+
+def test_estimate_view_size_with_correlated_domain():
+    counts = {"p": 200_000.0, "s": 10_000.0}
+    uncorrelated = estimate_view_size(("p", "s"), counts, 6_000_000)
+    correlated = estimate_view_size(
+        ("p", "s"), counts, 6_000_000,
+        correlated_domains={frozenset({"p", "s"}): 800_000.0},
+    )
+    assert correlated < uncorrelated
+    assert correlated == pytest.approx(
+        800_000 * (1 - math.exp(-6_000_000 / 800_000)), rel=1e-2
+    )
+
+
+def test_query_cost_no_index_is_scan():
+    assert query_cost(1000.0, ("a",), [], {"a": 10.0}) == 1000.0
+
+
+def test_query_cost_with_matching_prefix():
+    cost = query_cost(1000.0, ("a",), [("a", "b")], {"a": 10.0, "b": 5.0})
+    assert cost == pytest.approx(100.0)
+
+
+def test_query_cost_full_prefix():
+    cost = query_cost(
+        1000.0, ("a", "b"), [("a", "b")], {"a": 10.0, "b": 5.0}
+    )
+    assert cost == pytest.approx(20.0)
+
+
+def test_query_cost_prefix_stops_at_unbound_attr():
+    # index (a, b): query binds only b -> no usable prefix
+    cost = query_cost(1000.0, ("b",), [("a", "b")], {"a": 10.0, "b": 5.0})
+    assert cost == 1000.0
+
+
+def test_query_cost_picks_best_index():
+    cost = query_cost(
+        1000.0, ("b",), [("a", "b"), ("b", "a")], {"a": 10.0, "b": 5.0}
+    )
+    assert cost == pytest.approx(200.0)
+
+
+def test_query_cost_never_below_one_tuple():
+    cost = query_cost(10.0, ("a",), [("a",)], {"a": 1000.0})
+    assert cost == 1.0

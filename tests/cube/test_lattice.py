@@ -1,0 +1,100 @@
+"""Tests for the cube lattice."""
+
+import pytest
+
+from repro.cube.lattice import CubeLattice
+from repro.errors import SchemaError
+
+PSC = ("partkey", "suppkey", "custkey")
+
+
+def lattice():
+    return CubeLattice(PSC, hierarchies={"brand": "partkey"})
+
+
+def test_num_nodes():
+    assert lattice().num_nodes() == 8
+    assert len(list(lattice().nodes())) == 8
+
+
+def test_nodes_ordered_top_first():
+    nodes = list(lattice().nodes())
+    assert nodes[0] == frozenset(PSC)
+    assert nodes[-1] == frozenset()
+
+
+def test_top_and_bottom():
+    lat = lattice()
+    assert lat.top == frozenset(PSC)
+    assert lat.bottom == frozenset()
+
+
+def test_duplicate_base_attrs_raise():
+    with pytest.raises(SchemaError):
+        CubeLattice(("a", "a"))
+
+
+def test_unknown_hierarchy_source_raises():
+    with pytest.raises(SchemaError):
+        CubeLattice(("a",), hierarchies={"h": "b"})
+
+
+def test_canonical_order():
+    lat = lattice()
+    assert lat.canonical_order(frozenset(("custkey", "partkey"))) == (
+        "partkey", "custkey",
+    )
+    assert lat.canonical_order(frozenset(("brand", "custkey"))) == (
+        "brand", "custkey",
+    )
+    with pytest.raises(SchemaError):
+        lat.canonical_order(frozenset(("nope",)))
+
+
+def test_derives_from_subset():
+    lat = lattice()
+    assert lat.derives_from(("partkey",), PSC)
+    assert lat.derives_from((), ("partkey",))
+    assert not lat.derives_from(("partkey", "custkey"), ("partkey",))
+
+
+def test_derives_from_hierarchy():
+    lat = lattice()
+    assert lat.derives_from(("brand",), ("partkey", "suppkey"))
+    assert lat.derives_from(("brand", "suppkey"), PSC)
+    # brand cannot be rolled back down to partkey
+    assert not lat.derives_from(("partkey",), ("brand",))
+    # brand supports itself
+    assert lat.derives_from(("brand",), ("brand",))
+
+
+def test_resolve():
+    lat = lattice()
+    assert lat.resolve(("brand", "custkey")) == frozenset(
+        ("partkey", "custkey")
+    )
+    with pytest.raises(SchemaError):
+        lat.resolve(("nope",))
+
+
+def test_parents_and_children():
+    lat = lattice()
+    node = frozenset(("partkey",))
+    parents = lat.parents(node)
+    assert frozenset(("partkey", "suppkey")) in parents
+    assert frozenset(("partkey", "custkey")) in parents
+    assert len(parents) == 2
+    assert lat.children(frozenset(("partkey", "suppkey"))) == [
+        frozenset(("suppkey",)),
+        frozenset(("partkey",)),
+    ] or len(lat.children(frozenset(("partkey", "suppkey")))) == 2
+
+
+def test_ancestors_descendants():
+    lat = lattice()
+    node = frozenset(("partkey",))
+    ancestors = lat.ancestors(node)
+    assert frozenset(PSC) in ancestors
+    assert len(ancestors) == 3
+    descendants = lat.descendants(node)
+    assert descendants == [frozenset()]

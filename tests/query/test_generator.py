@@ -1,0 +1,131 @@
+"""Tests for the random query generator."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.generator import RandomQueryGenerator
+from repro.warehouse.tpcd import TPCDGenerator
+
+NODE = ("partkey", "suppkey", "custkey")
+
+
+def make_gen(seed=0):
+    data = TPCDGenerator(scale_factor=0.001, seed=1).generate()
+    return data.schema, RandomQueryGenerator(data.schema, seed=seed)
+
+
+def test_query_types_exclude_unbound_by_default():
+    _schema, gen = make_gen()
+    types = gen.query_types(("a", "b"))
+    assert set(types) == {("a",), ("b",), ("a", "b")}
+
+
+def test_query_types_include_unbound():
+    _schema, gen = make_gen()
+    types = gen.query_types(("a",), include_unbound=True)
+    assert set(types) == {(), ("a",)}
+
+
+def test_super_aggregate_node_has_single_type():
+    _schema, gen = make_gen()
+    assert gen.query_types(()) == [()]
+
+
+def test_total_types_across_lattice_is_27():
+    """Paper Sec. 3.1: sum of 2^|V| over the 3-attribute lattice."""
+    from itertools import combinations
+
+    _schema, gen = make_gen()
+    total = 0
+    for size in range(len(NODE) + 1):
+        for node in combinations(NODE, size):
+            total += len(gen.query_types(node, include_unbound=True))
+    assert total == 27
+
+
+def test_generated_queries_live_on_node():
+    _schema, gen = make_gen()
+    queries = gen.generate_for_node(NODE, 50)
+    for q in queries:
+        assert q.node == frozenset(NODE)
+        assert len(q.bindings) >= 1  # unbound excluded
+
+
+def test_generated_values_within_domains():
+    schema, gen = make_gen()
+    queries = gen.generate_for_node(("partkey",), 30)
+    domain = set(schema.key_domain("partkey"))
+    for q in queries:
+        for attr, value in q.bindings:
+            assert attr == "partkey"
+            assert value in domain
+
+
+def test_deterministic_given_seed():
+    _schema, gen_a = make_gen(seed=9)
+    _schema, gen_b = make_gen(seed=9)
+    assert (gen_a.generate_for_node(NODE, 20)
+            == gen_b.generate_for_node(NODE, 20))
+
+
+def test_different_seed_differs():
+    _schema, gen_a = make_gen(seed=1)
+    _schema, gen_b = make_gen(seed=2)
+    assert (gen_a.generate_for_node(NODE, 20)
+            != gen_b.generate_for_node(NODE, 20))
+
+
+def test_workload_covers_all_nodes():
+    _schema, gen = make_gen()
+    nodes = [NODE, ("partkey",), ()]
+    workload = gen.generate_workload(nodes, per_node=5,
+                                     include_unbound=True)
+    assert [node for node, _ in workload] == [tuple(n) for n in nodes]
+    assert all(len(batch) == 5 for _, batch in workload)
+
+
+def test_hierarchy_attribute_values():
+    schema, gen = make_gen()
+    queries = gen.generate_for_node(("brand",), 10)
+    brands = {row[2] for row in schema.dimensions["partkey"].rows}
+    for q in queries:
+        assert q.bindings[0][1] in brands
+
+
+def test_negative_count_raises():
+    _schema, gen = make_gen()
+    with pytest.raises(QueryError):
+        gen.generate_for_node(NODE, -1)
+
+
+def test_unknown_attribute_raises():
+    _schema, gen = make_gen()
+    with pytest.raises(QueryError):
+        gen.generate_for_node(("nope",), 1)
+
+
+def test_range_queries_generated_within_domain():
+    schema, gen = make_gen()
+    queries = gen.generate_range_queries(NODE, 20, width_fraction=0.1)
+    for q in queries:
+        assert q.bindings == ()
+        assert len(q.ranges) >= 1
+        for attr, low, high in q.ranges:
+            domain = set(schema.key_domain(attr))
+            assert low <= high
+            assert low in domain and high in domain
+
+
+def test_range_queries_width_fraction_validated():
+    _schema, gen = make_gen()
+    with pytest.raises(QueryError):
+        gen.generate_range_queries(NODE, 1, width_fraction=0.0)
+    with pytest.raises(QueryError):
+        gen.generate_range_queries(NODE, -1)
+
+
+def test_range_queries_deterministic():
+    _schema, a = make_gen(seed=4)
+    _schema, b = make_gen(seed=4)
+    assert (a.generate_range_queries(NODE, 10)
+            == b.generate_range_queries(NODE, 10))

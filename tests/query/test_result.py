@@ -1,0 +1,56 @@
+"""Tests for QueryResult and report types."""
+
+import pytest
+
+from repro.core.reports import LoadReport, PhaseReport, UpdateReport
+from repro.query.result import QueryResult
+from repro.storage.iomodel import IOStats
+
+
+def test_result_len():
+    result = QueryResult(rows=[(1, 2.0), (3, 4.0)])
+    assert len(result) == 2
+
+
+def test_scalar_ok():
+    assert QueryResult(rows=[(42.0,)]).scalar() == 42.0
+
+
+def test_scalar_rejects_multiple_rows():
+    with pytest.raises(ValueError):
+        QueryResult(rows=[(1.0,), (2.0,)]).scalar()
+
+
+def test_scalar_rejects_wide_row():
+    with pytest.raises(ValueError):
+        QueryResult(rows=[(1, 2.0)]).scalar()
+
+
+def test_phase_report_simulated_ms():
+    report = PhaseReport(io=IOStats(random_reads=2, simulated_ms=16.0,
+                                    overhead_ms=4.0))
+    assert report.simulated_ms == 20.0
+
+
+def test_load_report_totals():
+    report = LoadReport(phases={
+        "views": PhaseReport(io=IOStats(simulated_ms=10.0), wall_ms=1.0),
+        "indexes": PhaseReport(io=IOStats(simulated_ms=5.0), wall_ms=2.0),
+    })
+    assert report.total_simulated_ms == 15.0
+    assert report.total_wall_ms == 3.0
+
+
+def test_update_report_simulated_ms():
+    report = UpdateReport(io=IOStats(simulated_ms=7.0, overhead_ms=3.0))
+    assert report.simulated_ms == 10.0
+
+
+def test_errors_form_one_hierarchy():
+    import repro.errors as errors
+
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            if obj is not errors.ReproError:
+                assert issubclass(obj, errors.ReproError), name

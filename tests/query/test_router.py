@@ -1,0 +1,144 @@
+"""Tests for cost-based query routing (page-level cost model)."""
+
+import pytest
+
+from repro.cube.lattice import CubeLattice
+from repro.errors import QueryError
+from repro.query.router import AccessPath, QueryRouter
+from repro.query.slice import SliceQuery
+from repro.relational.view import ViewDefinition
+
+PSC = ("partkey", "suppkey", "custkey")
+DISTINCT = {"partkey": 2000.0, "suppkey": 100.0, "custkey": 1500.0}
+
+
+def router():
+    return QueryRouter(CubeLattice(PSC), DISTINCT)
+
+
+# TPC-D SF-1 statistics (the paper's setting): |V_psc| ~ 6M, |V_ps| ~ 800k.
+PSC_DISTINCT_SF1 = {"partkey": 200_000.0, "suppkey": 10_000.0,
+                    "custkey": 150_000.0}
+
+
+def psc_path(clustered=("partkey", "suppkey", "custkey"), size=6_000_000.0):
+    v_psc = ViewDefinition("V_psc", PSC)
+    return AccessPath(
+        v_psc, size,
+        orders=(
+            ("custkey", "partkey", "suppkey"),
+            ("partkey", "suppkey", "custkey"),
+            ("suppkey", "custkey", "partkey"),
+        ),
+        rows_per_page=120,
+        clustered=clustered,
+    )
+
+
+def ps_path(size=800_000.0):
+    v_ps = ViewDefinition("V_ps", ("partkey", "suppkey"))
+    return AccessPath(v_ps, size, (), rows_per_page=150)
+
+
+def sf1_router():
+    return QueryRouter(CubeLattice(PSC), PSC_DISTINCT_SF1)
+
+
+def test_route_prefers_indexed_apex_for_selective_binding():
+    """The paper's Q1 at SF-1 sizes: the indexed apex view beats scanning
+    the (unindexed) 800k-row V_ps."""
+    q = SliceQuery(("suppkey",), (("partkey", 7),))
+    decision = sf1_router().route(q, [psc_path(), ps_path()])
+    assert decision.view_name == "V_psc"
+    assert decision.order == ("partkey", "suppkey", "custkey")
+    assert decision.needs_reaggregation
+
+
+def test_tiny_view_scan_beats_index_descent():
+    """A view that fits in a couple of pages is cheaper to scan than to
+    reach through three random index-descent pages."""
+    q = SliceQuery((), (("suppkey", 7),))
+    v_s = ViewDefinition("V_s", ("suppkey",))
+    tiny = AccessPath(v_s, 100.0, (("suppkey",),), rows_per_page=200,
+                      clustered=("suppkey",))
+    decision = router().route(q, [tiny])
+    assert decision.order is None
+    assert decision.est_cost < 3 * 8.0
+
+
+def test_route_scan_when_no_order_matches():
+    q = SliceQuery(("partkey",), (("suppkey", 1),))
+    decision = router().route(q, [ps_path()])
+    assert decision.order is None
+    assert decision.prefix == ()
+
+
+def test_route_rejects_unanswerable_query():
+    q = SliceQuery(("custkey",), ())
+    with pytest.raises(QueryError):
+        router().route(q, [ps_path()])
+
+
+def test_clustered_access_beats_unclustered():
+    """Same index keys; only the clustered one fetches sequentially."""
+    q = SliceQuery(("suppkey", "partkey"), (("custkey", 3),))
+    # Bound {custkey}: order (c, p, s) has a usable prefix; ~40 matches.
+    clustered = psc_path(clustered=("custkey", "partkey", "suppkey"))
+    unclustered = psc_path(clustered=("partkey", "suppkey", "custkey"))
+    d_clustered = sf1_router().route(q, [clustered])
+    d_unclustered = sf1_router().route(q, [unclustered])
+    assert d_clustered.order == ("custkey", "partkey", "suppkey")
+    assert d_unclustered.order == ("custkey", "partkey", "suppkey")
+    assert d_clustered.est_cost < d_unclustered.est_cost
+
+
+def test_unclustered_fetch_priced_as_random_pages():
+    """~600 unclustered matches cost ~600 random pages — still cheaper
+    than scanning 6M rows, but ~60x a clustered fetch of the same rows."""
+    q = SliceQuery(("partkey", "custkey"), (("suppkey", 9),))
+    unclustered = sf1_router().route(q, [psc_path()])
+    assert unclustered.order == ("suppkey", "custkey", "partkey")
+    clustered = sf1_router().route(
+        q, [psc_path(clustered=("suppkey", "custkey", "partkey"))]
+    )
+    assert unclustered.est_cost > 30 * clustered.est_cost
+
+
+def test_route_picks_longest_prefix_order():
+    q = SliceQuery(("suppkey",), (("custkey", 3), ("partkey", 9)))
+    decision = router().route(
+        q, [psc_path(clustered=("custkey", "partkey", "suppkey"))]
+    )
+    assert decision.order == ("custkey", "partkey", "suppkey")
+    assert decision.prefix == ("custkey", "partkey")
+
+
+def test_route_exact_view_without_reaggregation_wins_ties():
+    v_exact = ViewDefinition("V_c", ("custkey",))
+    v_fine = ViewDefinition("V_sc", ("suppkey", "custkey"))
+    exact = AccessPath(v_exact, 10.0, (("custkey",),),
+                       clustered=("custkey",))
+    fine = AccessPath(v_fine, 10.0, (("custkey", "suppkey"),),
+                      clustered=("custkey", "suppkey"))
+    q = SliceQuery((), (("custkey", 5),))
+    decision = router().route(q, [fine, exact])
+    assert decision.view_name == "V_c"
+    assert not decision.needs_reaggregation
+
+
+def test_route_with_hierarchy_attribute():
+    lattice = CubeLattice(PSC, hierarchies={"brand": "partkey"})
+    r = QueryRouter(lattice, dict(DISTINCT, brand=25.0))
+    q = SliceQuery(("brand",), (("custkey", 1),))
+    decision = r.route(
+        q, [psc_path(clustered=("custkey", "partkey", "suppkey"))]
+    )
+    assert decision.view_name == "V_psc"
+    assert decision.prefix == ("custkey",)
+
+
+def test_decision_describe():
+    q = SliceQuery(("suppkey",), (("partkey", 7),))
+    decision = router().route(q, [psc_path()])
+    assert "V_psc" in decision.describe()
+    assert "ms" in decision.describe()

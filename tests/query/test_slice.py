@@ -1,0 +1,42 @@
+"""Tests for slice queries."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.slice import SliceQuery
+
+
+def test_node_is_union():
+    q = SliceQuery(("partkey",), (("custkey", 5),))
+    assert q.node == frozenset(("partkey", "custkey"))
+    assert q.bound_attrs == ("custkey",)
+    assert q.binding_map == {"custkey": 5}
+
+
+def test_empty_query_is_super_aggregate():
+    q = SliceQuery((), ())
+    assert q.node == frozenset()
+
+
+def test_overlapping_attrs_rejected():
+    with pytest.raises(QueryError):
+        SliceQuery(("partkey",), (("partkey", 1),))
+
+
+def test_duplicate_bindings_rejected():
+    with pytest.raises(QueryError):
+        SliceQuery((), (("a", 1), ("a", 2)))
+
+
+def test_duplicate_group_by_rejected():
+    with pytest.raises(QueryError):
+        SliceQuery(("a", "a"), ())
+
+
+def test_describe():
+    q = SliceQuery(("partkey",), (("custkey", 5),))
+    assert q.describe() == (
+        "select partkey, sum(quantity) from F where custkey = 5 "
+        "group by partkey"
+    )
+    assert SliceQuery((), ()).describe() == "select sum(quantity) from F"

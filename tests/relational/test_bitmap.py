@@ -1,0 +1,111 @@
+"""Tests for compressed bitmaps and bitmap indexes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.bitmap import BitmapIndex, CompressedBitmap
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+
+
+def make_pool():
+    return BufferPool(DiskManager(), capacity=64)
+
+
+# ----------------------------------------------------------------------
+# CompressedBitmap
+# ----------------------------------------------------------------------
+def test_empty_bitmap():
+    bitmap = CompressedBitmap.from_positions([], 1000)
+    assert list(bitmap.positions()) == []
+    assert bitmap.count() == 0
+
+
+def test_simple_positions_roundtrip():
+    positions = [0, 5, 62, 63, 64, 500]
+    bitmap = CompressedBitmap.from_positions(positions, 501)
+    assert list(bitmap.positions()) == positions
+    assert bitmap.count() == len(positions)
+
+
+def test_sparse_bitmap_compresses():
+    """A single bit in a huge domain needs only a fill + a literal word."""
+    bitmap = CompressedBitmap.from_positions([600_000], 1_000_000)
+    assert len(bitmap.words) <= 3
+
+
+def test_serialization_roundtrip():
+    positions = sorted(random.Random(4).sample(range(10_000), 300))
+    bitmap = CompressedBitmap.from_positions(positions, 10_000)
+    clone = CompressedBitmap.from_bytes(bitmap.to_bytes())
+    assert list(clone.positions()) == positions
+    assert clone.num_bits == 10_000
+
+
+def test_logical_and():
+    a = CompressedBitmap.from_positions([1, 5, 9, 100], 200)
+    b = CompressedBitmap.from_positions([5, 9, 150], 200)
+    assert list(a.logical_and(b).positions()) == [5, 9]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sets(st.integers(0, 5000), max_size=300))
+def test_bitmap_roundtrip_property(positions):
+    ordered = sorted(positions)
+    bitmap = CompressedBitmap.from_positions(ordered, 5001)
+    assert list(bitmap.positions()) == ordered
+    assert bitmap.count() == len(ordered)
+    clone = CompressedBitmap.from_bytes(bitmap.to_bytes())
+    assert list(clone.positions()) == ordered
+
+
+# ----------------------------------------------------------------------
+# BitmapIndex
+# ----------------------------------------------------------------------
+def test_index_equality_lookup():
+    pool = make_pool()
+    values = [1, 2, 1, 3, 2, 1]
+    index = BitmapIndex.build(pool, values)
+    assert index.ordinals_equal(1) == [0, 2, 5]
+    assert index.ordinals_equal(2) == [1, 4]
+    assert index.ordinals_equal(99) == []
+    assert index.bitmap_for(99) is None
+
+
+def test_index_range_lookup():
+    pool = make_pool()
+    values = [5, 1, 3, 5, 2]
+    index = BitmapIndex.build(pool, values)
+    assert index.ordinals_in_range(2, 5) == [0, 2, 3, 4]
+
+
+def test_index_distinct_values_and_pages():
+    pool = make_pool()
+    values = [i % 7 for i in range(1000)]
+    index = BitmapIndex.build(pool, values)
+    assert index.distinct_values() == list(range(7))
+    assert index.num_pages >= 7  # one blob (>=1 page) per value
+
+
+def test_index_lookup_charges_io():
+    disk = DiskManager()
+    pool = BufferPool(disk, capacity=4)
+    values = [i % 5 for i in range(2000)]
+    index = BitmapIndex.build(pool, values)
+    before = disk.cost_model.snapshot()
+    index.ordinals_equal(3)
+    delta = disk.cost_model.stats - before
+    assert delta.reads >= 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.integers(0, 9), max_size=400))
+def test_index_matches_naive_property(values):
+    pool = make_pool()
+    index = BitmapIndex.build(pool, values)
+    for value in set(values):
+        expected = [i for i, v in enumerate(values) if v == value]
+        assert index.ordinals_equal(value) == expected

@@ -1,0 +1,87 @@
+"""Tests for the catalog."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.relational.catalog import Catalog
+from repro.relational.schema import TableSchema
+from repro.relational.table import Table
+from repro.relational.view import MaterializedView, ViewDefinition
+from repro.storage.buffer import BufferPool
+from repro.storage.codec import int_column
+from repro.storage.disk import DiskManager
+
+
+def make_env():
+    disk = DiskManager()
+    pool = BufferPool(disk)
+    table = Table(pool, TableSchema("F", [("a", int_column())]))
+    view = MaterializedView(pool, ViewDefinition("V_a", ("a",)))
+    return pool, table, view
+
+
+def test_register_and_get_table():
+    _pool, table, _view = make_env()
+    cat = Catalog()
+    cat.register_table(table)
+    assert cat.table("F") is table
+    assert cat.has_table("F")
+    assert cat.table_names() == ["F"]
+
+
+def test_duplicate_table_raises():
+    _pool, table, _view = make_env()
+    cat = Catalog()
+    cat.register_table(table)
+    with pytest.raises(CatalogError):
+        cat.register_table(table)
+
+
+def test_unknown_table_raises():
+    cat = Catalog()
+    with pytest.raises(CatalogError):
+        cat.table("nope")
+    with pytest.raises(CatalogError):
+        cat.drop_table("nope")
+
+
+def test_drop_table():
+    _pool, table, _view = make_env()
+    cat = Catalog()
+    cat.register_table(table)
+    cat.drop_table("F")
+    assert not cat.has_table("F")
+
+
+def test_register_and_get_view():
+    _pool, _table, view = make_env()
+    cat = Catalog()
+    cat.register_view(view)
+    assert cat.view("V_a") is view
+    assert cat.has_view("V_a")
+    assert cat.view_names() == ["V_a"]
+    assert cat.views() == [view]
+
+
+def test_duplicate_view_raises():
+    _pool, _table, view = make_env()
+    cat = Catalog()
+    cat.register_view(view)
+    with pytest.raises(CatalogError):
+        cat.register_view(view)
+
+
+def test_unknown_view_raises():
+    cat = Catalog()
+    with pytest.raises(CatalogError):
+        cat.view("nope")
+    with pytest.raises(CatalogError):
+        cat.drop_view("nope")
+
+
+def test_drop_view():
+    _pool, _table, view = make_env()
+    cat = Catalog()
+    cat.register_view(view)
+    cat.drop_view("V_a")
+    assert not cat.has_view("V_a")

@@ -1,0 +1,217 @@
+"""Tests for physical operators and aggregate-state helpers."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.executor import (
+    AggFunc,
+    AggSpec,
+    combine_states,
+    external_sort,
+    filter_rows,
+    finalize_state,
+    hash_join,
+    init_state,
+    merge_value,
+    project,
+    reaggregate_states,
+    sort_group_aggregate,
+    state_width,
+)
+from repro.storage.buffer import BufferPool
+from repro.storage.codec import RecordCodec, float_column, int_column
+from repro.storage.disk import DiskManager
+
+
+# ----------------------------------------------------------------------
+# aggregate-state helpers
+# ----------------------------------------------------------------------
+def test_state_widths():
+    assert state_width(AggFunc.SUM) == 1
+    assert state_width(AggFunc.AVG) == 2
+
+
+def test_agg_spec_str():
+    assert str(AggSpec(AggFunc.SUM, "quantity")) == "sum(quantity)"
+    assert str(AggSpec(AggFunc.COUNT)) == "count(*)"
+
+
+def test_sum_lifecycle():
+    state = init_state(AggFunc.SUM, 5.0)
+    state = merge_value(AggFunc.SUM, state, 3.0)
+    assert finalize_state(AggFunc.SUM, state) == 8.0
+
+
+def test_count_lifecycle():
+    state = init_state(AggFunc.COUNT, 99.0)
+    state = merge_value(AggFunc.COUNT, state, 99.0)
+    assert finalize_state(AggFunc.COUNT, state) == 2.0
+
+
+def test_min_max_lifecycle():
+    s = init_state(AggFunc.MIN, 5.0)
+    s = merge_value(AggFunc.MIN, s, 9.0)
+    assert finalize_state(AggFunc.MIN, s) == 5.0
+    s = init_state(AggFunc.MAX, 5.0)
+    s = merge_value(AggFunc.MAX, s, 9.0)
+    assert finalize_state(AggFunc.MAX, s) == 9.0
+
+
+def test_avg_lifecycle():
+    s = init_state(AggFunc.AVG, 4.0)
+    s = merge_value(AggFunc.AVG, s, 8.0)
+    assert s == (12.0, 2.0)
+    assert finalize_state(AggFunc.AVG, s) == 6.0
+
+
+def test_avg_empty_state_finalizes_to_zero():
+    assert finalize_state(AggFunc.AVG, (0.0, 0.0)) == 0.0
+
+
+def test_combine_states():
+    assert combine_states(AggFunc.SUM, (3.0,), (4.0,)) == (7.0,)
+    assert combine_states(AggFunc.MIN, (3.0,), (4.0,)) == (3.0,)
+    assert combine_states(AggFunc.MAX, (3.0,), (4.0,)) == (4.0,)
+    assert combine_states(AggFunc.AVG, (3.0, 1.0), (5.0, 2.0)) == (8.0, 3.0)
+
+
+# ----------------------------------------------------------------------
+# basic operators
+# ----------------------------------------------------------------------
+def test_filter_and_project():
+    rows = [(1, 10), (2, 20), (3, 30)]
+    kept = list(filter_rows(rows, lambda r: r[0] >= 2))
+    assert kept == [(2, 20), (3, 30)]
+    assert list(project(kept, [1])) == [(20,), (30,)]
+
+
+def test_hash_join():
+    left = [(1, "x"), (2, "y"), (2, "z")]
+    right = [(2, 20), (3, 30)]
+    out = sorted(hash_join(left, right, 0, 0))
+    assert out == [(2, "y", 2, 20), (2, "z", 2, 20)]
+
+
+def test_hash_join_no_matches():
+    assert list(hash_join([(1,)], [(2,)], 0, 0)) == []
+
+
+# ----------------------------------------------------------------------
+# external sort
+# ----------------------------------------------------------------------
+def make_pool():
+    disk = DiskManager()
+    return disk, BufferPool(disk, capacity=128)
+
+
+def test_external_sort_in_memory_path():
+    _disk, pool = make_pool()
+    codec = RecordCodec([int_column()])
+    rows = [(i,) for i in range(100)]
+    random.Random(1).shuffle(rows)
+    out = list(external_sort(pool, codec, rows, key=lambda r: r))
+    assert out == [(i,) for i in range(100)]
+
+
+def test_external_sort_spills_and_merges():
+    disk, pool = make_pool()
+    codec = RecordCodec([int_column(), float_column()])
+    n = 5000
+    rows = [(i, float(i)) for i in range(n)]
+    random.Random(2).shuffle(rows)
+    allocated_before = disk.num_allocated
+    out = list(external_sort(pool, codec, rows, key=lambda r: (r[0],),
+                             chunk_rows=500))
+    assert out == [(i, float(i)) for i in range(n)]
+    # Temporary run pages are freed after the merge.
+    assert disk.num_allocated == allocated_before
+
+
+def test_external_sort_with_duplicates_is_stable_sorted():
+    _disk, pool = make_pool()
+    codec = RecordCodec([int_column(), int_column()])
+    rows = [(i % 5, i) for i in range(2000)]
+    out = list(external_sort(pool, codec, rows, key=lambda r: (r[0],),
+                             chunk_rows=100))
+    assert [r[0] for r in out] == sorted(r[0] for r in rows)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.integers(-1000, 1000), max_size=1500))
+def test_external_sort_property(values):
+    _disk, pool = make_pool()
+    codec = RecordCodec([int_column()])
+    rows = [(v,) for v in values]
+    out = list(external_sort(pool, codec, rows, key=lambda r: r,
+                             chunk_rows=200))
+    assert out == sorted(rows)
+
+
+# ----------------------------------------------------------------------
+# sort-group aggregation
+# ----------------------------------------------------------------------
+def test_sort_group_aggregate_sum():
+    rows = [(1, 10.0), (1, 5.0), (2, 7.0)]
+    out = list(sort_group_aggregate(rows, [0], [(AggFunc.SUM, 1)]))
+    assert out == [(1, 15.0), (2, 7.0)]
+
+
+def test_sort_group_aggregate_multiple_functions():
+    rows = [(1, 10.0), (1, 4.0), (2, 7.0)]
+    out = list(sort_group_aggregate(
+        rows, [0],
+        [(AggFunc.SUM, 1), (AggFunc.COUNT, 1), (AggFunc.AVG, 1)],
+    ))
+    assert out == [(1, 14.0, 2.0, 14.0, 2.0), (2, 7.0, 1.0, 7.0, 1.0)]
+
+
+def test_sort_group_aggregate_composite_group():
+    rows = [(1, 1, 2.0), (1, 1, 3.0), (1, 2, 4.0)]
+    out = list(sort_group_aggregate(rows, [0, 1], [(AggFunc.SUM, 2)]))
+    assert out == [(1, 1, 5.0), (1, 2, 4.0)]
+
+
+def test_sort_group_aggregate_empty():
+    assert list(sort_group_aggregate([], [0], [(AggFunc.SUM, 1)])) == []
+
+
+def test_sort_group_aggregate_grand_total():
+    """Empty group list produces the super aggregate."""
+    rows = [(1, 2.0), (2, 3.0), (3, 4.0)]
+    out = list(sort_group_aggregate(rows, [], [(AggFunc.SUM, 1)]))
+    assert out == [(9.0,)]
+
+
+def test_reaggregate_states():
+    # Input: (a, b, sum_state) rows from a finer view, sorted by a.
+    rows = [(1, 1, 5.0), (1, 2, 7.0), (2, 1, 3.0)]
+    out = list(reaggregate_states(
+        rows, [0], [(AggFunc.SUM, slice(2, 3))]
+    ))
+    assert out == [(1, 12.0), (2, 3.0)]
+
+
+def test_reaggregate_states_avg():
+    rows = [(1, 4.0, 2.0), (1, 6.0, 1.0), (2, 1.0, 1.0)]
+    out = list(reaggregate_states(
+        rows, [0], [(AggFunc.AVG, slice(1, 3))]
+    ))
+    assert out == [(1, 10.0, 3.0), (2, 1.0, 1.0)]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 10), st.integers(0, 100)),
+                max_size=300))
+def test_group_sum_matches_dict_property(pairs):
+    rows = sorted((g, float(v)) for g, v in pairs)
+    out = dict(
+        (r[0], r[1])
+        for r in sort_group_aggregate(rows, [0], [(AggFunc.SUM, 1)])
+    )
+    expected: dict = {}
+    for g, v in pairs:
+        expected[g] = expected.get(g, 0.0) + float(v)
+    assert out == expected

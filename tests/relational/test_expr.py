@@ -1,0 +1,71 @@
+"""Tests for predicates."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.expr import (
+    And,
+    Between,
+    Equals,
+    TruePredicate,
+    equals_conjunction,
+)
+from repro.relational.schema import TableSchema
+from repro.storage.codec import int_column
+
+
+def schema():
+    return TableSchema("T", [
+        ("a", int_column()), ("b", int_column()), ("c", int_column()),
+    ])
+
+
+def test_true_predicate():
+    check = TruePredicate().compile(schema())
+    assert check((1, 2, 3))
+    assert TruePredicate().attributes() == ()
+
+
+def test_equals():
+    pred = Equals("b", 7)
+    check = pred.compile(schema())
+    assert check((0, 7, 0))
+    assert not check((7, 0, 0))
+    assert pred.attributes() == ("b",)
+
+
+def test_equals_unknown_attribute_raises():
+    with pytest.raises(SchemaError):
+        Equals("nope", 1).compile(schema())
+
+
+def test_between():
+    check = Between("a", 2, 5).compile(schema())
+    assert check((2, 0, 0))
+    assert check((5, 0, 0))
+    assert not check((6, 0, 0))
+
+
+def test_and():
+    pred = And(Equals("a", 1), Between("c", 0, 10))
+    check = pred.compile(schema())
+    assert check((1, 99, 5))
+    assert not check((1, 99, 11))
+    assert not check((2, 99, 5))
+    assert pred.attributes() == ("a", "c")
+
+
+def test_equals_conjunction_empty():
+    assert isinstance(equals_conjunction([]), TruePredicate)
+
+
+def test_equals_conjunction_single():
+    pred = equals_conjunction([("a", 3)])
+    assert pred == Equals("a", 3)
+
+
+def test_equals_conjunction_multi():
+    pred = equals_conjunction([("a", 3), ("b", 4)])
+    check = pred.compile(schema())
+    assert check((3, 4, 0))
+    assert not check((3, 5, 0))

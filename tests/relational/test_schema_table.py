@@ -1,0 +1,85 @@
+"""Tests for table schemas and tables."""
+
+import pytest
+
+from repro.errors import InvalidRecordError, SchemaError
+from repro.relational.schema import TableSchema
+from repro.relational.table import Table
+from repro.storage.buffer import BufferPool
+from repro.storage.codec import float_column, int_column, string_column
+from repro.storage.disk import DiskManager
+
+
+def fact_schema():
+    return TableSchema("F", [
+        ("partkey", int_column()),
+        ("suppkey", int_column()),
+        ("custkey", int_column()),
+        ("quantity", float_column()),
+    ])
+
+
+def make_table(schema=None):
+    disk = DiskManager()
+    pool = BufferPool(disk)
+    return Table(pool, schema or fact_schema())
+
+
+def test_schema_basics():
+    schema = fact_schema()
+    assert schema.arity == 4
+    assert schema.index_of("custkey") == 2
+    assert schema.indexes_of(["quantity", "partkey"]) == (3, 0)
+    assert schema.has_column("suppkey")
+    assert not schema.has_column("nope")
+
+
+def test_schema_unknown_column_raises():
+    with pytest.raises(SchemaError):
+        fact_schema().index_of("nope")
+
+
+def test_schema_duplicate_columns_raise():
+    with pytest.raises(SchemaError):
+        TableSchema("T", [("a", int_column()), ("a", int_column())])
+
+
+def test_schema_empty_raises():
+    with pytest.raises(SchemaError):
+        TableSchema("T", [])
+
+
+def test_schema_codec_roundtrip():
+    schema = TableSchema("D", [
+        ("key", int_column()), ("name", string_column(16)),
+    ])
+    codec = schema.codec()
+    assert codec.decode(codec.encode((5, "widget"))) == (5, "widget")
+
+
+def test_table_insert_fetch_update_delete():
+    table = make_table()
+    rid = table.insert((1, 2, 3, 10.0))
+    assert table.fetch(rid) == (1, 2, 3, 10.0)
+    table.update(rid, (1, 2, 3, 99.0))
+    assert table.fetch(rid) == (1, 2, 3, 99.0)
+    table.delete(rid)
+    assert len(table) == 0
+
+
+def test_table_wrong_arity_raises():
+    table = make_table()
+    with pytest.raises(InvalidRecordError):
+        table.insert((1, 2))
+
+
+def test_table_bulk_append_and_scan():
+    table = make_table()
+    rows = [(i, i, i, float(i)) for i in range(300)]
+    table.bulk_append(rows)
+    assert list(table.scan_rows()) == rows
+    assert table.num_pages > 1
+
+
+def test_table_name():
+    assert make_table().name == "F"

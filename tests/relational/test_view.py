@@ -1,0 +1,150 @@
+"""Tests for materialized views and their maintenance."""
+
+import pytest
+
+from repro.errors import SchemaError, UpdateTimeoutError
+from repro.relational.executor import AggFunc, AggSpec
+from repro.relational.view import MaterializedView, ViewDefinition
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+
+
+def make_pool():
+    disk = DiskManager()
+    return disk, BufferPool(disk, capacity=256)
+
+
+def simple_view_def(name="V_a_b"):
+    return ViewDefinition(name, ("a", "b"))
+
+
+def test_definition_properties():
+    vdef = simple_view_def()
+    assert vdef.arity == 2
+    assert vdef.total_state_width == 1
+    assert vdef.state_slices() == ((AggFunc.SUM, slice(2, 3)),)
+
+
+def test_definition_duplicate_group_attrs_raise():
+    with pytest.raises(SchemaError):
+        ViewDefinition("V", ("a", "a"))
+
+
+def test_definition_no_aggregates_raises():
+    with pytest.raises(SchemaError):
+        ViewDefinition("V", ("a",), aggregates=())
+
+
+def test_definition_schema_columns():
+    vdef = ViewDefinition(
+        "V", ("a",),
+        aggregates=(AggSpec(AggFunc.SUM, "q"), AggSpec(AggFunc.AVG, "q")),
+    )
+    schema = vdef.schema()
+    assert schema.column_names == ("a", "sum_q", "avg_q_sum", "avg_q_count")
+
+
+def test_definition_describe():
+    assert simple_view_def().describe() == (
+        "select a, b, sum(quantity) from F group by a, b"
+    )
+    assert ViewDefinition("V_none", ()).describe() == (
+        "select sum(quantity) from F"
+    )
+
+
+def test_materialize_and_scan():
+    _disk, pool = make_pool()
+    view = MaterializedView(pool, simple_view_def())
+    rows = [(1, 1, 10.0), (1, 2, 20.0), (2, 1, 5.0)]
+    view.materialize(rows)
+    assert len(view) == 3
+    assert list(view.table.scan_rows()) == rows
+
+
+def test_build_index_and_lookup():
+    _disk, pool = make_pool()
+    view = MaterializedView(pool, simple_view_def())
+    view.materialize([(i, i * 2, float(i)) for i in range(1, 200)])
+    tree = view.build_index(("a", "b"))
+    rid = tree.search_one((50, 100))
+    assert rid is not None
+    assert view.table.fetch(rid) == (50, 100, 50.0)
+
+
+def test_build_index_permuted_key():
+    _disk, pool = make_pool()
+    view = MaterializedView(pool, simple_view_def())
+    view.materialize([(1, 9, 4.0)])
+    tree = view.build_index(("b", "a"))
+    assert tree.search_one((9, 1)) is not None
+
+
+def test_apply_delta_updates_existing_group():
+    _disk, pool = make_pool()
+    view = MaterializedView(pool, simple_view_def())
+    view.materialize([(1, 1, 10.0), (2, 2, 5.0)])
+    view.build_index(("a", "b"))
+    updated, inserted = view.apply_delta([(1, 1, 7.0)])
+    assert (updated, inserted) == (1, 0)
+    rows = {(r[0], r[1]): r[2] for r in view.table.scan_rows()}
+    assert rows[(1, 1)] == 17.0
+
+
+def test_apply_delta_inserts_new_group_and_maintains_indexes():
+    _disk, pool = make_pool()
+    view = MaterializedView(pool, simple_view_def())
+    view.materialize([(1, 1, 10.0)])
+    view.build_index(("a", "b"))
+    updated, inserted = view.apply_delta([(3, 3, 9.0)])
+    assert (updated, inserted) == (0, 1)
+    assert view.indexes[("a", "b")].search_one((3, 3)) is not None
+
+
+def test_apply_delta_without_index_scans():
+    _disk, pool = make_pool()
+    view = MaterializedView(pool, simple_view_def())
+    view.materialize([(1, 1, 10.0)])
+    updated, inserted = view.apply_delta([(1, 1, 1.0), (2, 2, 2.0)])
+    assert (updated, inserted) == (1, 1)
+
+
+def test_apply_delta_uses_permuted_index():
+    _disk, pool = make_pool()
+    view = MaterializedView(pool, simple_view_def())
+    view.materialize([(1, 5, 10.0)])
+    view.build_index(("b", "a"))
+    updated, _ = view.apply_delta([(1, 5, 3.0)])
+    assert updated == 1
+    rows = list(view.table.scan_rows())
+    assert rows == [(1, 5, 13.0)]
+
+
+def test_apply_delta_timeout():
+    # Tiny pool: lookups/updates must actually touch the (simulated) disk.
+    disk = DiskManager()
+    pool = BufferPool(disk, capacity=8)
+    view = MaterializedView(pool, simple_view_def())
+    view.materialize([(i, i, 1.0) for i in range(1, 2000)])
+    view.build_index(("a", "b"))
+    delta = [(i, i, 1.0) for i in range(1, 2000)]
+    with pytest.raises(UpdateTimeoutError):
+        view.apply_delta(delta, cost_model=disk.cost_model, deadline_ms=1.0)
+
+
+def test_avg_view_delta_merges_states():
+    _disk, pool = make_pool()
+    vdef = ViewDefinition("V", ("a",), aggregates=(AggSpec(AggFunc.AVG, "q"),))
+    view = MaterializedView(pool, vdef)
+    view.materialize([(1, 10.0, 2.0)])  # sum=10, count=2
+    view.apply_delta([(1, 5.0, 1.0)])
+    assert list(view.table.scan_rows()) == [(1, 15.0, 3.0)]
+
+
+def test_page_counts():
+    _disk, pool = make_pool()
+    view = MaterializedView(pool, simple_view_def())
+    view.materialize([(i, i, 1.0) for i in range(1, 5000)])
+    view.build_index(("a", "b"))
+    assert view.data_pages > 1
+    assert view.index_pages > 1

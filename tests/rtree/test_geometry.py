@@ -1,0 +1,101 @@
+"""Tests for integer hyper-rectangles."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rtree.geometry import Rect
+
+
+def test_from_point_is_degenerate():
+    r = Rect.from_point((3, 4))
+    assert r.lows == (3, 4) and r.highs == (3, 4)
+    assert r.area() == 0
+
+
+def test_degenerate_rect_rejected():
+    with pytest.raises(ValueError):
+        Rect((5,), (4,))
+
+
+def test_dims_mismatch_rejected():
+    with pytest.raises(ValueError):
+        Rect((1, 2), (3,))
+
+
+def test_contains_point():
+    r = Rect((0, 0), (10, 10))
+    assert r.contains_point((0, 0))
+    assert r.contains_point((10, 10))
+    assert r.contains_point((5, 7))
+    assert not r.contains_point((11, 5))
+    assert not r.contains_point((5, -1))
+
+
+def test_contains_rect():
+    outer = Rect((0, 0), (10, 10))
+    inner = Rect((2, 2), (8, 8))
+    assert outer.contains_rect(inner)
+    assert not inner.contains_rect(outer)
+    assert outer.contains_rect(outer)
+
+
+def test_intersects():
+    a = Rect((0, 0), (5, 5))
+    b = Rect((5, 5), (9, 9))   # touching corners count
+    c = Rect((6, 6), (9, 9))
+    assert a.intersects(b)
+    assert b.intersects(a)
+    assert not a.intersects(c)
+
+
+def test_union():
+    a = Rect((0, 0), (2, 2))
+    b = Rect((5, 1), (7, 3))
+    u = a.union(b)
+    assert u == Rect((0, 0), (7, 3))
+
+
+def test_cover():
+    rects = [Rect((0,), (1,)), Rect((5,), (9,)), Rect((3,), (4,))]
+    assert Rect.cover(rects) == Rect((0,), (9,))
+
+
+def test_cover_empty_raises():
+    with pytest.raises(ValueError):
+        Rect.cover([])
+    with pytest.raises(ValueError):
+        Rect.cover_points([])
+
+
+def test_cover_points():
+    assert Rect.cover_points([(1, 9), (4, 2)]) == Rect((1, 2), (4, 9))
+
+
+def test_area_and_margin():
+    r = Rect((0, 0), (4, 5))
+    assert r.area() == 20
+    assert r.margin() == 9
+
+
+def test_enlargement():
+    a = Rect((0, 0), (2, 2))
+    assert a.enlargement(Rect((1, 1), (2, 2))) == 0
+    assert a.enlargement(Rect((0, 0), (4, 2))) == 4
+
+
+@given(st.lists(st.tuples(st.integers(0, 100), st.integers(0, 100)),
+                min_size=1, max_size=30))
+def test_cover_points_contains_all_property(points):
+    mbr = Rect.cover_points(points)
+    assert all(mbr.contains_point(p) for p in points)
+
+
+@given(st.integers(0, 50), st.integers(0, 50),
+       st.integers(0, 50), st.integers(0, 50))
+def test_union_commutes_property(a1, a2, b1, b2):
+    a = Rect((min(a1, a2),), (max(a1, a2),))
+    b = Rect((min(b1, b2),), (max(b1, b2),))
+    assert a.union(b) == b.union(a)
+    assert a.union(b).contains_rect(a)
+    assert a.union(b).contains_rect(b)

@@ -1,0 +1,88 @@
+"""Tests for R-tree node serialization, including leaf compression."""
+
+from repro.rtree.geometry import Rect
+from repro.rtree.node import (
+    RInteriorNode,
+    RLeafNode,
+    interior_capacity,
+    leaf_capacity,
+    node_type_of,
+)
+
+
+def test_leaf_roundtrip():
+    node = RLeafNode(view_id=3, arity=2, n_aggs=1)
+    node.points = [(1, 2), (3, 4)]
+    node.values = [(10.0,), (20.5,)]
+    node.next_leaf = 77
+    clone = RLeafNode.from_bytes(node.to_bytes())
+    assert clone.view_id == 3
+    assert clone.arity == 2
+    assert clone.points == node.points
+    assert clone.values == node.values
+    assert clone.next_leaf == 77
+
+
+def test_leaf_roundtrip_multiple_aggregates():
+    node = RLeafNode(view_id=1, arity=1, n_aggs=3)
+    node.points = [(5,)]
+    node.values = [(1.0, 2.0, 3.0)]
+    clone = RLeafNode.from_bytes(node.to_bytes())
+    assert clone.values == [(1.0, 2.0, 3.0)]
+
+
+def test_leaf_arity_zero_super_aggregate():
+    node = RLeafNode(view_id=9, arity=0, n_aggs=1)
+    node.points = [()]
+    node.values = [(6_001_215.0,)]
+    clone = RLeafNode.from_bytes(node.to_bytes())
+    assert clone.points == [()]
+    assert clone.values == [(6_001_215.0,)]
+
+
+def test_padded_point():
+    node = RLeafNode(view_id=0, arity=2, n_aggs=1)
+    assert node.padded_point((7, 8), 4) == (7, 8, 0, 0)
+
+
+def test_leaf_mbr_uses_padding():
+    node = RLeafNode(view_id=0, arity=1, n_aggs=1)
+    node.points = [(2,), (9,)]
+    node.values = [(0.0,), (0.0,)]
+    assert node.mbr(3) == Rect((2, 0, 0), (9, 0, 0))
+
+
+def test_compression_increases_capacity():
+    """An arity-1 leaf holds far more entries than an arity-4 leaf."""
+    assert leaf_capacity(1, 1) > 2 * leaf_capacity(4, 1)
+
+
+def test_leaf_capacity_at_capacity_roundtrip():
+    cap = leaf_capacity(3, 1)
+    node = RLeafNode(view_id=0, arity=3, n_aggs=1)
+    node.points = [(i + 1, i + 1, i + 1) for i in range(cap)]
+    node.values = [(float(i),) for i in range(cap)]
+    clone = RLeafNode.from_bytes(node.to_bytes())
+    assert len(clone.points) == cap
+
+
+def test_interior_roundtrip():
+    node = RInteriorNode(dims=3)
+    node.children = [10, 11]
+    node.mbrs = [Rect((0, 0, 0), (5, 5, 5)), Rect((6, 0, 0), (9, 9, 9))]
+    clone = RInteriorNode.from_bytes(node.to_bytes())
+    assert clone.children == node.children
+    assert clone.mbrs == node.mbrs
+    assert clone.mbr() == Rect((0, 0, 0), (9, 9, 9))
+
+
+def test_interior_capacity_positive():
+    for dims in range(1, 9):
+        assert interior_capacity(dims) > 8
+
+
+def test_node_type_peek():
+    leaf = RLeafNode(0, 1, 1)
+    interior = RInteriorNode(1)
+    assert node_type_of(leaf.to_bytes()) == 1
+    assert node_type_of(interior.to_bytes()) == 2

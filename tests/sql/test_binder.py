@@ -1,0 +1,227 @@
+"""Tests for SQL binding against the warehouse schema."""
+
+import pytest
+
+from repro.errors import SQLError
+from repro.query.slice import SliceQuery
+from repro.relational.executor import AggFunc
+from repro.sql.binder import parse_query, parse_view
+from repro.warehouse.tpcd import TPCDGenerator
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return TPCDGenerator(scale_factor=0.001, seed=1).generate().schema
+
+
+def test_bind_paper_view_v1(schema):
+    """Paper's V1: select partkey, suppkey, sum(quantity) from F ..."""
+    view = parse_view(
+        "select partkey, suppkey, sum(quantity) from F "
+        "group by partkey, suppkey",
+        schema, "V1",
+    )
+    assert view.group_by == ("partkey", "suppkey")
+    assert view.aggregates[0].func is AggFunc.SUM
+    assert view.aggregates[0].attribute == "quantity"
+
+
+def test_bind_paper_view_v2_with_join(schema):
+    """Paper's V2: grouping by part.type through a join."""
+    view = parse_view(
+        "select part.type, sum(quantity) from F, part "
+        "where F.partkey = part.partkey group by part.type",
+        schema, "V2",
+    )
+    assert view.group_by == ("type",)
+
+
+def test_bind_super_aggregate(schema):
+    view = parse_view("select sum(quantity) from F", schema, "V_none")
+    assert view.group_by == ()
+
+
+def test_bind_count_star(schema):
+    view = parse_view(
+        "select brand, count(*) from F, part "
+        "where F.partkey = part.partkey group by brand",
+        schema, "V_brand",
+    )
+    assert view.aggregates[0].func is AggFunc.COUNT
+
+
+def test_view_without_fact_table_rejected(schema):
+    with pytest.raises(SQLError):
+        parse_view("select partkey, sum(quantity) from part "
+                   "group by partkey", schema, "V")
+
+
+def test_view_unknown_table_rejected(schema):
+    with pytest.raises(SQLError):
+        parse_view("select partkey, sum(quantity) from F, nope "
+                   "group by partkey", schema, "V")
+
+
+def test_view_constant_predicate_rejected(schema):
+    with pytest.raises(SQLError):
+        parse_view("select partkey, sum(quantity) from F "
+                   "where partkey = 5 group by partkey", schema, "V")
+
+
+def test_view_select_group_mismatch_rejected(schema):
+    with pytest.raises(SQLError):
+        parse_view("select partkey, sum(quantity) from F group by suppkey",
+                   schema, "V")
+
+
+def test_view_aggregate_on_non_measure_rejected(schema):
+    with pytest.raises(SQLError):
+        parse_view("select partkey, sum(suppkey) from F group by partkey",
+                   schema, "V")
+
+
+def test_view_without_aggregate_rejected(schema):
+    with pytest.raises(SQLError):
+        parse_view("select partkey from F group by partkey", schema, "V")
+
+
+def test_view_bad_join_rejected(schema):
+    with pytest.raises(SQLError):
+        parse_view(
+            "select partkey, sum(quantity) from F, part "
+            "where F.quantity = part.partkey group by partkey",
+            schema, "V",
+        )
+
+
+def test_bind_query_q1(schema):
+    """Paper's Q1: total sales of every part from supplier S."""
+    query = parse_query(
+        "select partkey, sum(quantity) from F where suppkey = 12 "
+        "group by partkey",
+        schema,
+    )
+    assert query == SliceQuery(("partkey",), (("suppkey", 12),))
+
+
+def test_bind_query_q2(schema):
+    """Paper's Q2: total sales per part and supplier to customer C."""
+    query = parse_query(
+        "select partkey, suppkey, sum(quantity) from F where custkey = 7 "
+        "group by partkey, suppkey",
+        schema,
+    )
+    assert query.node == frozenset(("partkey", "suppkey", "custkey"))
+
+
+def test_bind_query_super_aggregate(schema):
+    query = parse_query("select sum(quantity) from F", schema)
+    assert query == SliceQuery((), ())
+
+
+def test_query_with_join_rejected(schema):
+    with pytest.raises(SQLError):
+        parse_query(
+            "select partkey, sum(quantity) from F, part "
+            "where F.partkey = part.partkey group by partkey",
+            schema,
+        )
+
+
+def test_query_non_integer_constant_rejected(schema):
+    with pytest.raises(SQLError):
+        parse_query("select sum(quantity) from F where partkey = 1.5",
+                    schema)
+
+
+def test_query_without_aggregate_rejected(schema):
+    with pytest.raises(SQLError):
+        parse_query("select partkey from F group by partkey", schema)
+
+
+def test_query_stray_select_column_rejected(schema):
+    with pytest.raises(SQLError):
+        parse_query("select partkey, sum(quantity) from F", schema)
+
+
+def test_ambiguous_column_rejected(schema):
+    # 'name' exists in part, supplier, and customer dimensions.
+    with pytest.raises(SQLError):
+        parse_view("select name, sum(quantity) from F, part "
+                   "where F.partkey = part.partkey group by name",
+                   schema, "V")
+
+
+def test_end_to_end_sql_to_engine(schema):
+    """SQL-defined views and queries drive the Cubetree engine."""
+    from repro.core.engine import CubetreeEngine
+
+    gen = TPCDGenerator(scale_factor=0.0005, seed=9)
+    data = gen.generate()
+    views = [
+        parse_view("select partkey, suppkey, sum(quantity) from F "
+                   "group by partkey, suppkey", data.schema, "V_ps"),
+        parse_view("select sum(quantity) from F", data.schema, "V_none"),
+    ]
+    engine = CubetreeEngine(data.schema)
+    engine.materialize(views, data.facts)
+    query = parse_query("select sum(quantity) from F", data.schema)
+    expected = float(sum(row[3] for row in data.facts))
+    assert engine.query(query).scalar() == expected
+
+
+def test_bind_query_with_between(schema):
+    query = parse_query(
+        "select suppkey, sum(quantity) from F "
+        "where partkey between 10 and 20 group by suppkey",
+        schema,
+    )
+    assert query.ranges == (("partkey", 10, 20),)
+    assert query.bindings == ()
+
+
+def test_bind_query_between_non_integer_rejected(schema):
+    with pytest.raises(SQLError):
+        parse_query(
+            "select sum(quantity) from F where partkey between 1.5 and 3",
+            schema,
+        )
+
+
+def test_bind_view_rejects_between(schema):
+    with pytest.raises(SQLError):
+        parse_view(
+            "select partkey, sum(quantity) from F "
+            "where partkey between 1 and 5 group by partkey",
+            schema, "V",
+        )
+
+
+# ----------------------------------------------------------------------
+# describe() output is itself parseable SQL (round-trip property)
+# ----------------------------------------------------------------------
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_query_describe_roundtrip_property(schema, data):
+    attrs = ["partkey", "suppkey", "custkey"]
+    group = data.draw(st.lists(st.sampled_from(attrs), unique=True,
+                               max_size=2))
+    rest = [a for a in attrs if a not in group]
+    n_eq = data.draw(st.integers(0, len(rest)))
+    bindings = tuple(
+        (attr, data.draw(st.integers(1, 50))) for attr in rest[:n_eq]
+    )
+    ranged = []
+    for attr in rest[n_eq:]:
+        if data.draw(st.booleans()):
+            low = data.draw(st.integers(1, 40))
+            ranged.append((attr, low, low + data.draw(st.integers(0, 9))))
+    query = SliceQuery(tuple(group), bindings, tuple(ranged))
+    reparsed = parse_query(query.describe(), schema)
+    assert reparsed.group_by == query.group_by
+    assert dict(reparsed.bindings) == dict(query.bindings)
+    assert reparsed.range_map == query.range_map

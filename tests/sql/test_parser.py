@@ -1,0 +1,111 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import SQLError
+from repro.sql.ast import AggCall, ColumnRef, ConstantCondition, JoinCondition
+from repro.sql.parser import parse_select
+
+
+def test_simple_view_statement():
+    stmt = parse_select(
+        "select partkey, suppkey, sum(quantity) from F "
+        "group by partkey, suppkey"
+    )
+    assert stmt.tables == ["F"]
+    assert stmt.plain_columns == (ColumnRef("partkey"), ColumnRef("suppkey"))
+    assert stmt.aggregates == (AggCall("sum", ColumnRef("quantity")),)
+    assert stmt.group_by == [ColumnRef("partkey"), ColumnRef("suppkey")]
+
+
+def test_join_statement():
+    stmt = parse_select(
+        "select part.type, sum(quantity) from F, part "
+        "where F.partkey = part.partkey group by part.type"
+    )
+    assert stmt.tables == ["F", "part"]
+    assert stmt.conditions == [
+        JoinCondition(ColumnRef("partkey", "F"), ColumnRef("partkey", "part"))
+    ]
+    assert stmt.group_by == [ColumnRef("type", "part")]
+
+
+def test_constant_predicate():
+    stmt = parse_select(
+        "select suppkey, sum(quantity) from F where partkey = 17 "
+        "group by suppkey"
+    )
+    assert stmt.conditions == [
+        ConstantCondition(ColumnRef("partkey"), 17.0)
+    ]
+
+
+def test_multiple_predicates_with_and():
+    stmt = parse_select(
+        "select sum(quantity) from F where partkey = 1 and custkey = 2"
+    )
+    assert len(stmt.conditions) == 2
+
+
+def test_count_star():
+    stmt = parse_select("select brand, count(*) from F group by brand")
+    assert stmt.aggregates == (AggCall("count", None),)
+
+
+def test_super_aggregate_no_group_by():
+    stmt = parse_select("select sum(quantity) from F")
+    assert stmt.group_by == []
+    assert stmt.plain_columns == ()
+
+
+def test_multiple_aggregates():
+    stmt = parse_select(
+        "select partkey, sum(quantity), avg(quantity), min(quantity) "
+        "from F group by partkey"
+    )
+    assert len(stmt.aggregates) == 3
+
+
+def test_missing_from_raises():
+    with pytest.raises(SQLError):
+        parse_select("select partkey")
+
+
+def test_trailing_garbage_raises():
+    with pytest.raises(SQLError):
+        parse_select("select sum(quantity) from F extra")
+
+
+def test_group_without_by_raises():
+    with pytest.raises(SQLError):
+        parse_select("select partkey from F group partkey")
+
+
+def test_unclosed_paren_raises():
+    with pytest.raises(SQLError):
+        parse_select("select sum(quantity from F")
+
+
+def test_between_condition():
+    from repro.sql.ast import RangeCondition
+
+    stmt = parse_select(
+        "select suppkey, sum(quantity) from F "
+        "where partkey between 10 and 20 group by suppkey"
+    )
+    assert stmt.conditions == [
+        RangeCondition(ColumnRef("partkey"), 10.0, 20.0)
+    ]
+
+
+def test_between_mixed_with_equality():
+    stmt = parse_select(
+        "select sum(quantity) from F "
+        "where partkey between 1 and 5 and custkey = 7"
+    )
+    assert len(stmt.conditions) == 2
+
+
+def test_between_missing_and_raises():
+    with pytest.raises(SQLError):
+        parse_select("select sum(quantity) from F where partkey between 1 5")

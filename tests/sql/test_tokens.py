@@ -1,0 +1,56 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import SQLError
+from repro.sql.tokens import TokenType, tokenize
+
+
+def kinds(text):
+    return [t.type for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+def test_keywords_case_insensitive():
+    tokens = tokenize("SELECT Sum FROM f")
+    assert tokens[0].type is TokenType.KEYWORD
+    assert tokens[0].value == "select"
+    assert tokens[1].value == "sum"
+    assert tokens[3].value == "f"          # identifiers keep their case
+    assert tokens[3].type is TokenType.IDENT
+
+
+def test_punctuation():
+    assert kinds("( ) , . * =")[:-1] == [
+        TokenType.LPAREN, TokenType.RPAREN, TokenType.COMMA,
+        TokenType.DOT, TokenType.STAR, TokenType.EQUALS,
+    ]
+
+
+def test_numbers():
+    tokens = tokenize("42 -7 3.5")
+    assert [t.value for t in tokens[:-1]] == ["42", "-7", "3.5"]
+    assert all(t.type is TokenType.NUMBER for t in tokens[:-1])
+
+
+def test_identifiers_with_underscores():
+    assert values("part_key v2") == ["part_key", "v2"]
+
+
+def test_end_token():
+    assert tokenize("")[-1].type is TokenType.END
+
+
+def test_stray_character_raises():
+    with pytest.raises(SQLError):
+        tokenize("select ; from F")
+
+
+def test_qualified_name_tokens():
+    tokens = tokenize("part.type")
+    assert [t.type for t in tokens[:-1]] == [
+        TokenType.IDENT, TokenType.DOT, TokenType.IDENT,
+    ]

@@ -1,0 +1,75 @@
+"""Tests for blob storage."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import PAGE_SIZE
+from repro.errors import StorageError
+from repro.storage.blob import BlobFile, BlobHandle
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+
+
+def make_blob_file(capacity=32):
+    disk = DiskManager()
+    pool = BufferPool(disk, capacity=capacity)
+    return disk, pool, BlobFile(pool)
+
+
+def test_roundtrip_small():
+    _d, _p, blobs = make_blob_file()
+    handle = blobs.append(b"hello world")
+    assert blobs.read(handle) == b"hello world"
+    assert handle.num_pages == 1
+
+
+def test_roundtrip_multi_page():
+    _d, _p, blobs = make_blob_file()
+    payload = bytes(range(256)) * 64  # 16 KiB = 4 pages
+    handle = blobs.append(payload)
+    assert handle.num_pages == 4
+    assert blobs.read(handle) == payload
+
+
+def test_empty_blob():
+    _d, _p, blobs = make_blob_file()
+    handle = blobs.append(b"")
+    assert handle.num_pages == 1
+    assert blobs.read(handle) == b""
+
+
+def test_exact_page_boundary():
+    _d, _p, blobs = make_blob_file()
+    payload = b"\xaa" * PAGE_SIZE
+    handle = blobs.append(payload)
+    assert handle.num_pages == 1
+    assert blobs.read(handle) == payload
+
+
+def test_multiple_blobs_independent():
+    _d, _p, blobs = make_blob_file()
+    a = blobs.append(b"a" * 5000)
+    b = blobs.append(b"b" * 100)
+    assert blobs.read(a) == b"a" * 5000
+    assert blobs.read(b) == b"b" * 100
+    assert blobs.num_pages == 3
+
+
+def test_blob_pages_are_contiguous():
+    _d, _p, blobs = make_blob_file()
+    handle = blobs.append(b"x" * (3 * PAGE_SIZE))
+    assert handle.num_pages == 3  # run allocation is contiguous by design
+
+
+def test_bad_handle_rejected():
+    _d, _p, blobs = make_blob_file()
+    with pytest.raises(StorageError):
+        blobs.read(BlobHandle(0, 0, 0))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.binary(max_size=3 * PAGE_SIZE))
+def test_roundtrip_property(payload):
+    _d, _p, blobs = make_blob_file()
+    assert blobs.read(blobs.append(payload)) == payload

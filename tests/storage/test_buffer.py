@@ -1,0 +1,113 @@
+"""Tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.constants import PAGE_SIZE
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+
+
+def make_pool(capacity=3):
+    disk = DiskManager()
+    return disk, BufferPool(disk, capacity=capacity)
+
+
+def test_new_page_is_pinned():
+    _disk, pool = make_pool()
+    page = pool.new_page()
+    assert page.pin_count == 1
+    pool.unpin_page(page.page_id)
+    assert page.pin_count == 0
+
+
+def test_fetch_hit_and_miss_accounting():
+    disk, pool = make_pool()
+    page = pool.new_page()
+    page.data[0] = 42
+    pool.unpin_page(page.page_id, dirty=True)
+    pool.flush_all()
+    pool.clear()
+
+    fetched = pool.fetch_page(page.page_id)   # miss
+    pool.unpin_page(fetched.page_id)
+    again = pool.fetch_page(page.page_id)     # hit
+    pool.unpin_page(again.page_id)
+    assert pool.stats.misses == 1
+    assert pool.stats.hits == 1
+    assert again.data[0] == 42
+
+
+def test_eviction_writes_back_dirty_pages():
+    disk, pool = make_pool(capacity=2)
+    first = pool.new_page()
+    first.data[0] = 7
+    pool.unpin_page(first.page_id, dirty=True)
+    # Fill the pool past capacity to evict `first`.
+    for _ in range(2):
+        p = pool.new_page()
+        pool.unpin_page(p.page_id, dirty=True)
+    assert pool.stats.evictions >= 1
+    assert disk.read_page(first.page_id)[0] == 7
+
+
+def test_pinned_pages_survive_eviction():
+    _disk, pool = make_pool(capacity=2)
+    pinned = pool.new_page()
+    other = pool.new_page()
+    pool.unpin_page(other.page_id)
+    extra = pool.new_page()  # must evict `other`, not `pinned`
+    pool.unpin_page(extra.page_id)
+    assert pool.fetch_page(pinned.page_id).pin_count == 2
+    pool.unpin_page(pinned.page_id)
+    pool.unpin_page(pinned.page_id)
+
+
+def test_all_pinned_raises():
+    _disk, pool = make_pool(capacity=1)
+    pool.new_page()
+    with pytest.raises(StorageError):
+        pool.new_page()
+
+
+def test_unpin_unknown_page_raises():
+    _disk, pool = make_pool()
+    with pytest.raises(StorageError):
+        pool.unpin_page(99)
+
+
+def test_double_unpin_raises():
+    _disk, pool = make_pool()
+    page = pool.new_page()
+    pool.unpin_page(page.page_id)
+    with pytest.raises(StorageError):
+        pool.unpin_page(page.page_id)
+
+
+def test_clear_with_pinned_page_raises():
+    _disk, pool = make_pool()
+    pool.new_page()
+    with pytest.raises(StorageError):
+        pool.clear()
+
+
+def test_hit_ratio():
+    _disk, pool = make_pool()
+    assert pool.stats.hit_ratio == 0.0
+    page = pool.new_page()
+    pool.unpin_page(page.page_id)
+    pool.fetch_page(page.page_id)
+    pool.unpin_page(page.page_id)
+    assert pool.stats.hit_ratio == 1.0
+
+
+def test_eviction_drops_cached_obj():
+    _disk, pool = make_pool(capacity=1)
+    page = pool.new_page()
+    page.cached_obj = object()
+    pool.unpin_page(page.page_id)
+    other = pool.new_page()
+    pool.unpin_page(other.page_id)
+    refetched = pool.fetch_page(page.page_id)
+    assert refetched.cached_obj is None
+    pool.unpin_page(page.page_id)

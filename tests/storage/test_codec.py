@@ -1,0 +1,95 @@
+"""Tests for the fixed-width record codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidRecordError
+from repro.storage.codec import (
+    ColumnSpec,
+    ColumnType,
+    RecordCodec,
+    float_column,
+    int_column,
+    string_column,
+)
+
+
+def test_int_roundtrip():
+    codec = RecordCodec([int_column(), int_column()])
+    raw = codec.encode((7, -3))
+    assert codec.decode(raw) == (7, -3)
+
+
+def test_float_roundtrip():
+    codec = RecordCodec([float_column()])
+    assert codec.decode(codec.encode((3.25,))) == (3.25,)
+
+
+def test_string_roundtrip_and_padding():
+    codec = RecordCodec([string_column(10)])
+    raw = codec.encode(("abc",))
+    assert len(raw) == 10
+    assert codec.decode(raw) == ("abc",)
+
+
+def test_mixed_record_size():
+    codec = RecordCodec([int_column(), string_column(12), float_column()])
+    assert codec.record_size == 8 + 12 + 8
+
+
+def test_too_long_string_raises():
+    codec = RecordCodec([string_column(3)])
+    with pytest.raises(InvalidRecordError):
+        codec.encode(("toolong",))
+
+
+def test_wrong_arity_raises():
+    codec = RecordCodec([int_column(), int_column()])
+    with pytest.raises(InvalidRecordError):
+        codec.encode((1,))
+
+
+def test_out_of_range_int_raises():
+    codec = RecordCodec([int_column()])
+    with pytest.raises(InvalidRecordError):
+        codec.encode((2**70,))
+
+
+def test_decode_wrong_length_raises():
+    codec = RecordCodec([int_column()])
+    with pytest.raises(InvalidRecordError):
+        codec.decode(b"\x00" * 3)
+
+
+def test_empty_schema_raises():
+    with pytest.raises(InvalidRecordError):
+        RecordCodec([])
+
+
+def test_bad_width_for_int_raises():
+    with pytest.raises(InvalidRecordError):
+        ColumnSpec(ColumnType.INT64, width=4)
+
+
+def test_bad_width_for_string_raises():
+    with pytest.raises(InvalidRecordError):
+        ColumnSpec(ColumnType.STRING, width=0)
+
+
+@given(st.lists(st.integers(min_value=-(2**63), max_value=2**63 - 1),
+                min_size=1, max_size=6))
+def test_int_records_roundtrip_property(values):
+    codec = RecordCodec([int_column()] * len(values))
+    assert codec.decode(codec.encode(values)) == tuple(values)
+
+
+@given(st.text(alphabet=st.characters(codec="ascii",
+                                      categories=("L", "N")),
+               max_size=16),
+       st.integers(min_value=-(10**9), max_value=10**9),
+       st.floats(allow_nan=False, allow_infinity=False, width=32))
+def test_mixed_records_roundtrip_property(text, number, value):
+    codec = RecordCodec([string_column(16), int_column(), float_column()])
+    decoded = codec.decode(codec.encode((text, number, value)))
+    assert decoded == (text, number, float(value))

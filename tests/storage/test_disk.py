@@ -1,0 +1,91 @@
+"""Tests for the simulated disk manager."""
+
+import pytest
+
+from repro.constants import PAGE_SIZE
+from repro.errors import StorageError
+from repro.storage.disk import DiskManager
+
+
+def test_allocate_is_monotonic():
+    disk = DiskManager()
+    ids = [disk.allocate_page() for _ in range(5)]
+    assert ids == [0, 1, 2, 3, 4]
+
+
+def test_allocate_run_is_contiguous():
+    disk = DiskManager()
+    disk.allocate_page()
+    run = disk.allocate_run(4)
+    assert run == [1, 2, 3, 4]
+
+
+def test_roundtrip_write_read():
+    disk = DiskManager()
+    pid = disk.allocate_page()
+    payload = bytes(range(256)) * (PAGE_SIZE // 256)
+    disk.write_page(pid, payload)
+    assert bytes(disk.read_page(pid)) == payload
+
+
+def test_read_unwritten_page_is_zeroed():
+    disk = DiskManager()
+    pid = disk.allocate_page()
+    assert bytes(disk.read_page(pid)) == bytes(PAGE_SIZE)
+
+
+def test_read_unallocated_page_raises():
+    disk = DiskManager()
+    with pytest.raises(StorageError):
+        disk.read_page(0)
+
+
+def test_short_write_raises():
+    disk = DiskManager()
+    pid = disk.allocate_page()
+    with pytest.raises(StorageError):
+        disk.write_page(pid, b"short")
+
+
+def test_free_page_is_reused():
+    disk = DiskManager()
+    a = disk.allocate_page()
+    disk.allocate_page()
+    disk.free_page(a)
+    assert disk.num_allocated == 1
+    assert disk.allocate_page() == a
+    assert disk.num_allocated == 2
+
+
+def test_bytes_allocated():
+    disk = DiskManager()
+    disk.allocate_run(3)
+    assert disk.bytes_allocated == 3 * PAGE_SIZE
+
+
+def test_io_accounting_flows_to_cost_model():
+    disk = DiskManager()
+    pid = disk.allocate_page()
+    disk.write_page(pid, bytes(PAGE_SIZE))
+    disk.read_page(pid)
+    assert disk.cost_model.stats.total_ios == 2
+
+
+def test_file_backed_roundtrip(tmp_path):
+    path = str(tmp_path / "disk.bin")
+    with DiskManager(path=path) as disk:
+        pid = disk.allocate_page()
+        payload = b"\xab" * PAGE_SIZE
+        disk.write_page(pid, payload)
+        assert bytes(disk.read_page(pid)) == payload
+
+
+def test_file_backed_delete(tmp_path):
+    import os
+
+    path = str(tmp_path / "disk.bin")
+    disk = DiskManager(path=path)
+    pid = disk.allocate_page()
+    disk.write_page(pid, bytes(PAGE_SIZE))
+    disk.delete_backing_file()
+    assert not os.path.exists(path)

@@ -1,0 +1,134 @@
+"""Tests for heap files."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.codec import RecordCodec, float_column, int_column
+from repro.storage.disk import DiskManager
+from repro.storage.heap import RID, HeapFile
+
+
+def make_heap(columns=None, capacity=64):
+    codec = RecordCodec(columns or [int_column(), float_column()])
+    disk = DiskManager()
+    pool = BufferPool(disk, capacity=capacity)
+    return disk, pool, HeapFile(pool, codec)
+
+
+def test_insert_and_fetch():
+    _d, _p, heap = make_heap()
+    rid = heap.insert((1, 2.5))
+    assert heap.fetch(rid) == (1, 2.5)
+    assert len(heap) == 1
+
+
+def test_insert_many_spans_pages():
+    _d, _p, heap = make_heap()
+    rids = [heap.insert((i, float(i))) for i in range(1000)]
+    assert len(heap) == 1000
+    assert heap.num_pages > 1
+    assert heap.fetch(rids[999]) == (999, 999.0)
+
+
+def test_update_in_place():
+    _d, _p, heap = make_heap()
+    rid = heap.insert((1, 1.0))
+    heap.update(rid, (1, 42.0))
+    assert heap.fetch(rid) == (1, 42.0)
+
+
+def test_delete_and_slot_reuse():
+    _d, _p, heap = make_heap()
+    rid = heap.insert((1, 1.0))
+    heap.delete(rid)
+    assert len(heap) == 0
+    with pytest.raises(StorageError):
+        heap.fetch(rid)
+    rid2 = heap.insert((2, 2.0))
+    assert rid2 == rid  # freed slot reused
+
+
+def test_double_delete_raises():
+    _d, _p, heap = make_heap()
+    rid = heap.insert((1, 1.0))
+    heap.delete(rid)
+    with pytest.raises(StorageError):
+        heap.delete(rid)
+
+
+def test_update_deleted_raises():
+    _d, _p, heap = make_heap()
+    rid = heap.insert((1, 1.0))
+    heap.delete(rid)
+    with pytest.raises(StorageError):
+        heap.update(rid, (9, 9.0))
+
+
+def test_scan_returns_all_live_records():
+    _d, _p, heap = make_heap()
+    rids = [heap.insert((i, float(i))) for i in range(50)]
+    heap.delete(rids[10])
+    heap.delete(rids[20])
+    records = list(heap.scan_records())
+    assert len(records) == 48
+    assert (10, 10.0) not in records
+    assert (49, 49.0) in records
+
+
+def test_scan_is_in_page_order():
+    _d, _p, heap = make_heap()
+    for i in range(500):
+        heap.insert((i, 0.0))
+    rids = [rid for rid, _ in heap.scan()]
+    assert rids == sorted(rids)
+
+
+def test_bulk_append_matches_inserts():
+    _d, _p, heap = make_heap()
+    rows = [(i, float(i)) for i in range(777)]
+    rids = heap.bulk_append(rows)
+    assert len(heap) == 777
+    assert len(rids) == 777
+    assert list(heap.scan_records()) == rows
+
+
+def test_bulk_append_is_sequential_io():
+    disk, pool, heap = make_heap(capacity=4)
+    rows = [(i, float(i)) for i in range(5000)]
+    before = disk.cost_model.snapshot()
+    heap.bulk_append(rows)
+    pool.flush_all()
+    delta = disk.cost_model.stats - before
+    # Every page is written exactly once, in allocation order.
+    assert delta.sequential_writes >= delta.random_writes
+
+
+def test_record_too_big_raises():
+    from repro.storage.codec import string_column
+
+    codec = RecordCodec([string_column(8192)])
+    disk = DiskManager()
+    pool = BufferPool(disk)
+    with pytest.raises(StorageError):
+        HeapFile(pool, codec)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.integers(-1000, 1000),
+                          st.floats(allow_nan=False, allow_infinity=False,
+                                    width=32)),
+                max_size=300))
+def test_heap_preserves_multiset_property(rows):
+    _d, _p, heap = make_heap()
+    for row in rows:
+        heap.insert(row)
+    stored = sorted(heap.scan_records())
+    expected = sorted((a, float(b)) for a, b in rows)
+    assert stored == expected
+
+
+def test_rid_ordering():
+    assert RID(0, 5) < RID(1, 0) < RID(1, 3)

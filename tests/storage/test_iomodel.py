@@ -1,0 +1,80 @@
+"""Tests for the simulated I/O cost model."""
+
+import pytest
+
+from repro.storage.iomodel import IOCostModel, IOStats
+
+
+def test_first_access_is_random():
+    model = IOCostModel(random_ms=8.0, sequential_ms=0.05)
+    model.record_read(0)
+    assert model.stats.random_reads == 1
+    assert model.stats.sequential_reads == 0
+    assert model.stats.simulated_ms == 8.0
+
+
+def test_adjacent_access_is_sequential():
+    model = IOCostModel(random_ms=8.0, sequential_ms=0.05)
+    model.record_write(10)
+    model.record_write(11)
+    model.record_write(12)
+    assert model.stats.random_writes == 1
+    assert model.stats.sequential_writes == 2
+    assert model.stats.simulated_ms == pytest.approx(8.0 + 2 * 0.05)
+
+
+def test_same_page_reaccess_is_sequential():
+    model = IOCostModel()
+    model.record_read(5)
+    model.record_read(5)
+    assert model.stats.sequential_reads == 1
+
+
+def test_backward_jump_is_random():
+    model = IOCostModel()
+    model.record_read(5)
+    model.record_read(4)
+    assert model.stats.random_reads == 2
+
+
+def test_mixed_read_write_head_position_shared():
+    model = IOCostModel()
+    model.record_write(3)
+    model.record_read(4)  # sequential after the write
+    assert model.stats.sequential_reads == 1
+
+
+def test_snapshot_and_delta():
+    model = IOCostModel()
+    model.record_read(0)
+    before = model.snapshot()
+    model.record_read(1)
+    model.record_read(100)
+    delta = model.stats - before
+    assert delta.reads == 2
+    assert delta.sequential_reads == 1
+    assert delta.random_reads == 1
+
+
+def test_reset_clears_counters_and_head():
+    model = IOCostModel()
+    model.record_read(0)
+    model.reset()
+    assert model.stats.total_ios == 0
+    model.record_read(1)  # head forgotten -> random again
+    assert model.stats.random_reads == 1
+
+
+def test_stats_properties():
+    stats = IOStats(sequential_reads=2, random_reads=3,
+                    sequential_writes=4, random_writes=1)
+    assert stats.reads == 5
+    assert stats.writes == 5
+    assert stats.total_ios == 10
+
+
+def test_stats_copy_is_independent():
+    stats = IOStats(random_reads=1)
+    clone = stats.copy()
+    clone.random_reads = 99
+    assert stats.random_reads == 1

@@ -1,0 +1,63 @@
+"""Tests for the write-ahead log cost accounting."""
+
+import pytest
+
+from repro.constants import PAGE_SIZE
+from repro.storage.iomodel import IOCostModel
+from repro.storage.wal import WriteAheadLog
+
+
+def test_records_accumulate_until_page_fills():
+    model = IOCostModel()
+    wal = WriteAheadLog(model, record_bytes=64)
+    per_page = PAGE_SIZE // 64
+    wal.log_row_operation(per_page - 1)
+    assert wal.pages_written == 0
+    wal.log_row_operation(1)
+    assert wal.pages_written == 1
+    assert model.stats.sequential_writes == 1
+
+
+def test_bulk_logging_counts_pages():
+    model = IOCostModel()
+    wal = WriteAheadLog(model, record_bytes=64)
+    per_page = PAGE_SIZE // 64
+    wal.log_row_operation(10 * per_page)
+    assert wal.pages_written == 10
+    assert wal.records_logged == 10 * per_page
+
+
+def test_commit_forces_partial_page_as_random_write():
+    model = IOCostModel()
+    wal = WriteAheadLog(model)
+    wal.log_row_operation(1)
+    wal.commit()
+    assert wal.pages_written == 1
+    assert model.stats.random_writes == 1
+
+
+def test_commit_with_empty_page_is_noop():
+    model = IOCostModel()
+    wal = WriteAheadLog(model)
+    wal.commit()
+    assert wal.pages_written == 0
+
+
+def test_invalid_args():
+    model = IOCostModel()
+    with pytest.raises(ValueError):
+        WriteAheadLog(model, record_bytes=0)
+    wal = WriteAheadLog(model)
+    with pytest.raises(ValueError):
+        wal.log_row_operation(-1)
+
+
+def test_overhead_accounting_in_stats():
+    model = IOCostModel()
+    model.record_overhead(2.5)
+    model.record_overhead(1.5)
+    assert model.stats.overhead_ms == 4.0
+    assert model.stats.total_ms == 4.0
+    before = model.snapshot()
+    model.record_overhead(1.0)
+    assert (model.stats - before).overhead_ms == 1.0

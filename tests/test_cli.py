@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import csv
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "repro" in out
+    assert "page size" in out
+
+
+def test_version(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+
+
+def test_generate_writes_csvs(tmp_path, capsys):
+    out = str(tmp_path / "data")
+    assert main(["generate", "--scale", "0.0002", "--out", out,
+                 "--increment", "0.1"]) == 0
+    for name in ("lineitem.csv", "part.csv", "supplier.csv",
+                 "customer.csv", "increment.csv"):
+        assert os.path.exists(os.path.join(out, name)), name
+    with open(os.path.join(out, "lineitem.csv")) as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0] == ["partkey", "suppkey", "custkey", "quantity"]
+    assert len(rows) > 10
+
+
+def test_generate_is_deterministic(tmp_path):
+    out_a = str(tmp_path / "a")
+    out_b = str(tmp_path / "b")
+    main(["generate", "--scale", "0.0002", "--seed", "5", "--out", out_a])
+    main(["generate", "--scale", "0.0002", "--seed", "5", "--out", out_b])
+    with open(os.path.join(out_a, "lineitem.csv")) as fa, \
+            open(os.path.join(out_b, "lineitem.csv")) as fb:
+        assert fa.read() == fb.read()
+
+
+def test_experiment_table5(capsys):
+    assert main(["experiment", "table5", "--scale", "0.0005"]) == 0
+    assert "Table 5" in capsys.readouterr().out
+
+
+def test_query_cubetree(capsys):
+    assert main([
+        "query",
+        "select suppkey, sum(quantity) from F where partkey = 1 "
+        "group by suppkey",
+        "--scale", "0.0005", "--engine", "cubetree",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "plan:" in out
+    assert "simulated I/O" in out
+
+
+def test_query_conventional(capsys):
+    assert main([
+        "query", "select sum(quantity) from F",
+        "--scale", "0.0005", "--engine", "conventional",
+    ]) == 0
+    assert "plan:" in capsys.readouterr().out
+
+
+def test_query_with_between(capsys):
+    assert main([
+        "query",
+        "select suppkey, sum(quantity) from F "
+        "where partkey between 1 and 9 group by suppkey",
+        "--scale", "0.0005",
+    ]) == 0
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["nope"])
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["experiment", "nope"])

@@ -1,0 +1,57 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples assert their own correctness internally (oracle checks), so
+running them is a real integration test of the public API.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, *args, timeout=240):
+    path = os.path.join(EXAMPLES_DIR, name)
+    result = subprocess.run(
+        [sys.executable, path, *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "grand total after refresh" in out
+
+
+def test_worked_example():
+    out = run_example("worked_example.py")
+    assert "all values match the paper's tables" in out
+
+
+def test_incremental_refresh():
+    out = run_example("incremental_refresh.py")
+    assert "day 7" in out
+    assert "ok" in out
+
+
+def test_rollup_drilldown():
+    out = run_example("rollup_drilldown.py")
+    assert "roll-up verified against the raw fact rows" in out
+
+
+@pytest.mark.slow
+def test_tpcd_comparison():
+    out = run_example("tpcd_comparison.py", "0.004", timeout=400)
+    assert "answers agree" in out
+    assert "rows from both engines" in out
+
+
+def test_advisor_and_persistence():
+    out = run_example("advisor_and_persistence.py")
+    assert "reopened database answers identically" in out
+    assert "grand total verified" in out

@@ -1,0 +1,90 @@
+"""Tests for the star-schema model and hierarchies."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.warehouse.hierarchy import Hierarchy
+from repro.warehouse.star import Dimension, StarSchema
+
+
+def part_dim():
+    return Dimension(
+        "part", "partkey", ("partkey", "name", "brand"),
+        rows=[(1, "a", 10), (2, "b", 10), (3, "c", 20)],
+    )
+
+
+def schema():
+    return StarSchema(
+        fact_keys=("partkey",),
+        measure="quantity",
+        dimensions={"partkey": part_dim()},
+    )
+
+
+def test_dimension_key_must_be_first():
+    with pytest.raises(SchemaError):
+        Dimension("part", "partkey", ("name", "partkey"))
+
+
+def test_dimension_lookups():
+    dim = part_dim()
+    assert len(dim) == 3
+    assert dim.attribute_index("brand") == 2
+    assert dim.column_map("brand") == {1: 10, 2: 10, 3: 20}
+    assert dim.distinct_count("brand") == 2
+
+
+def test_dimension_unknown_attribute():
+    with pytest.raises(SchemaError):
+        part_dim().attribute_index("nope")
+
+
+def test_schema_requires_dimensions_for_keys():
+    with pytest.raises(SchemaError):
+        StarSchema(("partkey", "suppkey"), "quantity",
+                   {"partkey": part_dim()})
+
+
+def test_schema_fact_columns():
+    assert schema().fact_columns == ("partkey", "quantity")
+
+
+def test_schema_distinct_count():
+    s = schema()
+    assert s.distinct_count("partkey") == 3
+    assert s.distinct_count("brand") == 2
+    with pytest.raises(SchemaError):
+        s.distinct_count("nope")
+
+
+def test_schema_groupable_attributes():
+    assert schema().groupable_attributes() == ("partkey", "name", "brand")
+
+
+def test_schema_key_domain():
+    assert list(schema().key_domain("partkey")) == [1, 2, 3]
+
+
+def test_hierarchy_from_dimension():
+    h = Hierarchy.from_dimension(part_dim(), "brand")
+    assert h.roll_up(1) == 10
+    assert h.roll_up(3) == 20
+    assert h.distinct_count() == 2
+
+
+def test_hierarchy_rejects_non_integer_attribute():
+    with pytest.raises(SchemaError):
+        Hierarchy.from_dimension(part_dim(), "name")
+
+
+def test_hierarchy_unknown_key():
+    h = Hierarchy.from_dimension(part_dim(), "brand")
+    with pytest.raises(SchemaError):
+        h.roll_up(99)
+
+
+def test_hierarchy_roll_up_rows():
+    h = Hierarchy.from_dimension(part_dim(), "brand")
+    rows = [(1, 5), (3, 7)]
+    assert list(h.roll_up_rows(rows, 0)) == [(10, 5), (20, 7)]
