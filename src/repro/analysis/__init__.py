@@ -1,0 +1,51 @@
+"""Static and structural analysis for the Cubetree reproduction.
+
+Two halves:
+
+* :mod:`repro.analysis.fsck` — the structural verifier ("cubetree
+  fsck") that walks packed R-trees / forests and machine-checks the
+  paper's physical invariants (packed leaves, contiguous sorted view
+  runs, compressed arity-k leaves, MBR containment).  Exposed on the
+  command line as ``repro check`` and, behind ``REPRO_DEBUG_CHECKS``,
+  as a post-condition of bulk load and merge-pack.
+* :mod:`repro.analysis.lint` — repo-specific AST lint rules enforced
+  over ``src/`` by ``tools/lint.py`` and CI.
+"""
+
+from repro.analysis.fsck import (
+    FsckReport,
+    Violation,
+    check_cubetree,
+    check_engine,
+    check_forest,
+    check_tree,
+    debug_checks_enabled,
+    set_debug_checks,
+    verify_tree,
+)
+from repro.analysis.lint import (
+    RULES,
+    LintFinding,
+    format_findings,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "FsckReport",
+    "Violation",
+    "check_cubetree",
+    "check_engine",
+    "check_forest",
+    "check_tree",
+    "debug_checks_enabled",
+    "set_debug_checks",
+    "verify_tree",
+    "RULES",
+    "LintFinding",
+    "format_findings",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

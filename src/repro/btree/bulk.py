@@ -14,7 +14,7 @@ from typing import List, Sequence, Tuple
 from repro.btree.keys import Key
 from repro.btree.node import InteriorNode, LeafNode
 from repro.btree.tree import BPlusTree
-from repro.errors import StorageError
+from repro.errors import InternalError, StorageError
 from repro.storage.buffer import BufferPool
 from repro.storage.heap import RID
 
@@ -79,7 +79,8 @@ def bulk_load_btree(
         prev_leaf, prev_page = leaf, page
         level.append((leaf.keys[0], page.page_id))
         i += take
-    assert prev_leaf is not None
+    if prev_leaf is None:
+        raise InternalError("non-empty bulk load produced no leaves")
     prev_leaf.next_leaf = -1
     tree._flush_node(prev_leaf, prev_page)
 

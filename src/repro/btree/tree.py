@@ -27,7 +27,7 @@ from repro.btree.node import (
     leaf_capacity,
     node_type_of,
 )
-from repro.errors import KeyNotFoundError, StorageError
+from repro.errors import IntegrityError, KeyNotFoundError, StorageError
 from repro.storage.buffer import BufferPool
 from repro.storage.heap import RID
 from repro.storage.page import Page
@@ -100,7 +100,7 @@ class BPlusTree:
         start_key: Tuple[int, ...] = low_key
         while page_id != -1:
             node, page = self._fetch_node(page_id)
-            assert isinstance(node, LeafNode)
+            node = self._expect_leaf(node, page)
             start = bisect_left(node.keys, start_key)
             for i in range(start, len(node.keys)):
                 if node.keys[i] > high_key:
@@ -117,7 +117,7 @@ class BPlusTree:
         page_id = self._leftmost_leaf()
         while page_id != -1:
             node, page = self._fetch_node(page_id)
-            assert isinstance(node, LeafNode)
+            node = self._expect_leaf(node, page)
             yield from zip(node.keys, node.rids)
             next_id = node.next_leaf
             self._release(page)
@@ -133,7 +133,7 @@ class BPlusTree:
         page_id = self._descend_to_leaf(key)
         while page_id != -1:
             node, page = self._fetch_node(page_id)
-            assert isinstance(node, LeafNode)
+            node = self._expect_leaf(node, page)
             idx = bisect_left(node.keys, key)
             while idx < len(node.keys) and node.keys[idx] == key:
                 if rid is None or node.rids[idx] == rid:
@@ -183,6 +183,15 @@ class BPlusTree:
 
     def _release(self, page: Page) -> None:
         self.pool.unpin_page(page.page_id)
+
+    def _expect_leaf(self, node, page: Page) -> LeafNode:
+        """Narrow a fetched node to a leaf; release + raise otherwise."""
+        if not isinstance(node, LeafNode):
+            self._release(page)
+            raise IntegrityError(
+                f"leaf chain points at non-leaf page {page.page_id}"
+            )
+        return node
 
     def _flush_node(self, node, page: Page) -> None:
         """Serialize a node into its pinned page and unpin dirty."""

@@ -11,6 +11,10 @@ Commands
 ``query``
     Build the paper's configuration at a given scale and answer an ad-hoc
     SQL slice query through the chosen engine.
+``check``
+    Build the paper's configuration and run the structural verifier
+    ("cubetree fsck") over every packed tree; non-zero exit on any
+    invariant violation.
 ``info``
     Print the library version and the simulated-device parameters.
 """
@@ -67,6 +71,18 @@ def build_parser() -> argparse.ArgumentParser:
                      default="cubetree")
     qry.add_argument("--limit", type=int, default=20,
                      help="max rows to print")
+
+    chk = sub.add_parser(
+        "check",
+        help="verify Cubetree structural invariants (cubetree fsck)",
+    )
+    chk.add_argument("--scale", type=float, default=0.002)
+    chk.add_argument("--seed", type=int, default=42)
+    chk.add_argument(
+        "--increment", type=float, default=None,
+        help="also merge-pack an increment of this fraction, then "
+        "re-verify the refreshed forest",
+    )
 
     sub.add_parser("info", help="print version and device parameters")
     return parser
@@ -181,6 +197,34 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """``repro check``: fsck the paper configuration's Cubetree forest."""
+    from repro.analysis.fsck import check_engine
+    from repro.experiments.common import (
+        ExperimentConfig,
+        build_cubetree_engine,
+    )
+    from repro.warehouse.tpcd import TPCDGenerator
+
+    generator = TPCDGenerator(scale_factor=args.scale, seed=args.seed)
+    data = generator.generate()
+    config = ExperimentConfig(scale_factor=args.scale, seed=args.seed)
+    engine, _ = build_cubetree_engine(config, data)
+    print(f"loaded {len(data.facts)} fact rows into "
+          f"{engine.forest.num_trees if engine.forest else 0} cubetree(s)")
+    report = check_engine(engine)
+    print(report.format())
+
+    if args.increment is not None:
+        delta = generator.generate_increment(args.increment)
+        engine.update(delta)
+        print(f"merge-packed {len(delta)} increment rows")
+        refreshed = check_engine(engine)
+        print(refreshed.format())
+        report.merge(refreshed)
+    return 0 if report.ok else 1
+
+
 def cmd_info(_args: argparse.Namespace) -> int:
     """``repro info``: print version and device parameters."""
     print(f"repro {__version__}")
@@ -199,6 +243,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": cmd_generate,
         "experiment": cmd_experiment,
         "query": cmd_query,
+        "check": cmd_check,
         "info": cmd_info,
     }
     return handlers[args.command](args)

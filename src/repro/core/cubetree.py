@@ -12,8 +12,9 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
 
+from repro.analysis.fsck import check_cubetree, debug_checks_enabled
 from repro.btree.keys import INT64_MAX
-from repro.errors import MappingError, QueryError
+from repro.errors import IntegrityError, MappingError, QueryError
 from repro.relational.executor import combine_states
 from repro.relational.view import ViewDefinition
 from repro.rtree.geometry import Rect
@@ -75,6 +76,7 @@ class Cubetree:
         """
         runs = self._runs_from(data)
         self.tree = pack_rtree(self.pool, self.dims, runs)
+        self._debug_verify("Cubetree.build")
 
     def update(self, deltas: Mapping[str, Sequence[Row]]) -> None:
         """Merge-pack a sorted delta into the tree (Fig. 15)."""
@@ -82,6 +84,15 @@ class Cubetree:
         self.tree = merge_pack(
             self.pool, self.dims, self.tree, runs, combine=self._combine
         )
+        self._debug_verify("Cubetree.update")
+
+    def _debug_verify(self, context: str) -> None:
+        """Post-condition fsck behind the ``REPRO_DEBUG_CHECKS`` flag."""
+        if not debug_checks_enabled():
+            return
+        report = check_cubetree(self)
+        if not report.ok:
+            raise IntegrityError(f"{context}: {report.format()}")
 
     def _runs_from(self, data: Mapping[str, Sequence[Row]]) -> List[PackedRun]:
         runs: List[PackedRun] = []

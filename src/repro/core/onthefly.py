@@ -199,7 +199,8 @@ class OnTheFlyEngine:
 
     def _access(self, bounds) -> Tuple[str, List[Row]]:
         """Pick the most selective single-attribute access path."""
-        assert self.fact_table is not None
+        if self.fact_table is None:
+            raise QueryError("load_fact must run first")
         best_attr = None
         best_kind = "scan"
         best_selectivity = 1.0

@@ -9,8 +9,25 @@ class ReproError(Exception):
     """Base class for all errors raised by this library."""
 
 
+class InternalError(ReproError):
+    """An internal invariant did not hold — a bug in the library itself.
+
+    Used where production code would otherwise reach for ``assert``:
+    unlike asserts, these checks survive ``python -O``.
+    """
+
+
 class StorageError(ReproError):
     """Low-level storage failure (bad page id, page overflow, ...)."""
+
+
+class IntegrityError(StorageError):
+    """A structural invariant of an on-disk structure is violated.
+
+    Raised by the :mod:`repro.analysis.fsck` verifier (and by the debug
+    post-conditions on bulk load / merge-pack) when a packed tree is not
+    in the state the storage format promises.
+    """
 
 
 class PageOverflowError(StorageError):

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.constants import PAGE_SIZE
+from repro.errors import InternalError
 from repro.experiments.common import (
     ExperimentConfig,
     build_conventional_engine,
@@ -40,7 +41,8 @@ def run(config: Optional[ExperimentConfig] = None, verbose: bool = True) -> Dict
 
     leaf_pages = 0
     total_pages = 0
-    assert cube.forest is not None
+    if cube.forest is None:
+        raise InternalError("cubetree engine has no forest after load")
     for i, tree in enumerate(cube.forest.cubetrees, start=1):
         pages = tree.num_pages
         leaves = len(tree.tree.leaf_page_ids)

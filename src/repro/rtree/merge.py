@@ -138,6 +138,15 @@ def merge_pack(
         runs.append(PackedRun(*current_meta, current))
 
     new_tree = pack_rtree(pool, dims, runs, validate=False)
+    # Debug post-condition: merge-pack must hand back a freshly packed
+    # tree (full leaves, contiguous sorted view runs).  Checked before
+    # the old tree is retired so a violation loses no data.  The import
+    # is local because repro.analysis.fsck itself depends on this
+    # package.
+    from repro.analysis.fsck import debug_checks_enabled, verify_tree
+
+    if debug_checks_enabled():
+        verify_tree(new_tree, context="merge_pack post-condition")
     if retire_old:
         free_tree(pool, old_tree)
     return new_tree

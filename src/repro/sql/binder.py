@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Tuple
 
-from repro.errors import SQLError
+from repro.errors import InternalError, SQLError
 from repro.query.slice import SliceQuery
 from repro.relational.executor import AggFunc, AggSpec
 from repro.relational.view import ViewDefinition
@@ -89,7 +89,11 @@ def bind_view(
             raise SQLError(
                 "constant predicates are not allowed in view definitions"
             )
-        assert isinstance(cond, JoinCondition)
+        if not isinstance(cond, JoinCondition):
+            raise InternalError(
+                f"parser produced unknown condition type "
+                f"{type(cond).__name__}"
+            )
         _validate_join(cond, schema)
 
     aggregates = tuple(

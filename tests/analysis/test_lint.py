@@ -1,0 +1,261 @@
+"""Tests for the repo-specific AST lint rules and the tools/lint.py runner."""
+
+import os
+import subprocess
+import sys
+import textwrap
+
+from repro.analysis.lint import (
+    RULES,
+    LintFinding,
+    format_findings,
+    is_test_path,
+    lint_paths,
+    lint_source,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__)
+)))
+LINT_RUNNER = os.path.join(REPO_ROOT, "tools", "lint.py")
+
+
+def rules_of(findings):
+    return [finding.rule for finding in findings]
+
+
+def lint(snippet, path="repro/somewhere.py"):
+    return lint_source(textwrap.dedent(snippet), path)
+
+
+# ----------------------------------------------------------------------
+# runtime-assert
+# ----------------------------------------------------------------------
+def test_assert_flagged_in_production_code():
+    findings = lint("""
+        def f(x):
+            assert x > 0
+            return x
+    """)
+    assert rules_of(findings) == ["runtime-assert"]
+    assert findings[0].line == 3
+
+
+def test_assert_allowed_in_tests():
+    source = "def test_f():\n    assert 1 + 1 == 2\n"
+    assert lint_source(source, "tests/test_f.py") == []
+    assert lint_source(source, "tests/sub/conftest.py") == []
+    assert is_test_path("tests/analysis/test_lint.py")
+    assert not is_test_path("src/repro/analysis/lint.py")
+
+
+def test_raise_not_flagged():
+    assert lint("""
+        def f(x):
+            if x <= 0:
+                raise ValueError("x")
+            return x
+    """) == []
+
+
+# ----------------------------------------------------------------------
+# direct-disk-read
+# ----------------------------------------------------------------------
+def test_direct_disk_read_flagged():
+    findings = lint("""
+        def f(pool, page_id):
+            return pool.disk.read_page(page_id)
+    """)
+    assert rules_of(findings) == ["direct-disk-read"]
+
+
+def test_bare_disk_name_flagged():
+    findings = lint("""
+        def f(disk):
+            return disk.read_page(0)
+    """)
+    assert rules_of(findings) == ["direct-disk-read"]
+
+
+def test_pool_fetch_not_flagged():
+    assert lint("""
+        def f(pool, page_id):
+            return pool.fetch_page(page_id)
+    """) == []
+
+
+def test_buffer_pool_module_is_exempt():
+    snippet = """
+        def fetch(self, page_id):
+            return self.disk.read_page(page_id)
+    """
+    assert lint(snippet, "src/repro/storage/buffer.py") == []
+    assert rules_of(lint(snippet, "src/repro/core/engine.py")) == [
+        "direct-disk-read"
+    ]
+
+
+# ----------------------------------------------------------------------
+# float-equality
+# ----------------------------------------------------------------------
+def test_float_literal_equality_flagged():
+    findings = lint("""
+        def f(total):
+            return total == 1.0
+    """)
+    assert rules_of(findings) == ["float-equality"]
+
+
+def test_float_call_inequality_flagged():
+    findings = lint("""
+        def f(row):
+            return float(row[0]) != 0.5
+    """)
+    assert rules_of(findings) == ["float-equality"]
+
+
+def test_float_ordering_not_flagged():
+    assert lint("""
+        def f(fill):
+            return 0.0 < fill <= 1.0
+    """) == []
+
+
+def test_int_equality_not_flagged():
+    assert lint("""
+        def f(n):
+            return n == 42
+    """) == []
+
+
+# ----------------------------------------------------------------------
+# mutable-default
+# ----------------------------------------------------------------------
+def test_mutable_default_flagged():
+    findings = lint("""
+        def f(items=[]):
+            return items
+    """)
+    assert rules_of(findings) == ["mutable-default"]
+
+
+def test_mutable_kwonly_and_constructor_defaults_flagged():
+    findings = lint("""
+        def f(*, cache={}, pool=set()):
+            return cache, pool
+    """)
+    assert rules_of(findings) == ["mutable-default", "mutable-default"]
+
+
+def test_none_default_not_flagged():
+    assert lint("""
+        def f(items=None, name="x", count=0):
+            return items
+    """) == []
+
+
+# ----------------------------------------------------------------------
+# magic-page-size
+# ----------------------------------------------------------------------
+def test_magic_page_size_flagged():
+    findings = lint("""
+        def f():
+            return bytearray(4096)
+    """)
+    assert rules_of(findings) == ["magic-page-size"]
+
+
+def test_constants_module_is_exempt():
+    snippet = "PAGE_SIZE = 4096\n"
+    assert lint(snippet, "src/repro/constants.py") == []
+    assert rules_of(lint(snippet, "src/repro/storage/page.py")) == [
+        "magic-page-size"
+    ]
+
+
+def test_other_literals_not_flagged():
+    assert lint("""
+        def f():
+            return 4095 + 4097
+    """) == []
+
+
+# ----------------------------------------------------------------------
+# suppression + registry + formatting
+# ----------------------------------------------------------------------
+def test_inline_suppression():
+    findings = lint("""
+        def f():
+            return bytearray(4096)  # lint: ignore[magic-page-size]
+    """)
+    assert findings == []
+
+
+def test_suppression_is_rule_specific():
+    findings = lint("""
+        def f(x):
+            assert x  # lint: ignore[magic-page-size]
+    """)
+    assert rules_of(findings) == ["runtime-assert"]
+
+
+def test_every_rule_is_registered():
+    sample = """
+        def f(x, items=[]):
+            assert x
+            if float(x) == 1.0:
+                return x.disk.read_page(4096)
+    """
+    findings = lint(sample)
+    assert set(rules_of(findings)) == set(RULES)
+
+
+def test_syntax_error_yields_structured_finding():
+    findings = lint_source("def broken(:\n", "bad.py")
+    assert rules_of(findings) == ["syntax-error"]
+    assert "does not parse" in findings[0].message
+
+
+def test_format_findings():
+    finding = LintFinding("runtime-assert", "a.py", 3, 4, "boom")
+    text = format_findings([finding])
+    assert "a.py:3:4: [runtime-assert] boom" in text
+    assert "1 finding(s)" in text
+    assert format_findings([]) == "0 findings"
+
+
+# ----------------------------------------------------------------------
+# the runner: zero on src/ at HEAD, non-zero on a seeded violation
+# ----------------------------------------------------------------------
+def test_src_tree_is_lint_clean():
+    assert lint_paths([os.path.join(REPO_ROOT, "src")]) == []
+
+
+def test_runner_exits_zero_on_clean_src():
+    proc = subprocess.run(
+        [sys.executable, LINT_RUNNER],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 findings" in proc.stdout
+
+
+def test_runner_exits_nonzero_on_seeded_violation(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(x):\n    assert x\n    return 4096\n")
+    proc = subprocess.run(
+        [sys.executable, LINT_RUNNER, str(bad)],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 1
+    assert "runtime-assert" in proc.stdout
+    assert "magic-page-size" in proc.stdout
+
+
+def test_runner_rejects_missing_path(tmp_path):
+    proc = subprocess.run(
+        [sys.executable, LINT_RUNNER, str(tmp_path / "nope.py")],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 2
+    assert "no such path" in proc.stderr

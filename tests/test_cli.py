@@ -78,6 +78,20 @@ def test_query_with_between(capsys):
     ]) == 0
 
 
+def test_check_reports_clean(capsys):
+    assert main(["check", "--scale", "0.0005"]) == 0
+    out = capsys.readouterr().out
+    assert "cubetree fsck" in out
+    assert "0 violation(s)" in out
+
+
+def test_check_with_increment(capsys):
+    assert main(["check", "--scale", "0.0005", "--increment", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "merge-packed" in out
+    assert out.count("0 violation(s)") == 2
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["nope"])

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Run the repo-specific AST lint rules (see repro.analysis.lint).
+
+Usage::
+
+    python tools/lint.py              # lint src/ (the CI gate)
+    python tools/lint.py path ...     # lint specific files/directories
+    python tools/lint.py --list-rules
+
+Exits non-zero when any finding is reported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from repro.analysis.lint import (  # noqa: E402 (needs the path insert)
+    RULES,
+    format_findings,
+    lint_paths,
+)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tools/lint.py",
+        description="repo-specific AST lint for the repro codebase",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/)",
+    )
+    parser.add_argument(
+        "--include-tests",
+        action="store_true",
+        help="also lint test files (asserts stay exempt there)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, description in sorted(RULES.items()):
+            print(f"{rule}: {description}")
+        return 0
+
+    paths = args.paths or [os.path.join(_REPO_ROOT, "src")]
+    missing = [path for path in paths if not os.path.exists(path)]
+    if missing:
+        for path in missing:
+            print(f"error: no such path: {path}", file=sys.stderr)
+        return 2
+    findings = lint_paths(paths, include_tests=args.include_tests)
+    print(format_findings(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
