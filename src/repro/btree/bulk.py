@@ -15,8 +15,12 @@ from repro.btree.keys import Key
 from repro.btree.node import InteriorNode, LeafNode
 from repro.btree.tree import BPlusTree
 from repro.errors import InternalError, StorageError
+from repro.obs import get_registry, trace
 from repro.storage.buffer import BufferPool
 from repro.storage.heap import RID
+
+_REG = get_registry()
+_OBS_BULK_ENTRIES = _REG.counter("btree.bulk_load.entries")
 
 #: Default leaf/interior fill fraction.  Production B-trees leave headroom
 #: for future inserts; 1.0 packs to capacity like the Cubetrees do.
@@ -42,8 +46,19 @@ def bulk_load_btree(
     fill:
         Fraction of node capacity to fill (0 < fill <= 1).
     """
+    with trace("btree.bulk_load", entries=len(entries)):
+        return _bulk_load_btree(pool, arity, entries, fill)
+
+
+def _bulk_load_btree(
+    pool: BufferPool,
+    arity: int,
+    entries: Sequence[Tuple[Key, RID]],
+    fill: float,
+) -> BPlusTree:
     if not 0.0 < fill <= 1.0:
         raise ValueError("fill must be in (0, 1]")
+    _OBS_BULK_ENTRIES.value += len(entries)
     for i in range(1, len(entries)):
         if entries[i - 1][0] > entries[i][0]:
             raise StorageError("bulk_load_btree requires sorted input")

@@ -28,9 +28,14 @@ from repro.btree.node import (
     node_type_of,
 )
 from repro.errors import IntegrityError, KeyNotFoundError, StorageError
+from repro.obs import get_registry
 from repro.storage.buffer import BufferPool
 from repro.storage.heap import RID
 from repro.storage.page import Page
+
+_REG = get_registry()
+_OBS_SEARCHES = _REG.counter("btree.searches")
+_OBS_INSERTS = _REG.counter("btree.inserts")
 
 
 class BPlusTree:
@@ -66,6 +71,7 @@ class BPlusTree:
     def insert(self, key: Sequence[int], rid: RID) -> None:
         """Insert one (key, rid) entry, splitting nodes as needed."""
         key = validate_key(key, self.arity)
+        _OBS_INSERTS.value += 1
         split = self._insert(self.root_page_id, key, rid)
         if split is not None:
             sep, right_id = split
@@ -81,6 +87,7 @@ class BPlusTree:
     def search(self, key: Sequence[int]) -> List[RID]:
         """Return every RID stored under ``key`` (possibly empty)."""
         key = validate_key(key, self.arity)
+        _OBS_SEARCHES.value += 1
         return [rid for _k, rid in self.range_scan(key, key)]
 
     def search_one(self, key: Sequence[int]) -> Optional[RID]:

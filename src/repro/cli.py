@@ -15,6 +15,10 @@ Commands
     Build the paper's configuration and run the structural verifier
     ("cubetree fsck") over every packed tree; non-zero exit on any
     invariant violation.
+``bench``
+    Run a named benchmark suite and write a schema-versioned JSON
+    document (``BENCH_<suite>.json``); ``--compare`` diffs against a
+    previous document and exits non-zero on a simulated-time regression.
 ``info``
     Print the library version and the simulated-device parameters.
 """
@@ -83,6 +87,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="also merge-pack an increment of this fraction, then "
         "re-verify the refreshed forest",
     )
+
+    from repro.obs.bench import SUITES
+
+    ben = sub.add_parser(
+        "bench",
+        help="run a benchmark suite, emit JSON, optionally compare",
+    )
+    ben.add_argument("--suite", choices=SUITES, default="smoke")
+    ben.add_argument("--out", default=None,
+                     help="output path (default BENCH_<suite>.json)")
+    ben.add_argument("--compare", default=None, metavar="OLD_JSON",
+                     help="baseline document to diff against")
+    ben.add_argument("--threshold", type=float, default=0.2,
+                     help="simulated-ms regression fraction that fails "
+                     "the comparison (default 0.2 = +20%%)")
+    ben.add_argument("--report", action="store_true",
+                     help="print a phase table to stdout")
+    ben.add_argument("--scale", type=float, default=None)
+    ben.add_argument("--seed", type=int, default=42)
+    ben.add_argument("--queries", type=int, default=5,
+                     help="queries per lattice node in query phases")
 
     sub.add_parser("info", help="print version and device parameters")
     return parser
@@ -225,6 +250,52 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench``: run a suite, write JSON, optionally compare."""
+    import json
+
+    from repro.obs.bench import (
+        compare,
+        format_report,
+        load_result,
+        run_suite,
+    )
+
+    result = run_suite(
+        args.suite,
+        scale=args.scale,
+        seed=args.seed,
+        queries_per_node=args.queries,
+    )
+
+    out_path = args.out or f"BENCH_{args.suite}.json"
+    with open(out_path, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {out_path}")
+
+    if args.report:
+        print(format_report(result))
+
+    if args.compare:
+        baseline = load_result(args.compare)
+        regressions = compare(baseline, result, threshold=args.threshold)
+        if regressions:
+            print(f"REGRESSION vs {args.compare} "
+                  f"(threshold +{args.threshold:.0%}):")
+            for reg in regressions:
+                print(
+                    f"  {reg['phase']}: "
+                    f"{reg['old_simulated_ms']:.1f} ms -> "
+                    f"{reg['new_simulated_ms']:.1f} ms "
+                    f"({reg['ratio']:.2f}x)"
+                )
+            return 1
+        print(f"no regression vs {args.compare} "
+              f"(threshold +{args.threshold:.0%})")
+    return 0
+
+
 def cmd_info(_args: argparse.Namespace) -> int:
     """``repro info``: print version and device parameters."""
     print(f"repro {__version__}")
@@ -244,6 +315,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": cmd_experiment,
         "query": cmd_query,
         "check": cmd_check,
+        "bench": cmd_bench,
         "info": cmd_info,
     }
     return handlers[args.command](args)

@@ -15,6 +15,7 @@ from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
 from repro.analysis.fsck import check_cubetree, debug_checks_enabled
 from repro.btree.keys import INT64_MAX
 from repro.errors import IntegrityError, MappingError, QueryError
+from repro.obs import trace
 from repro.relational.executor import combine_states
 from repro.relational.view import ViewDefinition
 from repro.rtree.geometry import Rect
@@ -74,16 +75,18 @@ class Cubetree:
         states).  Rows are re-sorted into packing order and streamed into
         a freshly packed tree.
         """
-        runs = self._runs_from(data)
-        self.tree = pack_rtree(self.pool, self.dims, runs)
+        with trace("cubetree.build", views=len(self.views)):
+            runs = self._runs_from(data)
+            self.tree = pack_rtree(self.pool, self.dims, runs)
         self._debug_verify("Cubetree.build")
 
     def update(self, deltas: Mapping[str, Sequence[Row]]) -> None:
         """Merge-pack a sorted delta into the tree (Fig. 15)."""
-        runs = self._runs_from(deltas)
-        self.tree = merge_pack(
-            self.pool, self.dims, self.tree, runs, combine=self._combine
-        )
+        with trace("cubetree.update", views=len(self.views)):
+            runs = self._runs_from(deltas)
+            self.tree = merge_pack(
+                self.pool, self.dims, self.tree, runs, combine=self._combine
+            )
         self._debug_verify("Cubetree.update")
 
     def _debug_verify(self, context: str) -> None:

@@ -30,6 +30,7 @@ from repro.core.sorting import make_substrate_sorter
 from repro.cube.computation import CubeComputation
 from repro.cube.lattice import CubeLattice
 from repro.errors import QueryError
+from repro.obs import get_registry, trace
 from repro.query.result import QueryResult
 from repro.query.router import QueryRouter
 from repro.query.slice import SliceQuery
@@ -40,6 +41,11 @@ from repro.warehouse.hierarchy import Hierarchy
 from repro.warehouse.star import StarSchema
 
 Row = Tuple[object, ...]
+
+_REG = get_registry()
+_OBS_QUERIES = _REG.counter("query.cubetree.count")
+_OBS_QUERY_SIM_MS = _REG.histogram("query.cubetree.simulated_ms")
+_OBS_QUERY_WALL_MS = _REG.histogram("query.cubetree.wall_ms")
 
 
 class CubetreeEngine:
@@ -104,26 +110,27 @@ class CubetreeEngine:
         wall_start = time.perf_counter()
         io_start = self.disk.cost_model.snapshot()
 
-        self.base_views = list(views)
-        data = self.computation.execute(fact_rows, self.base_views)
+        with trace("engine.materialize", views=len(views)):
+            self.base_views = list(views)
+            data = self.computation.execute(fact_rows, self.base_views)
 
-        all_views = list(self.base_views)
-        by_name = {view.name: view for view in self.base_views}
-        self.replicas = {}
-        for base_name, orders in (replicate or {}).items():
-            base = by_name[base_name]
-            for order in orders:
-                replica = replica_definition(base, order)
-                all_views.append(replica)
-                self.replicas[replica.name] = base_name
-                data[replica.name] = list(
-                    permute_state_rows(base, data[base_name], order)
-                )
+            all_views = list(self.base_views)
+            by_name = {view.name: view for view in self.base_views}
+            self.replicas = {}
+            for base_name, orders in (replicate or {}).items():
+                base = by_name[base_name]
+                for order in orders:
+                    replica = replica_definition(base, order)
+                    all_views.append(replica)
+                    self.replicas[replica.name] = base_name
+                    data[replica.name] = list(
+                        permute_state_rows(base, data[base_name], order)
+                    )
 
-        allocation = select_mapping(all_views)
-        self.forest = CubetreeForest(self.pool, allocation)
-        self.forest.build(data)
-        self.pool.flush_all()
+            allocation = select_mapping(all_views)
+            self.forest = CubetreeForest(self.pool, allocation)
+            self.forest.build(data)
+            self.pool.flush_all()
 
         report = LoadReport()
         report.phases["views"] = PhaseReport(
@@ -151,10 +158,15 @@ class CubetreeEngine:
         rows = finalize_matches(
             matches, view, query, self.hierarchies, residual
         )
+        io = self.disk.cost_model.stats - io_start
+        wall_ms = (time.perf_counter() - wall_start) * 1000.0
+        _OBS_QUERIES.value += 1
+        _OBS_QUERY_SIM_MS.observe(io.simulated_ms)
+        _OBS_QUERY_WALL_MS.observe(wall_ms)
         return QueryResult(
             rows=rows,
-            io=self.disk.cost_model.stats - io_start,
-            wall_ms=(time.perf_counter() - wall_start) * 1000.0,
+            io=io,
+            wall_ms=wall_ms,
             plan=decision.describe(),
         )
 
@@ -167,17 +179,18 @@ class CubetreeEngine:
         wall_start = time.perf_counter()
         io_start = self.disk.cost_model.snapshot()
 
-        deltas = self.computation.execute(fact_delta, self.base_views)
-        by_name = {view.name: view for view in self.base_views}
-        for replica_name, base_name in self.replicas.items():
-            replica = forest.view_definition(replica_name)
-            deltas[replica_name] = list(
-                permute_state_rows(
-                    by_name[base_name], deltas[base_name], replica.group_by
+        with trace("engine.update", rows=len(fact_delta)):
+            deltas = self.computation.execute(fact_delta, self.base_views)
+            by_name = {view.name: view for view in self.base_views}
+            for replica_name, base_name in self.replicas.items():
+                replica = forest.view_definition(replica_name)
+                deltas[replica_name] = list(
+                    permute_state_rows(
+                        by_name[base_name], deltas[base_name], replica.group_by
+                    )
                 )
-            )
-        forest.update(deltas)
-        self.pool.flush_all()
+            forest.update(deltas)
+            self.pool.flush_all()
 
         return UpdateReport(
             method="cubetree merge-pack",

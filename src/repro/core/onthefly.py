@@ -29,6 +29,7 @@ from repro.btree.tree import BPlusTree
 from repro.constants import DEFAULT_BUFFER_PAGES
 from repro.core.reports import LoadReport, PhaseReport, UpdateReport
 from repro.errors import QueryError
+from repro.obs import get_registry
 from repro.query.result import QueryResult
 from repro.query.slice import SliceQuery
 from repro.relational.bitmap import BitmapIndex
@@ -42,6 +43,11 @@ from repro.warehouse.hierarchy import Hierarchy
 from repro.warehouse.star import StarSchema
 
 Row = Tuple[object, ...]
+
+_REG = get_registry()
+_OBS_QUERIES = _REG.counter("query.onthefly.count")
+_OBS_QUERY_SIM_MS = _REG.histogram("query.onthefly.simulated_ms")
+_OBS_QUERY_WALL_MS = _REG.histogram("query.onthefly.wall_ms")
 
 
 class OnTheFlyEngine:
@@ -178,10 +184,15 @@ class OnTheFlyEngine:
         result_rows = [
             key + (total,) for key, total in sorted(groups.items())
         ]
+        io = self.disk.cost_model.stats - io_start
+        wall_ms = (time.perf_counter() - wall_start) * 1000.0
+        _OBS_QUERIES.value += 1
+        _OBS_QUERY_SIM_MS.observe(io.simulated_ms)
+        _OBS_QUERY_WALL_MS.observe(wall_ms)
         return QueryResult(
             rows=result_rows,
-            io=self.disk.cost_model.stats - io_start,
-            wall_ms=(time.perf_counter() - wall_start) * 1000.0,
+            io=io,
+            wall_ms=wall_ms,
             plan=plan,
         )
 

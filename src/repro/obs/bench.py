@@ -1,0 +1,448 @@
+"""The ``repro bench`` harness: named suites with machine-readable output.
+
+Each suite runs a small, deterministic slice of the paper's workload
+(loading, querying, merge-pack refresh, scalability) and emits one
+schema-versioned JSON document: an environment fingerprint, per-phase
+simulated-I/O and buffer-pool deltas, wall-clock timings, and a full
+snapshot of the process-wide metrics registry.  Two documents from the
+same suite can be diffed with :func:`compare`, which flags phases whose
+*simulated* milliseconds regressed past a threshold — wall-clock noise
+never fails a comparison; only the deterministic cost model does.
+
+Used by CI (smoke suite per push, artifact uploaded) and by hand when
+touching storage-layer code::
+
+    python -m repro bench --suite smoke --out BENCH_smoke.json
+    ... hack hack hack ...
+    python -m repro bench --suite smoke --compare BENCH_smoke.json
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+from repro import __version__
+from repro.constants import (
+    PAGE_SIZE,
+    RANDOM_IO_MS,
+    ROW_OP_OVERHEAD_MS,
+    SEQUENTIAL_IO_MS,
+)
+from repro.obs import get_registry, set_tracing
+from repro.obs.trace import tracing_override
+
+#: Bumped whenever the JSON layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Suites in the order ``--suite`` lists them.
+SUITES = ("smoke", "loading", "queries", "updates", "scalability")
+
+#: Default scale factor per suite (kept tiny: the bench guards against
+#: regressions, it does not reproduce the paper's figures).
+_DEFAULT_SCALES = {
+    "smoke": 0.001,
+    "loading": 0.002,
+    "queries": 0.002,
+    "updates": 0.002,
+    "scalability": 0.0005,
+}
+
+
+# ----------------------------------------------------------------------
+# recording
+# ----------------------------------------------------------------------
+class BenchRun:
+    """Accumulates the phases of one suite run."""
+
+    def __init__(self, suite: str, config: Dict[str, object]) -> None:
+        self.suite = suite
+        self.config = config
+        self.phases: List[Dict[str, object]] = []
+
+    @contextmanager
+    def phase(self, name: str, pool) -> Iterator[None]:
+        """Record one phase: I/O, buffer, and wall-clock deltas around
+        the body, taken from the pool's disk cost model and stats."""
+        io_before = pool.disk.cost_model.snapshot()
+        buf_before = pool.stats.copy()
+        wall_start = time.perf_counter()
+        yield
+        wall_ms = (time.perf_counter() - wall_start) * 1000.0
+        io = pool.disk.cost_model.stats - io_before
+        buf = pool.stats - buf_before
+        self.phases.append(
+            {
+                "name": name,
+                "simulated_ms": io.simulated_ms,
+                "overhead_ms": io.overhead_ms,
+                "wall_ms": wall_ms,
+                "io": {
+                    "sequential_reads": io.sequential_reads,
+                    "random_reads": io.random_reads,
+                    "sequential_writes": io.sequential_writes,
+                    "random_writes": io.random_writes,
+                },
+                "buffer": {
+                    "hits": buf.hits,
+                    "misses": buf.misses,
+                    "evictions": buf.evictions,
+                    "new_pages": buf.new_pages,
+                    "accesses": buf.accesses,
+                    # null (not 0.0) when the phase made no lookups.
+                    "hit_ratio": (
+                        buf.hit_ratio if buf.accesses > 0 else None
+                    ),
+                },
+            }
+        )
+
+    def result(self) -> Dict[str, object]:
+        """The finished JSON document (metrics snapshot taken here)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "suite": self.suite,
+            "config": self.config,
+            "env": environment_fingerprint(),
+            "phases": self.phases,
+            "totals": {
+                "simulated_ms": sum(
+                    p["simulated_ms"] for p in self.phases  # type: ignore[misc]
+                ),
+                "wall_ms": sum(
+                    p["wall_ms"] for p in self.phases  # type: ignore[misc]
+                ),
+            },
+            "metrics": get_registry().snapshot(),
+        }
+
+
+def environment_fingerprint() -> Dict[str, object]:
+    """What produced this document (for apples-to-apples comparisons)."""
+    return {
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "page_size": PAGE_SIZE,
+        "random_io_ms": RANDOM_IO_MS,
+        "sequential_io_ms": SEQUENTIAL_IO_MS,
+        "row_op_overhead_ms": ROW_OP_OVERHEAD_MS,
+    }
+
+
+# ----------------------------------------------------------------------
+# suites
+# ----------------------------------------------------------------------
+def run_suite(
+    suite: str,
+    scale: Optional[float] = None,
+    seed: int = 42,
+    queries_per_node: int = 5,
+) -> Dict[str, object]:
+    """Run one named suite and return its JSON-ready result dict.
+
+    The metrics registry is reset at the start so the embedded snapshot
+    covers exactly this run; tracing is forced on for the duration (the
+    spans land in the snapshot) and restored afterwards.
+    """
+    if suite not in SUITES:
+        raise ValueError(f"unknown suite {suite!r}; pick one of {SUITES}")
+    if scale is None:
+        scale = _DEFAULT_SCALES[suite]
+
+    registry = get_registry()
+    registry.reset()
+    forced_before = tracing_override()
+    set_tracing(True)
+    try:
+        runner = globals()[f"_suite_{suite}"]
+        return runner(scale, seed, queries_per_node)
+    finally:
+        set_tracing(forced_before)
+
+
+def _make_config(suite: str, scale: float, seed: int, queries: int):
+    from repro.experiments.common import ExperimentConfig
+
+    config = ExperimentConfig(
+        scale_factor=scale, seed=seed, queries_per_node=queries
+    )
+    run = BenchRun(
+        suite,
+        {
+            "scale_factor": scale,
+            "seed": seed,
+            "queries_per_node": queries,
+            "buffer_pages": config.buffer_pages,
+        },
+    )
+    return config, run
+
+
+def _suite_smoke(scale: float, seed: int, queries: int) -> Dict[str, object]:
+    """Load → query → refresh, one engine: the CI tripwire."""
+    from repro.experiments.common import (
+        FIG12_NODES,
+        build_cubetree_engine,
+        build_warehouse,
+    )
+    from repro.query.generator import RandomQueryGenerator
+
+    config, run = _make_config("smoke", scale, seed, queries)
+    generator, data = build_warehouse(config)
+
+    wall_start = time.perf_counter()
+    engine, _ = build_cubetree_engine(config, data)
+    # The engine's pool did the loading I/O before we could wrap it, so
+    # record the load phase from absolute counters instead.
+    run.phases.append(
+        _absolute_phase(
+            "load", engine.pool,
+            (time.perf_counter() - wall_start) * 1000.0,
+        )
+    )
+
+    qgen = RandomQueryGenerator(data.schema, seed=config.query_seed)
+    with run.phase("queries", engine.pool):
+        for node in FIG12_NODES[:3]:
+            for query in qgen.generate_for_node(node, queries):
+                engine.query(query)
+
+    delta = generator.generate_increment(config.increment_fraction)
+    with run.phase("update", engine.pool):
+        engine.update(delta)
+
+    return run.result()
+
+
+def _absolute_phase(name: str, pool, wall_ms: float = 0.0) -> Dict[str, object]:
+    """A phase record built from a pool's lifetime counters (used when
+    the work happened inside a constructor we could not wrap)."""
+    io = pool.disk.cost_model.stats
+    buf = pool.stats
+    return {
+        "name": name,
+        "simulated_ms": io.simulated_ms,
+        "overhead_ms": io.overhead_ms,
+        "wall_ms": wall_ms,
+        "io": {
+            "sequential_reads": io.sequential_reads,
+            "random_reads": io.random_reads,
+            "sequential_writes": io.sequential_writes,
+            "random_writes": io.random_writes,
+        },
+        "buffer": {
+            "hits": buf.hits,
+            "misses": buf.misses,
+            "evictions": buf.evictions,
+            "new_pages": buf.new_pages,
+            "accesses": buf.accesses,
+            "hit_ratio": buf.hit_ratio if buf.accesses > 0 else None,
+        },
+    }
+
+
+def _suite_loading(scale: float, seed: int, queries: int) -> Dict[str, object]:
+    """Cubetree bulk load vs. conventional load+index (Table 6's shape)."""
+    from repro.experiments.common import (
+        build_conventional_engine,
+        build_cubetree_engine,
+        build_warehouse,
+    )
+
+    config, run = _make_config("loading", scale, seed, queries)
+    _generator, data = build_warehouse(config)
+
+    wall_start = time.perf_counter()
+    cube, _ = build_cubetree_engine(config, data)
+    run.phases.append(
+        _absolute_phase(
+            "cubetree_load", cube.pool,
+            (time.perf_counter() - wall_start) * 1000.0,
+        )
+    )
+
+    wall_start = time.perf_counter()
+    conv, _ = build_conventional_engine(config, data)
+    run.phases.append(
+        _absolute_phase(
+            "conventional_load", conv.pool,
+            (time.perf_counter() - wall_start) * 1000.0,
+        )
+    )
+    return run.result()
+
+
+def _suite_queries(scale: float, seed: int, queries: int) -> Dict[str, object]:
+    """Query throughput over every Fig. 12 lattice node."""
+    from repro.experiments.common import (
+        FIG12_NODES,
+        build_cubetree_engine,
+        build_warehouse,
+    )
+    from repro.query.generator import RandomQueryGenerator
+
+    config, run = _make_config("queries", scale, seed, queries)
+    _generator, data = build_warehouse(config)
+    engine, _ = build_cubetree_engine(config, data)
+    qgen = RandomQueryGenerator(data.schema, seed=config.query_seed)
+
+    for node in FIG12_NODES:
+        label = "queries:" + (",".join(node) or "none")
+        with run.phase(label, engine.pool):
+            for query in qgen.generate_for_node(node, queries):
+                engine.query(query)
+    return run.result()
+
+
+def _suite_updates(scale: float, seed: int, queries: int) -> Dict[str, object]:
+    """Merge-pack refresh vs. conventional incremental refresh."""
+    from repro.experiments.common import (
+        build_conventional_engine,
+        build_cubetree_engine,
+        build_warehouse,
+    )
+
+    config, run = _make_config("updates", scale, seed, queries)
+    generator, data = build_warehouse(config)
+    delta = generator.generate_increment(config.increment_fraction)
+
+    cube, _ = build_cubetree_engine(config, data)
+    with run.phase("cubetree_merge_pack", cube.pool):
+        cube.update(delta)
+
+    conv, _ = build_conventional_engine(config, data)
+    with run.phase("conventional_incremental", conv.pool):
+        conv.update_incremental(delta)
+    return run.result()
+
+
+def _suite_scalability(
+    scale: float, seed: int, queries: int
+) -> Dict[str, object]:
+    """Load cost as the warehouse doubles (Fig. 14's shape)."""
+    from repro.experiments.common import (
+        ExperimentConfig,
+        build_cubetree_engine,
+        build_warehouse,
+    )
+
+    _config, run = _make_config("scalability", scale, seed, queries)
+    for multiple in (1, 2, 4):
+        step = ExperimentConfig(
+            scale_factor=scale * multiple, seed=seed,
+            queries_per_node=queries,
+        )
+        wall_start = time.perf_counter()
+        _generator, data = build_warehouse(step)
+        engine, _ = build_cubetree_engine(step, data)
+        run.phases.append(
+            _absolute_phase(
+                f"load_x{multiple}", engine.pool,
+                (time.perf_counter() - wall_start) * 1000.0,
+            )
+        )
+    return run.result()
+
+
+# ----------------------------------------------------------------------
+# comparison + reporting
+# ----------------------------------------------------------------------
+def compare(
+    old: Dict[str, object],
+    new: Dict[str, object],
+    threshold: float = 0.2,
+) -> List[Dict[str, object]]:
+    """Flag phases whose simulated time regressed past ``threshold``.
+
+    Phases are matched by name; phases present on only one side are
+    ignored (renames should not fail CI), and near-zero baselines are
+    skipped (a 0.1 ms phase tripling is noise, not a regression).
+    Returns one record per regression; empty list means "no worse".
+    """
+    if old.get("suite") != new.get("suite"):
+        raise ValueError(
+            f"cannot compare suite {new.get('suite')!r} against a "
+            f"{old.get('suite')!r} baseline"
+        )
+    old_phases = {p["name"]: p for p in old.get("phases", [])}  # type: ignore[index]
+    regressions: List[Dict[str, object]] = []
+    for phase in new.get("phases", []):  # type: ignore[union-attr]
+        name = phase["name"]  # type: ignore[index]
+        base = old_phases.get(name)
+        if base is None:
+            continue
+        old_ms = float(base["simulated_ms"])  # type: ignore[index, arg-type]
+        new_ms = float(phase["simulated_ms"])  # type: ignore[index, arg-type]
+        if old_ms < 1.0:
+            continue
+        if new_ms > old_ms * (1.0 + threshold):
+            regressions.append(
+                {
+                    "phase": name,
+                    "old_simulated_ms": old_ms,
+                    "new_simulated_ms": new_ms,
+                    "ratio": new_ms / old_ms,
+                }
+            )
+    return regressions
+
+
+def format_report(result: Dict[str, object]) -> str:
+    """Aligned text table of a result's phases (the ``--report`` view)."""
+    headers = (
+        "phase", "sim ms", "wall ms", "reads", "writes", "hit ratio",
+    )
+    rows: List[List[str]] = []
+    for phase in result.get("phases", []):  # type: ignore[union-attr]
+        io = phase["io"]  # type: ignore[index]
+        buf = phase["buffer"]  # type: ignore[index]
+        reads = io["sequential_reads"] + io["random_reads"]  # type: ignore[index]
+        writes = io["sequential_writes"] + io["random_writes"]  # type: ignore[index]
+        ratio = buf["hit_ratio"]  # type: ignore[index]
+        rows.append(
+            [
+                str(phase["name"]),  # type: ignore[index]
+                f"{phase['simulated_ms']:.1f}",  # type: ignore[index]
+                f"{phase['wall_ms']:.1f}",  # type: ignore[index]
+                str(reads),
+                str(writes),
+                "-" if ratio is None else f"{ratio:.3f}",
+            ]
+        )
+    totals = result.get("totals", {})
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        f"suite: {result.get('suite')}  "
+        f"(schema v{result.get('schema_version')})",
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+    ]
+    lines.append("-" * len(lines[-1]))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    lines.append(
+        f"total: {totals.get('simulated_ms', 0.0):.1f} ms simulated, "
+        f"{totals.get('wall_ms', 0.0):.1f} ms wall"
+    )
+    return "\n".join(lines)
+
+
+def load_result(path: str) -> Dict[str, object]:
+    """Read a bench JSON document, checking its schema version."""
+    with open(path) as handle:
+        result = json.load(handle)
+    version = result.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema_version {version!r} is not {SCHEMA_VERSION}"
+        )
+    return result

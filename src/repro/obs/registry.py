@@ -1,0 +1,241 @@
+"""The process-wide metrics registry.
+
+Three metric kinds cover everything the experiments measure:
+
+* :class:`Counter` — monotonically growing totals (page reads, evictions,
+  merged entries).  Hot paths update counters with a bare
+  ``counter.value += 1`` so a page access costs one attribute increment.
+* :class:`Gauge` — last-written values (pages on disk, leaf utilization).
+* :class:`Histogram` — sample distributions with ``p50``/``p95``/``max``
+  (per-query latency, span durations).  Samples are kept in a bounded
+  reservoir so long benches cannot grow memory without limit.
+
+Metrics are owned by a :class:`MetricsRegistry`; the module-level
+:func:`get_registry` instance is what the storage substrate and engines
+report into.  ``reset()`` zeroes every metric *in place* — registered
+handles held by other modules keep working across resets, which is what
+lets tests snapshot/reset around a single operation.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Union
+
+Number = Union[int, float]
+
+#: Histogram reservoir size.  Big enough that p95 over an experiment batch
+#: is exact in practice; bounded so histograms cannot leak memory.
+DEFAULT_RESERVOIR = 8192
+
+
+class Counter:
+    """A monotonically increasing total.
+
+    Hot paths may bypass :meth:`inc` and do ``counter.value += n``
+    directly; both are supported and equivalent.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add ``amount`` (may be fractional, e.g. milliseconds)."""
+        self.value += amount
+
+    def reset(self) -> None:
+        """Zero the counter in place."""
+        self.value = 0
+
+    def snapshot(self) -> Number:
+        """Current total."""
+        return self.value
+
+
+class Gauge:
+    """A last-written value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        """Record the current level."""
+        self.value = value
+
+    def reset(self) -> None:
+        """Zero the gauge in place."""
+        self.value = 0
+
+    def snapshot(self) -> Number:
+        """Current level."""
+        return self.value
+
+
+class Histogram:
+    """A sample distribution summarized as count/sum/p50/p95/max.
+
+    Keeps at most ``reservoir`` samples: once full, every second sample is
+    dropped and the keep-rate halves, so the summary stays representative
+    while memory stays bounded.  ``count``/``sum``/``max`` remain exact
+    regardless of downsampling.
+    """
+
+    __slots__ = ("name", "count", "total", "max", "_samples", "_keep_every",
+                 "_skip", "_reservoir")
+
+    def __init__(self, name: str, reservoir: int = DEFAULT_RESERVOIR) -> None:
+        self.name = name
+        self._reservoir = max(2, reservoir)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self._samples: List[float] = []
+        self._keep_every = 1
+        self._skip = 0
+
+    def observe(self, value: Number) -> None:
+        """Record one sample."""
+        v = float(value)
+        self.count += 1
+        self.total += v
+        if v > self.max:
+            self.max = v
+        self._skip += 1
+        if self._skip >= self._keep_every:
+            self._skip = 0
+            self._samples.append(v)
+            if len(self._samples) >= self._reservoir:
+                # Halve the reservoir and the keep rate.
+                self._samples = self._samples[::2]
+                self._keep_every *= 2
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile over the retained samples (0 if empty)."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[rank]
+
+    def reset(self) -> None:
+        """Zero the histogram in place."""
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self._samples.clear()
+        self._keep_every = 1
+        self._skip = 0
+
+    def snapshot(self) -> Dict[str, float]:
+        """Summary dict: count, sum, mean, p50, p95, max."""
+        mean = self.total / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": mean,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Owns every metric; hands out (and deduplicates) handles by name.
+
+    Registration is locked (modules register at import time from any
+    thread); the update paths are deliberately lock-free — CPython
+    attribute increments are atomic enough for monitoring counters, and
+    the repo's engines are single-threaded per simulation anyway.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        metric = self._counters.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._counters.setdefault(name, Counter(name))
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        metric = self._gauges.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._gauges.setdefault(name, Gauge(name))
+        return metric
+
+    def histogram(
+        self, name: str, reservoir: int = DEFAULT_RESERVOIR
+    ) -> Histogram:
+        """Get or create the histogram ``name``."""
+        metric = self._histograms.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._histograms.setdefault(
+                    name, Histogram(name, reservoir)
+                )
+        return metric
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """One JSON-serializable view of every registered metric.
+
+        Zero-valued counters/gauges and empty histograms are included —
+        a bench consumer can rely on a metric existing once the code
+        path that registers it has been imported.
+        """
+        return {
+            "counters": {
+                name: metric.snapshot()
+                for name, metric in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: metric.snapshot()
+                for name, metric in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: metric.snapshot()
+                for name, metric in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero every metric in place (handles stay valid)."""
+        with self._lock:
+            for group in (self._counters, self._gauges, self._histograms):
+                for metric in group.values():
+                    metric.reset()
+
+    def get(self, name: str) -> Optional[Union[Counter, Gauge, Histogram]]:
+        """Look up a metric of any kind by name (None when unregistered)."""
+        return (
+            self._counters.get(name)
+            or self._gauges.get(name)
+            or self._histograms.get(name)
+        )
+
+
+#: The process-wide registry every subsystem reports into.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide :class:`MetricsRegistry`."""
+    return _REGISTRY

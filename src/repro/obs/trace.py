@@ -1,0 +1,112 @@
+"""Lightweight span tracing over the metrics registry.
+
+Usage::
+
+    from repro.obs import trace
+
+    with trace("rtree.merge_pack", entries=n):
+        ...
+
+Each completed span records its wall-clock duration into the histogram
+``span.<name>.ms`` and bumps ``span.<name>.count``; numeric keyword tags
+accumulate into ``span.<name>.<tag>`` counters (e.g. pages packed per
+merge).  Spans may nest freely — they are independent measurements, not a
+causal trace tree.
+
+Tracing is **off by default** and costs one module-global check plus a
+shared no-op context manager per call site when disabled, so instrumented
+hot paths stay at production speed.  Enable it with the environment
+variable :data:`TRACE_ENV` (``REPRO_TRACE=1``) or programmatically with
+:func:`set_tracing` (tests, the bench harness).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional, Union
+
+from repro.obs.registry import get_registry
+
+#: Environment variable that switches span tracing on for a process.
+TRACE_ENV = "REPRO_TRACE"
+
+_FORCED: Optional[bool] = None
+_ENABLED: bool = False  # resolved cache; recomputed on set_tracing()
+
+
+def _resolve() -> bool:
+    if _FORCED is not None:
+        return _FORCED
+    return os.environ.get(TRACE_ENV, "").lower() not in ("", "0", "false", "no")
+
+
+def set_tracing(enabled: Optional[bool]) -> None:
+    """Force tracing on/off; ``None`` defers to ``REPRO_TRACE`` again."""
+    global _FORCED, _ENABLED
+    _FORCED = enabled
+    _ENABLED = _resolve()
+
+
+def tracing_enabled() -> bool:
+    """True when spans are being recorded."""
+    return _ENABLED
+
+
+def tracing_override() -> Optional[bool]:
+    """The current :func:`set_tracing` override (None = env-driven).
+
+    Callers that force tracing temporarily (the bench harness) save this
+    and pass it back to :func:`set_tracing` to restore the prior state.
+    """
+    return _FORCED
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+class Span:
+    """One timed operation; records itself on exit (even on error)."""
+
+    __slots__ = ("name", "tags", "_start")
+
+    def __init__(self, name: str, tags: dict) -> None:
+        self.name = name
+        self.tags = tags
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        elapsed_ms = (time.perf_counter() - self._start) * 1000.0
+        registry = get_registry()
+        registry.histogram(f"span.{self.name}.ms").observe(elapsed_ms)
+        registry.counter(f"span.{self.name}.count").inc()
+        for tag, value in self.tags.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                registry.counter(f"span.{self.name}.{tag}").inc(value)
+
+
+def trace(name: str, **tags: Union[int, float, str]) -> Union[Span, _NoopSpan]:
+    """Open a span named ``name``; free when tracing is disabled."""
+    if not _ENABLED:
+        return _NOOP
+    return Span(name, tags)
+
+
+# Resolve the environment once at import; set_tracing() re-resolves.
+_ENABLED = _resolve()

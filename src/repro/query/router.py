@@ -25,11 +25,19 @@ from typing import List, Mapping, Optional, Sequence, Tuple
 from repro.constants import RANDOM_IO_MS, SEQUENTIAL_IO_MS
 from repro.cube.lattice import CubeLattice
 from repro.errors import QueryError
+from repro.obs import get_registry
 from repro.query.slice import SliceQuery
 from repro.relational.view import ViewDefinition
 
 #: Pages touched descending an index to its first qualifying entry.
 _DESCENT_PAGES = 3
+
+_REG = get_registry()
+_OBS_DECISIONS = _REG.counter("router.decisions")
+_OBS_SCANS = _REG.counter("router.plans.scan")
+_OBS_ORDERED = _REG.counter("router.plans.ordered")
+_OBS_REAGG = _REG.counter("router.plans.reaggregated")
+_OBS_EST_COST = _REG.histogram("router.est_cost_ms")
 
 
 @dataclass(frozen=True)
@@ -112,6 +120,14 @@ class QueryRouter:
             raise QueryError(
                 f"no materialized view answers query over {sorted(node)}"
             )
+        _OBS_DECISIONS.value += 1
+        if best.order is None:
+            _OBS_SCANS.value += 1
+        else:
+            _OBS_ORDERED.value += 1
+        if best.needs_reaggregation:
+            _OBS_REAGG.value += 1
+        _OBS_EST_COST.observe(best.est_cost)
         return best
 
     # ------------------------------------------------------------------

@@ -16,9 +16,14 @@ from __future__ import annotations
 from typing import Callable, Iterator, List, Sequence, Tuple
 
 from repro.errors import MappingError
+from repro.obs import get_registry, trace
 from repro.rtree.packing import PackedRun, free_tree, pack_rtree, sort_key
 from repro.rtree.tree import RTree
 from repro.storage.buffer import BufferPool
+
+_REG = get_registry()
+_OBS_MERGES = _REG.counter("rtree.merge_pack.count")
+_OBS_MERGED_ENTRIES = _REG.counter("rtree.merge_pack.entries")
 
 Point = Tuple[int, ...]
 Values = Tuple[float, ...]
@@ -116,6 +121,21 @@ def merge_pack(
         When true (default), the old tree's pages are freed after the new
         tree is built — the paper's create-new-then-swap discipline.
     """
+    with trace("rtree.merge_pack", deltas=len(delta_runs)):
+        return _merge_pack(
+            pool, dims, old_tree, delta_runs, combine, retire_old
+        )
+
+
+def _merge_pack(
+    pool: BufferPool,
+    dims: int,
+    old_tree: RTree,
+    delta_runs: Sequence[PackedRun],
+    combine: Combiner,
+    retire_old: bool,
+) -> RTree:
+    _OBS_MERGES.value += 1
     for run in delta_runs:
         run.validate(dims)
     merged = merge_streams(
@@ -138,6 +158,7 @@ def merge_pack(
         runs.append(PackedRun(*current_meta, current))
 
     new_tree = pack_rtree(pool, dims, runs, validate=False)
+    _OBS_MERGED_ENTRIES.value += new_tree.count
     # Debug post-condition: merge-pack must hand back a freshly packed
     # tree (full leaves, contiguous sorted view runs).  Checked before
     # the old tree is retired so a violation loses no data.  The import

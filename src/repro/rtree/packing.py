@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from repro.errors import InvalidCoordinateError, MappingError
+from repro.obs import get_registry, trace
 from repro.rtree.geometry import Rect
 from repro.rtree.node import (
     RInteriorNode,
@@ -32,6 +33,11 @@ from repro.storage.buffer import BufferPool
 
 Point = Tuple[int, ...]
 Values = Tuple[float, ...]
+
+_REG = get_registry()
+_OBS_PACK_ENTRIES = _REG.counter("rtree.pack.entries")
+_OBS_PACK_LEAVES = _REG.counter("rtree.pack.leaves")
+_OBS_FREED_PAGES = _REG.counter("rtree.free_tree.pages")
 
 
 def sort_key(point: Sequence[int], dims: int) -> Tuple[int, ...]:
@@ -114,6 +120,16 @@ def pack_rtree(
     globally sorted.  Leaves are filled to capacity, never mix views, and
     are written in strictly increasing page order — i.e. sequentially.
     """
+    with trace("rtree.pack", runs=len(runs)):
+        return _pack_rtree(pool, dims, runs, validate)
+
+
+def _pack_rtree(
+    pool: BufferPool,
+    dims: int,
+    runs: Sequence[PackedRun],
+    validate: bool,
+) -> RTree:
     if validate:
         seen_arity = set()
         prev_last = None
@@ -159,6 +175,8 @@ def pack_rtree(
             tree.owned_page_ids.append(page.page_id)
             count += take
             i += take
+            _OBS_PACK_ENTRIES.value += take
+            _OBS_PACK_LEAVES.value += 1
 
     if prev_leaf is None:
         return tree  # no data: empty tree
@@ -215,6 +233,7 @@ def free_tree(pool: BufferPool, tree: RTree) -> int:
     tree.owned_page_ids = []
     tree.count = 0
     tree.height = 0
+    _OBS_FREED_PAGES.value += len(freed)
     return len(freed)
 
 

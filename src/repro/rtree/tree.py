@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import InvalidCoordinateError, StorageError
+from repro.obs import get_registry
 from repro.rtree.geometry import Rect
 from repro.rtree.node import (
     RInteriorNode,
@@ -30,6 +31,10 @@ Point = Tuple[int, ...]
 Values = Tuple[float, ...]
 #: (view_id, padded point, aggregate values) — what searches yield.
 Match = Tuple[int, Point, Values]
+
+_REG = get_registry()
+_OBS_SEARCHES = _REG.counter("rtree.searches")
+_OBS_INSERTS = _REG.counter("rtree.inserts")
 
 
 class RTree:
@@ -77,6 +82,7 @@ class RTree:
             raise ValueError(
                 f"query rect has {rect.dims} dims, tree has {self.dims}"
             )
+        _OBS_SEARCHES.value += 1
         if self.root_page_id == -1:
             return
         yield from self._search(self.root_page_id, rect)
@@ -115,6 +121,7 @@ class RTree:
         vals = tuple(float(v) for v in values)
         if len(vals) != self.n_aggs:
             raise ValueError(f"expected {self.n_aggs} aggregate values")
+        _OBS_INSERTS.value += 1
 
         if self.root_page_id == -1:
             leaf = RLeafNode(view_id=-1, arity=self.dims, n_aggs=self.n_aggs)

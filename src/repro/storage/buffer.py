@@ -14,29 +14,69 @@ from typing import Optional
 
 from repro.constants import DEFAULT_BUFFER_PAGES
 from repro.errors import StorageError
+from repro.obs import get_registry
 from repro.storage.disk import DiskManager
 from repro.storage.page import Page
+
+# Process-wide observability counters (all pools in one snapshot).
+_REG = get_registry()
+_OBS_HITS = _REG.counter("buffer.hits")
+_OBS_MISSES = _REG.counter("buffer.misses")
+_OBS_EVICTIONS = _REG.counter("buffer.evictions")
+_OBS_NEW_PAGES = _REG.counter("buffer.new_pages")
 
 
 @dataclass
 class BufferStats:
-    """Hit/miss counters for one buffer pool."""
+    """Hit/miss counters for one buffer pool.
+
+    ``new_pages`` (freshly allocated pages admitted without a disk read)
+    is tracked separately from hits/misses: a cold pool that has only
+    allocated pages has performed *zero* cache lookups, and its hit ratio
+    must read as "no data" (0 of 0), not as 0% — the bench harness
+    special-cases ``accesses == 0`` instead of dividing.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    new_pages: int = 0
 
     @property
     def accesses(self) -> int:
-        """Total page requests (hits + misses)."""
+        """Total cache lookups (hits + misses; allocations excluded)."""
         return self.hits + self.misses
 
     @property
     def hit_ratio(self) -> float:
-        """Fraction of page requests served from memory (0.0 when idle)."""
-        if self.accesses == 0:
+        """Fraction of lookups served from memory.
+
+        A pool with no lookups yet (cold, or only ``new_page``
+        allocations) has no meaningful ratio; 0.0 is returned rather
+        than dividing by zero.  Callers that must distinguish "cold"
+        from "0% hits" should test :attr:`accesses` first.
+        """
+        accesses = self.accesses
+        if accesses == 0:
             return 0.0
-        return self.hits / self.accesses
+        return self.hits / accesses
+
+    def copy(self) -> "BufferStats":
+        """Independent snapshot (for before/after phase deltas)."""
+        return BufferStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            new_pages=self.new_pages,
+        )
+
+    def __sub__(self, other: "BufferStats") -> "BufferStats":
+        return BufferStats(
+            hits=self.hits - other.hits,
+            misses=self.misses - other.misses,
+            evictions=self.evictions - other.evictions,
+            new_pages=self.new_pages - other.new_pages,
+        )
 
 
 class BufferPool:
@@ -75,9 +115,11 @@ class BufferPool:
         page = self._frames.get(page_id)
         if page is not None:
             self.stats.hits += 1
+            _OBS_HITS.value += 1
             self._frames.move_to_end(page_id)
         else:
             self.stats.misses += 1
+            _OBS_MISSES.value += 1
             data = self.disk.read_page(page_id)
             page = Page(page_id, data)
             self._admit(page)
@@ -93,6 +135,8 @@ class BufferPool:
         page = Page(page_id)
         self._admit(page)
         page.pin_count += 1
+        self.stats.new_pages += 1
+        _OBS_NEW_PAGES.value += 1
         return page
 
     def unpin_page(self, page_id: int, dirty: bool = False) -> None:
@@ -174,6 +218,7 @@ class BufferPool:
         for victim in victims:
             del self._frames[victim.page_id]
             self.stats.evictions += 1
+            _OBS_EVICTIONS.value += 1
             victim.cached_obj = None
         for victim in sorted(
             (v for v in victims if v.dirty), key=lambda p: p.page_id

@@ -13,7 +13,12 @@ from typing import Dict, Optional
 
 from repro.constants import PAGE_SIZE
 from repro.errors import StorageError
+from repro.obs import get_registry
 from repro.storage.iomodel import IOCostModel
+
+_REG = get_registry()
+_OBS_ALLOCATED = _REG.counter("disk.pages_allocated")
+_OBS_FREED = _REG.counter("disk.pages_freed")
 
 
 class DiskManager:
@@ -25,6 +30,12 @@ class DiskManager:
         Shared I/O pricer.  A fresh one is created when omitted.
     path:
         When given, pages live in this file; otherwise in memory.
+
+    The ``crash_point`` attribute may be set to a
+    :class:`~repro.storage.wal.CrashPoint`; when armed, it kills the
+    simulated process on a page write *before* anything is priced or
+    stored, so recovery tests observe exactly the state a real crash
+    would leave.
     """
 
     def __init__(
@@ -33,6 +44,7 @@ class DiskManager:
         path: Optional[str] = None,
     ) -> None:
         self.cost_model = cost_model if cost_model is not None else IOCostModel()
+        self.crash_point = None  # Optional[repro.storage.wal.CrashPoint]
         self._path = path
         self._next_page_id = 0
         self._freed: list[int] = []
@@ -50,6 +62,7 @@ class DiskManager:
         gets that extent back in ascending order and its writes stay
         sequential.
         """
+        _OBS_ALLOCATED.value += 1
         if self._freed:
             return heapq.heappop(self._freed)
         page_id = self._next_page_id
@@ -65,6 +78,7 @@ class DiskManager:
         """
         if count < 0:
             raise ValueError("count must be non-negative")
+        _OBS_ALLOCATED.value += count
         start = self._next_page_id
         self._next_page_id += count
         return list(range(start, start + count))
@@ -72,6 +86,7 @@ class DiskManager:
     def free_page(self, page_id: int) -> None:
         """Return a page to the free list (its contents become undefined)."""
         self._check_allocated(page_id)
+        _OBS_FREED.value += 1
         self._pages.pop(page_id, None)
         heapq.heappush(self._freed, page_id)
 
@@ -105,6 +120,8 @@ class DiskManager:
 
     def write_page(self, page_id: int, data: bytes) -> None:
         """Write a full page of bytes, pricing the access."""
+        if self.crash_point is not None:
+            self.crash_point.hit(f"write of page {page_id}")
         self._check_allocated(page_id)
         if len(data) != PAGE_SIZE:
             raise StorageError(

@@ -20,6 +20,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.constants import RANDOM_IO_MS, SEQUENTIAL_IO_MS
+from repro.obs import get_registry
+
+# Process-wide observability mirrors of the per-model counters (one unified
+# snapshot across every disk in the process).  Updated with bare attribute
+# increments so a page access costs two extra additions; the simulated
+# costing itself never reads these.
+_REG = get_registry()
+_OBS_SEQ_READS = _REG.counter("io.reads.sequential")
+_OBS_RND_READS = _REG.counter("io.reads.random")
+_OBS_SEQ_WRITES = _REG.counter("io.writes.sequential")
+_OBS_RND_WRITES = _REG.counter("io.writes.random")
+_OBS_SIM_MS = _REG.counter("io.simulated_ms")
+_OBS_OVERHEAD_MS = _REG.counter("io.overhead_ms")
 
 
 @dataclass
@@ -110,9 +123,13 @@ class IOCostModel:
         if self._is_sequential(page_id):
             self.stats.sequential_reads += 1
             self.stats.simulated_ms += self.sequential_ms
+            _OBS_SEQ_READS.value += 1
+            _OBS_SIM_MS.value += self.sequential_ms
         else:
             self.stats.random_reads += 1
             self.stats.simulated_ms += self.random_ms
+            _OBS_RND_READS.value += 1
+            _OBS_SIM_MS.value += self.random_ms
         self._head_position = page_id
 
     def record_write(self, page_id: int) -> None:
@@ -120,9 +137,13 @@ class IOCostModel:
         if self._is_sequential(page_id):
             self.stats.sequential_writes += 1
             self.stats.simulated_ms += self.sequential_ms
+            _OBS_SEQ_WRITES.value += 1
+            _OBS_SIM_MS.value += self.sequential_ms
         else:
             self.stats.random_writes += 1
             self.stats.simulated_ms += self.random_ms
+            _OBS_RND_WRITES.value += 1
+            _OBS_SIM_MS.value += self.random_ms
         self._head_position = page_id
 
     def record_overhead(self, ms: float) -> None:
@@ -134,6 +155,7 @@ class IOCostModel:
         non-logged bulk loader avoids entirely.
         """
         self.stats.overhead_ms += ms
+        _OBS_OVERHEAD_MS.value += ms
 
     def snapshot(self) -> IOStats:
         """Return a copy of the current counters (for before/after deltas)."""

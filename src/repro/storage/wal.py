@@ -1,4 +1,5 @@
-"""A minimal write-ahead log for the conventional engine.
+"""A minimal write-ahead log for the conventional engine, plus the
+crash-injection hook used by recovery tests.
 
 The paper's conventional configuration pays the full transactional path of
 the Informix server on every row it materializes or refreshes; the Cubetree
@@ -11,16 +12,85 @@ partial page.
 
 Only the costing matters to the experiments, so record payloads are not
 retained.
+
+Crash injection
+---------------
+:class:`CrashPoint` is a reusable fault hook that simulates a process kill
+(`kill -9`, power loss): once armed, it raises :class:`CrashError` after a
+chosen number of operations.  The WAL calls it on every log-page write, and
+:class:`~repro.storage.disk.DiskManager` calls it on every data-page write
+(via its ``crash_point`` attribute), so tests can kill the system
+mid-``merge_pack`` and assert that the create-new-then-swap discipline
+leaves the pre-crash Cubetree forest intact (see
+``tests/storage/test_wal_crash.py``).
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.constants import PAGE_SIZE
+from repro.errors import StorageError
+from repro.obs import get_registry
 from repro.storage.iomodel import IOCostModel
 
 #: Bytes a row-level log record occupies (header + RID + before/after image
 #: of a small aggregate row).
 DEFAULT_RECORD_BYTES = 64
+
+_REG = get_registry()
+_OBS_RECORDS = _REG.counter("wal.records")
+_OBS_PAGES = _REG.counter("wal.pages_written")
+_OBS_COMMITS = _REG.counter("wal.commits")
+
+
+class CrashError(StorageError):
+    """An injected crash: the simulated process died mid-operation.
+
+    Raised by an armed :class:`CrashPoint`.  Nothing below the raise has
+    executed — exactly like a kill — so recovery tests can check what the
+    on-disk state alone supports.
+    """
+
+
+class CrashPoint:
+    """Fault-injection hook: dies after a configurable number of hits.
+
+    ``arm(after)`` lets the next ``after`` :meth:`hit` calls pass, then
+    every subsequent call raises :class:`CrashError` until
+    :meth:`disarm`.  A disarmed point is free (one attribute check at the
+    caller), so production code paths can carry the hook permanently.
+    """
+
+    def __init__(self) -> None:
+        self._countdown: Optional[int] = None
+        self.fired = False
+
+    @property
+    def armed(self) -> bool:
+        """True when a future :meth:`hit` will raise."""
+        return self._countdown is not None
+
+    def arm(self, after: int = 0) -> None:
+        """Crash on the ``after``-th subsequent :meth:`hit` (0 = next)."""
+        if after < 0:
+            raise ValueError("after must be non-negative")
+        self._countdown = after
+        self.fired = False
+
+    def disarm(self) -> None:
+        """Stop injecting (e.g. after the simulated machine 'reboots')."""
+        self._countdown = None
+
+    def hit(self, context: str = "") -> None:
+        """One potentially-fatal operation; raises when the countdown ends."""
+        if self._countdown is None:
+            return
+        if self._countdown <= 0:
+            self.fired = True
+            suffix = f" during {context}" if context else ""
+            raise CrashError(f"injected crash{suffix}")
+        self._countdown -= 1
 
 
 class WriteAheadLog:
@@ -30,11 +100,13 @@ class WriteAheadLog:
         self,
         cost_model: IOCostModel,
         record_bytes: int = DEFAULT_RECORD_BYTES,
+        crash_point: Optional[CrashPoint] = None,
     ) -> None:
         if record_bytes < 1:
             raise ValueError("record_bytes must be >= 1")
         self.cost_model = cost_model
         self.record_bytes = record_bytes
+        self.crash_point = crash_point
         self.records_logged = 0
         self.pages_written = 0
         self._bytes_in_page = 0
@@ -44,6 +116,7 @@ class WriteAheadLog:
         if count < 0:
             raise ValueError("count must be non-negative")
         self.records_logged += count
+        _OBS_RECORDS.value += count
         self._bytes_in_page += count * self.record_bytes
         while self._bytes_in_page >= PAGE_SIZE:
             self._bytes_in_page -= PAGE_SIZE
@@ -51,12 +124,16 @@ class WriteAheadLog:
 
     def commit(self) -> None:
         """Force the partial log page to disk (group-commit boundary)."""
+        _OBS_COMMITS.value += 1
         if self._bytes_in_page > 0:
             self._bytes_in_page = 0
             self._write_page(sequential=False)
 
     def _write_page(self, sequential: bool) -> None:
+        if self.crash_point is not None:
+            self.crash_point.hit("wal page write")
         self.pages_written += 1
+        _OBS_PAGES.value += 1
         if sequential:
             self.cost_model.stats.sequential_writes += 1
             self.cost_model.stats.simulated_ms += self.cost_model.sequential_ms

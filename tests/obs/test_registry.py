@@ -1,0 +1,148 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, get_registry
+from repro.obs.registry import DEFAULT_RESERVOIR, Histogram
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        assert counter.snapshot() == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.snapshot() == 6
+
+    def test_bare_attribute_increment_is_equivalent(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.value += 3
+        counter.inc(2)
+        assert counter.snapshot() == 5
+
+    def test_fractional_amounts(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ms")
+        counter.inc(0.8)
+        counter.inc(8.0)
+        assert counter.snapshot() == pytest.approx(8.8)
+
+    def test_get_or_create_returns_same_handle(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.counter("x") is not registry.counter("y")
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(10)
+        gauge.set(3)
+        assert gauge.snapshot() == 3
+
+
+class TestHistogram:
+    def test_empty_snapshot(self):
+        hist = Histogram("h")
+        snap = hist.snapshot()
+        assert snap == {
+            "count": 0, "sum": 0.0, "mean": 0.0,
+            "p50": 0.0, "p95": 0.0, "max": 0.0,
+        }
+
+    def test_summary_statistics(self):
+        hist = Histogram("h")
+        for v in [1.0, 2.0, 3.0, 4.0, 100.0]:
+            hist.observe(v)
+        snap = hist.snapshot()
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(110.0)
+        assert snap["mean"] == pytest.approx(22.0)
+        assert snap["max"] == 100.0
+        assert snap["p50"] == 3.0
+
+    def test_percentiles_over_uniform_samples(self):
+        hist = Histogram("h")
+        for v in range(1, 101):
+            hist.observe(float(v))
+        assert hist.percentile(0.50) == pytest.approx(51.0)
+        assert hist.percentile(0.95) == pytest.approx(96.0)
+        assert hist.percentile(0.0) == 1.0
+
+    def test_reservoir_downsamples_but_exact_aggregates(self):
+        hist = Histogram("h", reservoir=64)
+        n = 10_000
+        for v in range(n):
+            hist.observe(float(v))
+        assert hist.count == n
+        assert hist.total == pytest.approx(sum(range(n)))
+        assert hist.max == float(n - 1)
+        # The reservoir stayed bounded but still spans the distribution.
+        assert len(hist._samples) < 64
+        assert hist.percentile(0.5) == pytest.approx(n / 2, rel=0.1)
+
+    def test_default_reservoir_bound(self):
+        hist = Histogram("h")
+        for v in range(3 * DEFAULT_RESERVOIR):
+            hist.observe(float(v))
+        assert len(hist._samples) <= DEFAULT_RESERVOIR
+
+
+class TestRegistry:
+    def test_snapshot_structure(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc(2)
+        registry.counter("a").inc(1)
+        registry.gauge("g").set(7)
+        registry.histogram("h").observe(1.5)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"a": 1, "b": 2}
+        assert snap["gauges"] == {"g": 7}
+        assert snap["histograms"]["h"]["count"] == 1
+        # Names come out sorted (stable JSON diffs).
+        assert list(snap["counters"]) == ["a", "b"]
+
+    def test_reset_zeroes_in_place_keeping_handles(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        hist = registry.histogram("h")
+        counter.inc(5)
+        hist.observe(1.0)
+        registry.reset()
+        assert counter.snapshot() == 0
+        assert hist.snapshot()["count"] == 0
+        # The old handle still feeds the registry after reset.
+        counter.value += 1
+        assert registry.snapshot()["counters"]["c"] == 1
+        assert registry.counter("c") is counter
+
+    def test_get_by_name(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        hist = registry.histogram("h")
+        assert registry.get("c") is counter
+        assert registry.get("h") is hist
+        assert registry.get("nope") is None
+
+    def test_process_registry_is_shared(self):
+        assert get_registry() is get_registry()
+
+    def test_hot_path_counters_are_preregistered(self):
+        # Importing the instrumented modules registers their metrics, so
+        # bench consumers can rely on the names existing.
+        import repro.core.engine  # noqa: F401
+        import repro.storage.buffer  # noqa: F401
+        import repro.storage.iomodel  # noqa: F401
+
+        snap = get_registry().snapshot()
+        for name in (
+            "io.reads.sequential", "io.reads.random",
+            "io.writes.sequential", "io.writes.random",
+            "buffer.hits", "buffer.misses", "buffer.evictions",
+            "query.cubetree.count",
+        ):
+            assert name in snap["counters"], name
+        assert "query.cubetree.simulated_ms" in snap["histograms"]

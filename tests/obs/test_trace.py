@@ -1,0 +1,88 @@
+"""Unit tests for span tracing: on/off switching and recorded metrics."""
+
+import pytest
+
+from repro.obs import get_registry, set_tracing, trace, tracing_enabled
+from repro.obs.trace import _NOOP, tracing_override
+
+
+@pytest.fixture(autouse=True)
+def _restore_tracing():
+    """Leave the process-wide tracing switch the way we found it."""
+    before = tracing_override()
+    yield
+    set_tracing(before)
+
+
+def test_disabled_returns_shared_noop():
+    set_tracing(False)
+    assert not tracing_enabled()
+    span = trace("anything", pages=5)
+    assert span is _NOOP
+    # And it is a working no-op context manager.
+    with span:
+        pass
+
+
+def test_enabled_records_duration_and_count():
+    set_tracing(True)
+    registry = get_registry()
+    registry.counter("span.test.op.count").reset()
+    registry.histogram("span.test.op.ms").reset()
+
+    with trace("test.op"):
+        pass
+    with trace("test.op"):
+        pass
+
+    assert registry.counter("span.test.op.count").snapshot() == 2
+    hist = registry.histogram("span.test.op.ms").snapshot()
+    assert hist["count"] == 2
+    assert hist["max"] >= 0.0
+
+
+def test_numeric_tags_accumulate_as_counters():
+    set_tracing(True)
+    registry = get_registry()
+    registry.counter("span.test.tags.pages").reset()
+
+    with trace("test.tags", pages=7, label="ignored", flag=True):
+        pass
+    with trace("test.tags", pages=3):
+        pass
+
+    assert registry.counter("span.test.tags.pages").snapshot() == 10
+    # String and bool tags never register counters.
+    assert registry.get("span.test.tags.label") is None
+    assert registry.get("span.test.tags.flag") is None
+
+
+def test_span_records_even_when_body_raises():
+    set_tracing(True)
+    registry = get_registry()
+    registry.counter("span.test.err.count").reset()
+    with pytest.raises(RuntimeError):
+        with trace("test.err"):
+            raise RuntimeError("boom")
+    assert registry.counter("span.test.err.count").snapshot() == 1
+
+
+def test_set_tracing_none_defers_to_environment(monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    set_tracing(None)
+    assert not tracing_enabled()
+
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    set_tracing(None)  # re-resolve
+    assert tracing_enabled()
+
+    monkeypatch.setenv("REPRO_TRACE", "false")
+    set_tracing(None)
+    assert not tracing_enabled()
+
+
+def test_override_wins_over_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    set_tracing(False)
+    assert not tracing_enabled()
+    assert tracing_override() is False

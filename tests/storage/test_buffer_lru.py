@@ -1,0 +1,201 @@
+"""Focused tests of the buffer pool's replacement policy and statistics.
+
+These pin down the behaviors the observability layer reports on: true LRU
+victim selection (hits refresh recency), batched eviction with dirty
+write-back in page-id order, pinned-page skipping, and the
+``BufferStats`` snapshot/delta semantics the bench harness relies on.
+"""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool, BufferStats
+from repro.storage.disk import DiskManager
+
+
+def make_pool(capacity=4, eviction_batch=1):
+    disk = DiskManager()
+    return disk, BufferPool(disk, capacity=capacity, eviction_batch=eviction_batch)
+
+
+def _fill(pool, n):
+    """Allocate n unpinned pages and return their ids (in LRU order)."""
+    ids = []
+    for _ in range(n):
+        page = pool.new_page()
+        pool.unpin_page(page.page_id)
+        ids.append(page.page_id)
+    return ids
+
+
+# ----------------------------------------------------------------------
+# LRU ordering
+# ----------------------------------------------------------------------
+class TestLruOrder:
+    def test_least_recently_used_page_is_evicted_first(self):
+        _disk, pool = make_pool(capacity=3)
+        a, b, c = _fill(pool, 3)
+        overflow = pool.new_page()  # evicts `a`, the oldest
+        pool.unpin_page(overflow.page_id)
+        assert a not in pool._frames
+        assert b in pool._frames and c in pool._frames
+
+    def test_fetch_hit_refreshes_recency(self):
+        _disk, pool = make_pool(capacity=3)
+        a, b, _c = _fill(pool, 3)
+        # Touch `a`: it becomes most-recent, so `b` is now the LRU victim.
+        pool.unpin_page(pool.fetch_page(a).page_id)
+        overflow = pool.new_page()
+        pool.unpin_page(overflow.page_id)
+        assert a in pool._frames
+        assert b not in pool._frames
+
+    def test_eviction_order_follows_access_sequence(self):
+        _disk, pool = make_pool(capacity=4)
+        ids = _fill(pool, 4)
+        # Re-access in reverse: recency order is now reversed(ids).
+        for page_id in reversed(ids):
+            pool.unpin_page(pool.fetch_page(page_id).page_id)
+        evicted = []
+        for _ in range(4):
+            page = pool.new_page()
+            pool.unpin_page(page.page_id)
+            evicted.append(next(i for i in ids if i not in pool._frames
+                                and i not in evicted))
+        assert evicted == list(reversed(ids))
+
+    def test_pinned_pages_are_skipped_not_evicted(self):
+        _disk, pool = make_pool(capacity=3)
+        pinned = pool.new_page()  # stays pinned — oldest but untouchable
+        _fill(pool, 2)
+        before = pool.stats.evictions
+        overflow = pool.new_page()
+        pool.unpin_page(overflow.page_id)
+        assert pinned.page_id in pool._frames
+        assert pool.stats.evictions == before + 1
+        pool.unpin_page(pinned.page_id)
+
+    def test_exhausted_pool_raises(self):
+        _disk, pool = make_pool(capacity=2)
+        pool.new_page()
+        pool.new_page()
+        with pytest.raises(StorageError, match="exhausted"):
+            pool.new_page()
+
+
+# ----------------------------------------------------------------------
+# batched eviction + write-back ordering
+# ----------------------------------------------------------------------
+class TestBatchedEviction:
+    def test_batch_evicts_up_to_eviction_batch_pages(self):
+        _disk, pool = make_pool(capacity=4, eviction_batch=3)
+        _fill(pool, 4)
+        overflow = pool.new_page()
+        pool.unpin_page(overflow.page_id)
+        assert pool.stats.evictions == 3
+        assert pool.num_cached == 2  # 4 - 3 evicted + 1 admitted
+
+    def test_dirty_victims_written_back_in_page_id_order(self):
+        disk, pool = make_pool(capacity=4, eviction_batch=4)
+        ids = []
+        for _ in range(4):
+            page = pool.new_page()
+            page.data[0] = 1
+            pool.unpin_page(page.page_id, dirty=True)
+            ids.append(page.page_id)
+        # Reverse recency so LRU order disagrees with page-id order.
+        for page_id in reversed(ids):
+            pool.unpin_page(pool.fetch_page(page_id).page_id)
+
+        written = []
+        original = disk.write_page
+
+        def recording_write(page_id, data):
+            written.append(page_id)
+            return original(page_id, data)
+
+        disk.write_page = recording_write
+        try:
+            overflow = pool.new_page()
+            pool.unpin_page(overflow.page_id)
+        finally:
+            disk.write_page = original
+        assert written == sorted(written)
+        assert set(written) == set(ids)
+
+    def test_clean_victims_are_not_written_back(self):
+        disk, pool = make_pool(capacity=2, eviction_batch=2)
+        _fill(pool, 2)  # never marked dirty
+        written = []
+        original = disk.write_page
+        disk.write_page = lambda pid, data: written.append(pid) or original(pid, data)
+        try:
+            overflow = pool.new_page()
+            pool.unpin_page(overflow.page_id)
+        finally:
+            disk.write_page = original
+        assert written == []
+
+    def test_evicted_dirty_page_content_survives_refetch(self):
+        _disk, pool = make_pool(capacity=1, eviction_batch=1)
+        page = pool.new_page()
+        page.data[:3] = b"xyz"
+        pool.unpin_page(page.page_id, dirty=True)
+        other = pool.new_page()  # evicts + writes back `page`
+        pool.unpin_page(other.page_id)
+        refetched = pool.fetch_page(page.page_id)
+        assert bytes(refetched.data[:3]) == b"xyz"
+        pool.unpin_page(page.page_id)
+
+
+# ----------------------------------------------------------------------
+# BufferStats semantics
+# ----------------------------------------------------------------------
+class TestBufferStats:
+    def test_cold_pool_has_zero_accesses_and_zero_ratio(self):
+        stats = BufferStats()
+        assert stats.accesses == 0
+        assert stats.hit_ratio == 0.0
+
+    def test_new_pages_are_not_accesses(self):
+        """Allocations must not masquerade as cache lookups: a pool that
+        has only ever allocated reads as cold (0 of 0), not as 0% hits."""
+        _disk, pool = make_pool()
+        _fill(pool, 3)
+        assert pool.stats.new_pages == 3
+        assert pool.stats.accesses == 0
+        assert pool.stats.hit_ratio == 0.0
+
+    def test_hit_ratio_counts_only_lookups(self):
+        _disk, pool = make_pool()
+        (page_id,) = _fill(pool, 1)
+        pool.flush_all()
+        pool.clear()
+        pool.unpin_page(pool.fetch_page(page_id).page_id)  # miss
+        pool.unpin_page(pool.fetch_page(page_id).page_id)  # hit
+        pool.unpin_page(pool.fetch_page(page_id).page_id)  # hit
+        assert pool.stats.accesses == 3
+        assert pool.stats.hit_ratio == pytest.approx(2 / 3)
+
+    def test_copy_is_independent_snapshot(self):
+        _disk, pool = make_pool()
+        (page_id,) = _fill(pool, 1)
+        snap = pool.stats.copy()
+        pool.unpin_page(pool.fetch_page(page_id).page_id)
+        assert snap.hits == 0
+        assert pool.stats.hits == 1
+
+    def test_delta_subtraction(self):
+        """before/after phase deltas — exactly how the bench harness
+        attributes buffer activity to a phase."""
+        _disk, pool = make_pool(capacity=2, eviction_batch=1)
+        before = pool.stats.copy()
+        ids = _fill(pool, 3)  # 3 allocations, 1 eviction
+        pool.unpin_page(pool.fetch_page(ids[-1]).page_id)  # hit
+        pool.unpin_page(pool.fetch_page(ids[0]).page_id)   # miss (evicted)
+        delta = pool.stats - before
+        assert (delta.hits, delta.misses) == (1, 1)
+        assert delta.new_pages == 3
+        assert delta.evictions >= 1
+        assert delta.accesses == 2
+        assert delta.hit_ratio == pytest.approx(0.5)
