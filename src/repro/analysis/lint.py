@@ -22,6 +22,13 @@ linter knows about:
     No literal ``4096`` outside ``constants.py``; use
     :data:`repro.constants.PAGE_SIZE` so page-geometry experiments can
     vary it in one place.
+``struct-in-loop``
+    No per-record ``pack``/``unpack``/``pack_into``/``unpack_from``
+    calls inside a loop or comprehension.  One struct call per record
+    is the hot-path pattern the batched codec APIs
+    (:meth:`RecordCodec.encode_many`, :meth:`RecordCodec.decode_many`,
+    ``EntryCodec``) replaced; whole-page batches are one call.
+    ``iter_unpack`` is exempt — it *is* the batched form.
 
 Findings can be suppressed per line with ``# lint: ignore[rule-id]``.
 The runner for CI and pre-commit use is ``tools/lint.py``.
@@ -55,6 +62,10 @@ RULES: Dict[str, str] = {
     ),
     "magic-page-size": (
         "magic page-size literal; use repro.constants.PAGE_SIZE"
+    ),
+    "struct-in-loop": (
+        "per-record struct pack/unpack inside a loop; batch the page "
+        "with encode_many/decode_many/iter_unpack instead"
     ),
 }
 
@@ -206,6 +217,10 @@ def _is_floaty(node: ast.expr) -> bool:
 
 _MUTABLE_CONSTRUCTORS = ("list", "dict", "set")
 
+#: struct-module call names that are per-record when issued in a loop.
+#: ``iter_unpack`` is deliberately absent — it is the batched form.
+_STRUCT_CALLS = frozenset({"pack", "unpack", "pack_into", "unpack_from"})
+
 
 def _is_mutable_default(node: ast.expr) -> bool:
     if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
@@ -226,6 +241,7 @@ class _LintVisitor(ast.NodeVisitor):
         self.path = path
         self.exempt = exempt
         self.findings: List[LintFinding] = []
+        self._loop_depth = 0
 
     def _flag(self, rule: str, node: ast.AST, message: str) -> None:
         if rule in self.exempt:
@@ -250,7 +266,7 @@ class _LintVisitor(ast.NodeVisitor):
         )
         self.generic_visit(node)
 
-    # -- direct-disk-read ----------------------------------------------
+    # -- direct-disk-read / struct-in-loop -----------------------------
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
         if (
@@ -264,7 +280,32 @@ class _LintVisitor(ast.NodeVisitor):
                 "read bypasses the BufferPool; use pool.fetch_page so "
                 "the access is cached and pinned",
             )
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _STRUCT_CALLS
+            and self._loop_depth > 0
+        ):
+            self._flag(
+                "struct-in-loop",
+                node,
+                f"per-record .{func.attr}() inside a loop; batch the "
+                f"whole page (encode_many/decode_many/iter_unpack)",
+            )
         self.generic_visit(node)
+
+    # -- struct-in-loop loop tracking ----------------------------------
+    def _visit_loop(self, node: ast.AST) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    visit_For = _visit_loop
+    visit_AsyncFor = _visit_loop
+    visit_While = _visit_loop
+    visit_ListComp = _visit_loop
+    visit_SetComp = _visit_loop
+    visit_DictComp = _visit_loop
+    visit_GeneratorExp = _visit_loop
 
     @staticmethod
     def _is_disk_ref(node: ast.expr) -> bool:

@@ -26,6 +26,7 @@ from typing import List, Tuple
 
 from repro.constants import PAGE_SIZE
 from repro.errors import StorageError
+from repro.storage.codec import entry_codec
 from repro.storage.heap import RID
 
 LEAF_TYPE = 1
@@ -66,15 +67,18 @@ class LeafNode:
 
     def to_bytes(self) -> bytes:
         """Serialize into a full page buffer."""
-        entry = struct.Struct(f"<{self.arity}qqi")
+        codec = entry_codec(f"{self.arity}qqi")
+        count = len(self.keys)
         out = bytearray(PAGE_SIZE)
-        _LEAF_HEADER.pack_into(out, 0, LEAF_TYPE, len(self.keys), self.next_leaf)
-        off = _LEAF_HEADER.size
-        for key, rid in zip(self.keys, self.rids):
-            entry.pack_into(out, off, *key, rid.page_id, rid.slot)
-            off += entry.size
-        if off > PAGE_SIZE:
+        _LEAF_HEADER.pack_into(out, 0, LEAF_TYPE, count, self.next_leaf)
+        if _LEAF_HEADER.size + count * codec.item_size > PAGE_SIZE:
             raise StorageError("leaf node overflow")
+        flat: List[object] = []
+        for key, rid in zip(self.keys, self.rids):
+            flat.extend(key)
+            flat.append(rid.page_id)
+            flat.append(rid.slot)
+        codec.pack_into(out, _LEAF_HEADER.size, flat, count)
         return bytes(out)
 
     @classmethod
@@ -85,13 +89,12 @@ class LeafNode:
             raise StorageError(f"expected leaf page, found type {node_type}")
         node = cls(arity)
         node.next_leaf = next_leaf
-        entry = struct.Struct(f"<{arity}qqi")
-        off = _LEAF_HEADER.size
-        for _ in range(count):
-            fields = entry.unpack_from(raw, off)
-            node.keys.append(tuple(fields[:arity]))
-            node.rids.append(RID(fields[arity], fields[arity + 1]))
-            off += entry.size
+        codec = entry_codec(f"{arity}qqi")
+        keys = node.keys
+        rids = node.rids
+        for fields in codec.iter_unpack_from(raw, _LEAF_HEADER.size, count):
+            keys.append(fields[:arity])
+            rids.append(RID(fields[arity], fields[arity + 1]))
         return node
 
 
@@ -111,17 +114,23 @@ class InteriorNode:
     def to_bytes(self) -> bytes:
         """Serialize into a full page buffer."""
         out = bytearray(PAGE_SIZE)
-        _INTERIOR_HEADER.pack_into(out, 0, INTERIOR_TYPE, len(self.keys))
-        off = _INTERIOR_HEADER.size
-        key_struct = struct.Struct(f"<{self.arity}q")
-        for key in self.keys:
-            key_struct.pack_into(out, off, *key)
-            off += key_struct.size
-        for child in self.children:
-            struct.pack_into("<q", out, off, child)
-            off += 8
-        if off > PAGE_SIZE:
+        count = len(self.keys)
+        _INTERIOR_HEADER.pack_into(out, 0, INTERIOR_TYPE, count)
+        key_codec = entry_codec(f"{self.arity}q")
+        child_codec = entry_codec("q")
+        end = (
+            _INTERIOR_HEADER.size
+            + count * key_codec.item_size
+            + len(self.children) * child_codec.item_size
+        )
+        if end > PAGE_SIZE:
             raise StorageError("interior node overflow")
+        off = _INTERIOR_HEADER.size
+        flat: List[object] = []
+        for key in self.keys:
+            flat.extend(key)
+        off += key_codec.pack_into(out, off, flat, count)
+        child_codec.pack_into(out, off, self.children, len(self.children))
         return bytes(out)
 
     @classmethod
@@ -131,14 +140,13 @@ class InteriorNode:
         if node_type != INTERIOR_TYPE:
             raise StorageError(f"expected interior page, found type {node_type}")
         node = cls(arity)
-        key_struct = struct.Struct(f"<{arity}q")
+        key_codec = entry_codec(f"{arity}q")
         off = _INTERIOR_HEADER.size
-        for _ in range(count):
-            node.keys.append(tuple(key_struct.unpack_from(raw, off)))
-            off += key_struct.size
-        for _ in range(count + 1):
-            node.children.append(struct.unpack_from("<q", raw, off)[0])
-            off += 8
+        node.keys = list(key_codec.iter_unpack_from(raw, off, count))
+        off += count * key_codec.item_size
+        node.children = list(
+            entry_codec("q").unpack_flat_from(raw, off, count + 1)
+        )
         return node
 
 

@@ -28,6 +28,36 @@ Row = Tuple[object, ...]
 Values = Tuple[float, ...]
 
 
+def prepare_packed_runs(
+    dims: int,
+    views: Sequence[ViewDefinition],
+    data: Mapping[str, Sequence[Row]],
+) -> List[PackedRun]:
+    """Convert per-view state rows into packing-order runs (pure CPU).
+
+    This is the compute-heavy half of a build/merge-pack — coordinate and
+    value coercion plus the packing-order sort — and touches no storage,
+    so the forest can run it for several trees in worker processes while
+    the actual (simulated-I/O-charging) pack stays serial in the parent.
+    """
+    runs: List[PackedRun] = []
+    for view in sorted(views, key=lambda v: v.arity):
+        rows = data.get(view.name)
+        if rows is None:
+            continue
+        arity = view.arity
+        entries = [
+            (
+                tuple(int(value) for value in row[:arity]),
+                tuple(float(value) for value in row[arity:]),
+            )
+            for row in rows
+        ]
+        entries.sort(key=lambda e: sort_key(e[0], dims))
+        runs.append(PackedRun(arity, arity, view.total_state_width, entries))
+    return runs
+
+
 class Cubetree:
     """A packed R-tree materializing a set of views of distinct arities.
 
@@ -77,16 +107,24 @@ class Cubetree:
         """
         with trace("cubetree.build", views=len(self.views)):
             runs = self._runs_from(data)
-            self.tree = pack_rtree(self.pool, self.dims, runs)
+            self.build_from_runs(runs)
+
+    def build_from_runs(self, runs: Sequence[PackedRun]) -> None:
+        """Bulk-load from already-prepared packing-order runs."""
+        self.tree = pack_rtree(self.pool, self.dims, list(runs))
         self._debug_verify("Cubetree.build")
 
     def update(self, deltas: Mapping[str, Sequence[Row]]) -> None:
         """Merge-pack a sorted delta into the tree (Fig. 15)."""
         with trace("cubetree.update", views=len(self.views)):
             runs = self._runs_from(deltas)
-            self.tree = merge_pack(
-                self.pool, self.dims, self.tree, runs, combine=self._combine
-            )
+            self.update_from_runs(runs)
+
+    def update_from_runs(self, runs: Sequence[PackedRun]) -> None:
+        """Merge-pack already-prepared packing-order delta runs."""
+        self.tree = merge_pack(
+            self.pool, self.dims, self.tree, list(runs), combine=self._combine
+        )
         self._debug_verify("Cubetree.update")
 
     def _debug_verify(self, context: str) -> None:
@@ -98,24 +136,7 @@ class Cubetree:
             raise IntegrityError(f"{context}: {report.format()}")
 
     def _runs_from(self, data: Mapping[str, Sequence[Row]]) -> List[PackedRun]:
-        runs: List[PackedRun] = []
-        for view in sorted(self.views, key=lambda v: v.arity):
-            rows = data.get(view.name)
-            if rows is None:
-                continue
-            arity = view.arity
-            entries = [
-                (
-                    tuple(int(value) for value in row[:arity]),
-                    tuple(float(value) for value in row[arity:]),
-                )
-                for row in rows
-            ]
-            entries.sort(key=lambda e: sort_key(e[0], self.dims))
-            runs.append(
-                PackedRun(arity, arity, view.total_state_width, entries)
-            )
-        return runs
+        return prepare_packed_runs(self.dims, self.views, data)
 
     def _combine(self, view_id: int, old: Values, delta: Values) -> Values:
         view = self._by_arity.get(view_id)

@@ -27,8 +27,9 @@ from repro.core.mapping import select_mapping
 from repro.core.replication import permute_state_rows, replica_definition
 from repro.core.reports import LoadReport, PhaseReport, UpdateReport
 from repro.core.sorting import make_substrate_sorter
-from repro.cube.computation import CubeComputation
 from repro.cube.lattice import CubeLattice
+from repro.cube.parallel import ParallelCubeComputation
+from repro.parallel import worker_count
 from repro.errors import QueryError
 from repro.obs import get_registry, trace
 from repro.query.result import QueryResult
@@ -58,14 +59,22 @@ class CubetreeEngine:
         buffer_pages: int = DEFAULT_BUFFER_PAGES,
         sort_chunk_rows: int = 100_000,
         disk: Optional[DiskManager] = None,
+        workers: Optional[int] = None,
     ) -> None:
+        """``workers`` (default: ``REPRO_WORKERS``, i.e. 1) parallelizes
+        the pure-CPU stages — cube-computation branches and merge-pack run
+        preparation — across processes; all simulated I/O stays in this
+        process in serial order, so costs are identical at any count."""
         self.schema = schema
         self.disk = disk if disk is not None else DiskManager()
         self.pool = BufferPool(self.disk, capacity=buffer_pages)
-        self.computation = CubeComputation(
+        self.workers = worker_count() if workers is None else max(1, workers)
+        self.computation = ParallelCubeComputation(
             schema,
             hierarchies,
             sorter=make_substrate_sorter(self.pool, sort_chunk_rows),
+            workers=self.workers,
+            serial_row_threshold=sort_chunk_rows,
         )
         self.hierarchies: Dict[str, Tuple[Hierarchy, str]] = {}
         for attr, hierarchy in (hierarchies or {}).items():
@@ -129,7 +138,7 @@ class CubetreeEngine:
 
             allocation = select_mapping(all_views)
             self.forest = CubetreeForest(self.pool, allocation)
-            self.forest.build(data)
+            self.forest.build(data, workers=self.workers)
             self.pool.flush_all()
 
         report = LoadReport()
@@ -189,7 +198,7 @@ class CubetreeEngine:
                         by_name[base_name], deltas[base_name], replica.group_by
                     )
                 )
-            forest.update(deltas)
+            forest.update(deltas, workers=self.workers)
             self.pool.flush_all()
 
         return UpdateReport(

@@ -4,14 +4,24 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
 
-from repro.core.cubetree import Cubetree
+from repro.core.cubetree import Cubetree, prepare_packed_runs
 from repro.core.mapping import CubetreeAllocation
 from repro.errors import QueryError
+from repro.parallel import MIN_PARALLEL_ROWS, run_tasks
 from repro.query.router import AccessPath
 from repro.relational.view import ViewDefinition
+from repro.rtree.packing import PackedRun
 from repro.storage.buffer import BufferPool
 
 Row = Tuple[object, ...]
+
+
+def _prepare_tree_runs(
+    payload: Tuple[int, Tuple[ViewDefinition, ...], Dict[str, Sequence[Row]]],
+) -> List[PackedRun]:
+    """Worker body: packing-order run prep for one tree (pure CPU)."""
+    dims, views, data = payload
+    return prepare_packed_runs(dims, views, data)
 
 
 class CubetreeForest:
@@ -46,28 +56,92 @@ class CubetreeForest:
                 return view
         raise QueryError(f"unknown view {view_name!r}")  # pragma: no cover
 
-    def build(self, data: Mapping[str, Sequence[Row]]) -> None:
-        """Bulk-load every tree from the computed view data."""
+    def build(
+        self, data: Mapping[str, Sequence[Row]], workers: int = 1
+    ) -> None:
+        """Bulk-load every tree from the computed view data.
+
+        With ``workers > 1`` (and enough rows to amortize the pool
+        round-trip) the packing-order run preparation (row coercion +
+        sort, pure CPU) fans out one tree per worker; the
+        packs themselves — everything that touches the buffer pool and
+        charges simulated I/O — still run serially in tree order, so the
+        I/O trace is identical to the serial build.
+        """
         missing = set(self._view_tree) - set(data)
         if missing:
             raise QueryError(f"no data for views {sorted(missing)}")
-        for tree in self.cubetrees:
-            tree.build(data)
+        if (
+            workers > 1
+            and len(self.cubetrees) > 1
+            and self._total_rows(data) >= MIN_PARALLEL_ROWS
+        ):
+            runs_per_tree = run_tasks(
+                _prepare_tree_runs,
+                [self._prep_payload(tree, data) for tree in self.cubetrees],
+                workers,
+            )
+            for tree, runs in zip(self.cubetrees, runs_per_tree):
+                tree.build_from_runs(runs)
+        else:
+            for tree in self.cubetrees:
+                tree.build(data)
         self._sizes = {name: len(rows) for name, rows in data.items()}
         self._paths = None
 
-    def update(self, deltas: Mapping[str, Sequence[Row]]) -> None:
-        """Merge-pack deltas into every tree that has any."""
-        for tree in self.cubetrees:
-            relevant = {
-                view.name: deltas[view.name]
-                for view in tree.views
-                if view.name in deltas
-            }
-            if relevant:
+    def update(
+        self, deltas: Mapping[str, Sequence[Row]], workers: int = 1
+    ) -> None:
+        """Merge-pack deltas into every tree that has any.
+
+        As in :meth:`build`, ``workers > 1`` parallelizes only the
+        pure-CPU delta-run preparation; each tree's merge-pack I/O runs
+        serially in tree order.
+        """
+        touched = [
+            tree
+            for tree in self.cubetrees
+            if any(view.name in deltas for view in tree.views)
+        ]
+        if (
+            workers > 1
+            and len(touched) > 1
+            and self._total_rows(deltas) >= MIN_PARALLEL_ROWS
+        ):
+            runs_per_tree = run_tasks(
+                _prepare_tree_runs,
+                [self._prep_payload(tree, deltas) for tree in touched],
+                workers,
+            )
+            for tree, runs in zip(touched, runs_per_tree):
+                tree.update_from_runs(runs)
+        else:
+            for tree in touched:
+                relevant = {
+                    view.name: deltas[view.name]
+                    for view in tree.views
+                    if view.name in deltas
+                }
                 tree.update(relevant)
         self._sizes = None  # recounted lazily on the next routing request
         self._paths = None
+
+    def _total_rows(self, data: Mapping[str, Sequence[Row]]) -> int:
+        """Rows this forest would prepare — the fan-out worthwhileness."""
+        return sum(
+            len(data[name]) for name in self._view_tree if name in data
+        )
+
+    @staticmethod
+    def _prep_payload(
+        tree: Cubetree, data: Mapping[str, Sequence[Row]]
+    ) -> Tuple[int, Tuple[ViewDefinition, ...], Dict[str, Sequence[Row]]]:
+        relevant = {
+            view.name: data[view.name]
+            for view in tree.views
+            if view.name in data
+        }
+        return tree.dims, tree.views, relevant
 
     def query_view(
         self, view_name: str, bindings: Mapping[str, int]

@@ -45,7 +45,11 @@ def make_substrate_sorter(
     """
 
     def sorter(rows: Sequence[Row], key) -> List[Row]:
-        rows = list(rows)
+        # List inputs are sorted in place — every caller hands over a
+        # freshly-projected list, so skipping the defensive copy is safe
+        # and halves the allocation traffic of the hot compute path.
+        if not isinstance(rows, list):
+            rows = list(rows)
         if len(rows) <= chunk_rows:
             rows.sort(key=key)
             return rows

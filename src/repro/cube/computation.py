@@ -22,6 +22,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.cube.cost import estimate_view_size
 from repro.errors import SchemaError
 from repro.relational.executor import (
+    make_key_extractor,
+    make_row_projector,
     reaggregate_states,
     sort_group_aggregate,
 )
@@ -115,7 +117,13 @@ class CubeComputation:
                 if not self.can_derive(view, earlier.view):
                     continue
                 size = self.estimated_size(earlier.view, num_facts)
-                if size <= parent_size:
+                # Strictly-smaller wins; equal-size candidates tie-break
+                # on view name so the plan is stable regardless of the
+                # order the views were supplied in.
+                if size < parent_size or (
+                    size == parent_size
+                    and (parent_name is None or earlier.view.name < parent_name)
+                ):
                     parent_name = earlier.view.name
                     parent_size = size
             steps.append(CubePlanStep(view, parent_name))
@@ -168,7 +176,8 @@ class CubeComputation:
     # ------------------------------------------------------------------
     def _sorted(self, rows, key):
         if self.sorter is not None:
-            return list(self.sorter(rows, key))
+            result = self.sorter(rows, key)
+            return result if isinstance(result, list) else list(result)
         rows.sort(key=key)
         return rows
 
@@ -180,16 +189,20 @@ class CubeComputation:
             f"hierarchy over unknown dimension {hierarchy.dimension!r}"
         )
 
-    def _fact_extractors(self, view: ViewDefinition):
-        """Per group attribute: a function fact_row -> coordinate value."""
-        fact_columns = self.schema.fact_columns
-        extractors = []
-        for attr in view.group_by:
-            if attr in fact_columns:
-                idx = fact_columns.index(attr)
-                extractors.append(
-                    lambda row, i=idx: row[i]
-                )
+    def _group_columns(self, view: ViewDefinition, source_columns):
+        """Resolve group attributes against source columns.
+
+        Returns ``(indexes, rollups)`` where ``indexes[j]`` is the source
+        column of group attribute ``j`` and ``rollups`` maps the positions
+        that must additionally be rolled up through a hierarchy.  A view
+        whose attributes are all plain source columns gets an empty
+        ``rollups`` — the projection then runs as one ``itemgetter``.
+        """
+        indexes: List[int] = []
+        rollups: List[Tuple[int, Hierarchy]] = []
+        for j, attr in enumerate(view.group_by):
+            if attr in source_columns:
+                indexes.append(source_columns.index(attr))
             else:
                 hierarchy = self.hierarchies.get(attr)
                 if hierarchy is None:
@@ -198,18 +211,33 @@ class CubeComputation:
                         f"a fact key nor a known hierarchy attribute"
                     )
                 source = self._source_key(hierarchy)
-                idx = fact_columns.index(source)
-                extractors.append(
-                    lambda row, i=idx, h=hierarchy: h.roll_up(row[i])
-                )
-        return extractors
+                indexes.append(source_columns.index(source))
+                rollups.append((j, hierarchy))
+        return indexes, rollups
+
+    def _project(self, rows, group_idxs, rollups, extra_idxs):
+        """Project ``group columns + extra columns`` from every row.
+
+        The all-plain-columns case (no hierarchy roll-ups) is a single
+        ``itemgetter`` per row; roll-ups patch their positions afterwards.
+        """
+        getter = make_row_projector(tuple(group_idxs) + tuple(extra_idxs))
+        if not rollups:
+            return [getter(row) for row in rows]
+        out: List[Row] = []
+        for row in rows:
+            flat = list(getter(row))
+            for j, hierarchy in rollups:
+                flat[j] = hierarchy.roll_up(flat[j])
+            out.append(tuple(flat))
+        return out
 
     def _compute_from_fact(
         self, fact_rows: Sequence[Row], view: ViewDefinition
     ) -> List[Row]:
-        extractors = self._fact_extractors(view)
-        k = len(extractors)
         fact_columns = self.schema.fact_columns
+        group_idxs, rollups = self._group_columns(view, fact_columns)
+        k = view.arity
 
         # Project the measure column of each aggregate (COUNT needs none;
         # it reuses the primary measure's slot, which it ignores).
@@ -227,12 +255,8 @@ class CubeComputation:
                 measure_idxs.append(src)
             measure_slots.append(k + measure_idxs.index(src))
 
-        projected = [
-            tuple(extract(row) for extract in extractors)
-            + tuple(row[i] for i in measure_idxs)
-            for row in fact_rows
-        ]
-        projected = self._sorted(projected, lambda r: r[:k])
+        projected = self._project(fact_rows, group_idxs, rollups, measure_idxs)
+        projected = self._sorted(projected, make_key_extractor(range(k)))
         measures = [
             (spec.func, slot)
             for spec, slot in zip(view.aggregates, measure_slots)
@@ -247,31 +271,15 @@ class CubeComputation:
         parent: ViewDefinition,
         child: ViewDefinition,
     ) -> List[Row]:
-        parent_attrs = list(parent.group_by)
+        parent_attrs = tuple(parent.group_by)
         k_child = child.arity
-
-        # Column extractors against parent state rows.
-        extractors = []
-        for attr in child.group_by:
-            if attr in parent_attrs:
-                idx = parent_attrs.index(attr)
-                extractors.append(lambda row, i=idx: row[i])
-            else:
-                hierarchy = self.hierarchies[attr]
-                source = self._source_key(hierarchy)
-                idx = parent_attrs.index(source)
-                extractors.append(
-                    lambda row, i=idx, h=hierarchy: h.roll_up(row[i])
-                )
+        group_idxs, rollups = self._group_columns(child, parent_attrs)
 
         state_offset = parent.arity
         width = parent.total_state_width
-        projected = [
-            tuple(extract(row) for extract in extractors)
-            + tuple(row[state_offset : state_offset + width])
-            for row in parent_rows
-        ]
-        projected = self._sorted(projected, lambda r: r[:k_child])
+        state_idxs = range(state_offset, state_offset + width)
+        projected = self._project(parent_rows, group_idxs, rollups, state_idxs)
+        projected = self._sorted(projected, make_key_extractor(range(k_child)))
 
         # State slices relative to the projected rows.
         slices = []

@@ -11,6 +11,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 from enum import Enum
+from operator import itemgetter
 from typing import Callable, Iterable, Iterator, List, Sequence, Tuple
 
 from repro.storage.buffer import BufferPool
@@ -18,6 +19,35 @@ from repro.storage.codec import RecordCodec
 from repro.storage.heap import HeapFile
 
 Row = Tuple[object, ...]
+
+#: Distinct from every group key (keys are tuples), so empty inputs and
+#: the first row are told apart without an Optional check per row.
+_NO_GROUP = object()
+
+
+def make_key_extractor(
+    indexes: Sequence[int],
+) -> Callable[[Row], Tuple[object, ...]]:
+    """A ``row -> tuple(row[i] for i in indexes)`` built on ``itemgetter``.
+
+    ``itemgetter`` runs the projection in C; the 0- and 1-index cases are
+    special-cased because ``itemgetter`` would be invalid or return a bare
+    scalar there.
+    """
+    idxs = tuple(indexes)
+    if not idxs:
+        return lambda row: ()
+    if len(idxs) == 1:
+        i = idxs[0]
+        return lambda row: (row[i],)
+    return itemgetter(*idxs)
+
+
+def make_row_projector(
+    indexes: Sequence[int],
+) -> Callable[[Row], Tuple[object, ...]]:
+    """Same as :func:`make_key_extractor`; named for projection call sites."""
+    return make_key_extractor(indexes)
 
 
 class AggFunc(Enum):
@@ -209,33 +239,107 @@ def sort_group_aggregate(
     ``group values + flattened aggregate states`` — states, not final
     values, so AVG stays mergeable (finalize at query time).
     """
-    group_idxs = tuple(group_indexes)
-    current_key: Tuple[object, ...] | None = None
+    key_of = make_key_extractor(group_indexes)
+    if len(measures) == 1:
+        yield from _aggregate_single(sorted_rows, key_of, *measures[0])
+        return
+
+    current_key: object = _NO_GROUP
     states: List[Tuple[float, ...]] = []
-
-    def emit() -> Row:
-        flat: List[float] = []
-        for state in states:
-            flat.extend(state)
-        return tuple(current_key) + tuple(flat)  # type: ignore[arg-type]
-
     for row in sorted_rows:
-        key = tuple(row[i] for i in group_idxs)
-        if key != current_key:
-            if current_key is not None:
-                yield emit()
+        key = key_of(row)
+        if key == current_key:
+            states = [
+                merge_value(func, state, _measure_of(row, idx, func))
+                for (func, idx), state in zip(measures, states)
+            ]
+        else:
+            if current_key is not _NO_GROUP:
+                flat: List[float] = []
+                for state in states:
+                    flat.extend(state)
+                yield current_key + tuple(flat)  # type: ignore[operator]
             current_key = key
             states = [
                 init_state(func, _measure_of(row, idx, func))
                 for func, idx in measures
             ]
-        else:
-            states = [
-                merge_value(func, state, _measure_of(row, idx, func))
-                for (func, idx), state in zip(measures, states)
-            ]
-    if current_key is not None:
-        yield emit()
+    if current_key is not _NO_GROUP:
+        flat = []
+        for state in states:
+            flat.extend(state)
+        yield current_key + tuple(flat)  # type: ignore[operator]
+
+
+def _aggregate_single(
+    sorted_rows: Iterable[Row],
+    key_of: Callable[[Row], Tuple[object, ...]],
+    func: AggFunc,
+    idx: int,
+) -> Iterator[Row]:
+    """One-measure aggregation with scalar accumulators (the hot shape).
+
+    Avoids per-row state-tuple rebuilds; results are bit-identical to the
+    generic path because the same float additions happen in the same
+    order.
+    """
+    current_key: object = _NO_GROUP
+    if func is AggFunc.SUM:
+        acc = 0.0
+        for row in sorted_rows:
+            key = key_of(row)
+            if key == current_key:
+                acc = acc + row[idx]  # type: ignore[operator]
+            else:
+                if current_key is not _NO_GROUP:
+                    yield current_key + (acc,)  # type: ignore[operator]
+                current_key = key
+                acc = float(row[idx])  # type: ignore[arg-type]
+        if current_key is not _NO_GROUP:
+            yield current_key + (acc,)  # type: ignore[operator]
+    elif func is AggFunc.COUNT:
+        count = 0.0
+        for row in sorted_rows:
+            key = key_of(row)
+            if key == current_key:
+                count += 1.0
+            else:
+                if current_key is not _NO_GROUP:
+                    yield current_key + (count,)  # type: ignore[operator]
+                current_key = key
+                count = 1.0
+        if current_key is not _NO_GROUP:
+            yield current_key + (count,)  # type: ignore[operator]
+    elif func is AggFunc.AVG:
+        total = 0.0
+        count = 0.0
+        for row in sorted_rows:
+            key = key_of(row)
+            if key == current_key:
+                total = total + row[idx]  # type: ignore[operator]
+                count += 1.0
+            else:
+                if current_key is not _NO_GROUP:
+                    yield current_key + (total, count)  # type: ignore[operator]
+                current_key = key
+                total = float(row[idx])  # type: ignore[arg-type]
+                count = 1.0
+        if current_key is not _NO_GROUP:
+            yield current_key + (total, count)  # type: ignore[operator]
+    else:  # MIN / MAX
+        pick = min if func is AggFunc.MIN else max
+        best = 0.0
+        for row in sorted_rows:
+            key = key_of(row)
+            if key == current_key:
+                best = pick(best, float(row[idx]))  # type: ignore[arg-type]
+            else:
+                if current_key is not _NO_GROUP:
+                    yield current_key + (best,)  # type: ignore[operator]
+                current_key = key
+                best = float(row[idx])  # type: ignore[arg-type]
+        if current_key is not _NO_GROUP:
+            yield current_key + (best,)  # type: ignore[operator]
 
 
 def reaggregate_states(
@@ -248,33 +352,83 @@ def reaggregate_states(
     ``funcs_with_slices`` locates each aggregate's state columns within the
     input rows.  Rows must be sorted by the group columns.
     """
-    group_idxs = tuple(group_indexes)
-    current_key: Tuple[object, ...] | None = None
+    key_of = make_key_extractor(group_indexes)
+    if len(funcs_with_slices) == 1:
+        yield from _reaggregate_single(sorted_rows, key_of,
+                                       *funcs_with_slices[0])
+        return
+
+    current_key: object = _NO_GROUP
     states: List[Tuple[float, ...]] = []
-
-    def emit() -> Row:
-        flat: List[float] = []
-        for state in states:
-            flat.extend(state)
-        return tuple(current_key) + tuple(flat)  # type: ignore[arg-type]
-
     for row in sorted_rows:
-        key = tuple(row[i] for i in group_idxs)
+        key = key_of(row)
         row_states = [tuple(row[s]) for _f, s in funcs_with_slices]
-        if key != current_key:
-            if current_key is not None:
-                yield emit()
-            current_key = key
-            states = row_states
-        else:
+        if key == current_key:
             states = [
                 combine_states(func, old, new)
                 for (func, _s), old, new in zip(
                     funcs_with_slices, states, row_states
                 )
             ]
-    if current_key is not None:
-        yield emit()
+        else:
+            if current_key is not _NO_GROUP:
+                flat: List[float] = []
+                for state in states:
+                    flat.extend(state)
+                yield current_key + tuple(flat)  # type: ignore[operator]
+            current_key = key
+            states = row_states
+    if current_key is not _NO_GROUP:
+        flat = []
+        for state in states:
+            flat.extend(state)
+        yield current_key + tuple(flat)  # type: ignore[operator]
+
+
+def _reaggregate_single(
+    sorted_rows: Iterable[Row],
+    key_of: Callable[[Row], Tuple[object, ...]],
+    func: AggFunc,
+    state_slice: slice,
+) -> Iterator[Row]:
+    """One-aggregate state re-aggregation with scalar accumulators."""
+    current_key: object = _NO_GROUP
+    start = state_slice.start
+    if func is AggFunc.AVG:  # two state columns: running (sum, count)
+        total = 0.0
+        count = 0.0
+        for row in sorted_rows:
+            key = key_of(row)
+            if key == current_key:
+                total = total + row[start]  # type: ignore[operator]
+                count = count + row[start + 1]  # type: ignore[operator]
+            else:
+                if current_key is not _NO_GROUP:
+                    yield current_key + (total, count)  # type: ignore[operator]
+                current_key = key
+                total = row[start]  # type: ignore[assignment]
+                count = row[start + 1]  # type: ignore[assignment]
+        if current_key is not _NO_GROUP:
+            yield current_key + (total, count)  # type: ignore[operator]
+        return
+    if func in (AggFunc.MIN, AggFunc.MAX):
+        pick = min if func is AggFunc.MIN else max
+        combine: Callable[[object, object], object] = pick
+    else:  # SUM / COUNT states combine by addition
+        def combine(a: object, b: object) -> object:
+            return a + b  # type: ignore[operator]
+    acc: object = 0.0
+    for row in sorted_rows:
+        key = key_of(row)
+        if key == current_key:
+            acc = combine(acc, row[start])
+        else:
+            if current_key is not _NO_GROUP:
+                yield current_key + (acc,)  # type: ignore[operator]
+            current_key = key
+            acc = row[start]
+    if current_key is not _NO_GROUP:
+        yield current_key + (acc,)  # type: ignore[operator]
 
 
 def _measure_of(row: Row, idx: int, func: AggFunc) -> float:

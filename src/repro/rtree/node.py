@@ -32,6 +32,7 @@ from typing import List, Tuple
 from repro.constants import PAGE_SIZE
 from repro.errors import StorageError
 from repro.rtree.geometry import Rect
+from repro.storage.codec import entry_codec
 
 LEAF_TYPE = 1
 INTERIOR_TYPE = 2
@@ -84,18 +85,20 @@ class RLeafNode:
 
     def to_bytes(self) -> bytes:
         """Serialize into a full page buffer."""
-        entry = struct.Struct(f"<{self.arity}q{self.n_aggs}d")
+        codec = entry_codec(f"{self.arity}q{self.n_aggs}d")
+        count = len(self.points)
         out = bytearray(PAGE_SIZE)
         _LEAF_HEADER.pack_into(
-            out, 0, LEAF_TYPE, len(self.points), self.view_id,
+            out, 0, LEAF_TYPE, count, self.view_id,
             self.arity, self.n_aggs, self.next_leaf,
         )
-        off = _LEAF_HEADER.size
-        for point, values in zip(self.points, self.values):
-            entry.pack_into(out, off, *point, *values)
-            off += entry.size
-        if off > PAGE_SIZE:
+        if _LEAF_HEADER.size + count * codec.item_size > PAGE_SIZE:
             raise StorageError("R-tree leaf overflow")
+        flat: List[object] = []
+        for point, values in zip(self.points, self.values):
+            flat.extend(point)
+            flat.extend(values)
+        codec.pack_into(out, _LEAF_HEADER.size, flat, count)
         return bytes(out)
 
     @classmethod
@@ -108,13 +111,12 @@ class RLeafNode:
             raise StorageError(f"expected R-tree leaf, found type {node_type}")
         node = cls(view_id, arity, n_aggs)
         node.next_leaf = next_leaf
-        entry = struct.Struct(f"<{arity}q{n_aggs}d")
-        off = _LEAF_HEADER.size
-        for _ in range(count):
-            fields = entry.unpack_from(raw, off)
-            node.points.append(tuple(int(v) for v in fields[:arity]))
-            node.values.append(tuple(fields[arity:]))
-            off += entry.size
+        codec = entry_codec(f"{arity}q{n_aggs}d")
+        points = node.points
+        values = node.values
+        for fields in codec.iter_unpack_from(raw, _LEAF_HEADER.size, count):
+            points.append(fields[:arity])
+            values.append(fields[arity:])
         return node
 
 
@@ -141,13 +143,16 @@ class RInteriorNode:
         _INTERIOR_HEADER.pack_into(
             out, 0, INTERIOR_TYPE, len(self.children), self.dims
         )
-        entry = struct.Struct(f"<q{2 * self.dims}q")
-        off = _INTERIOR_HEADER.size
-        for child, mbr in zip(self.children, self.mbrs):
-            entry.pack_into(out, off, child, *mbr.lows, *mbr.highs)
-            off += entry.size
-        if off > PAGE_SIZE:
+        codec = entry_codec(f"q{2 * self.dims}q")
+        count = len(self.children)
+        if _INTERIOR_HEADER.size + count * codec.item_size > PAGE_SIZE:
             raise StorageError("R-tree interior overflow")
+        flat: List[object] = []
+        for child, mbr in zip(self.children, self.mbrs):
+            flat.append(child)
+            flat.extend(mbr.lows)
+            flat.extend(mbr.highs)
+        codec.pack_into(out, _INTERIOR_HEADER.size, flat, count)
         return bytes(out)
 
     @classmethod
@@ -159,15 +164,12 @@ class RInteriorNode:
                 f"expected R-tree interior, found type {node_type}"
             )
         node = cls(dims)
-        entry = struct.Struct(f"<q{2 * dims}q")
-        off = _INTERIOR_HEADER.size
-        for _ in range(count):
-            fields = entry.unpack_from(raw, off)
-            node.children.append(fields[0])
-            node.mbrs.append(
-                Rect(tuple(fields[1 : 1 + dims]), tuple(fields[1 + dims :]))
-            )
-            off += entry.size
+        codec = entry_codec(f"q{2 * dims}q")
+        children = node.children
+        mbrs = node.mbrs
+        for fields in codec.iter_unpack_from(raw, _INTERIOR_HEADER.size, count):
+            children.append(fields[0])
+            mbrs.append(Rect(fields[1 : 1 + dims], fields[1 + dims :]))
         return node
 
 

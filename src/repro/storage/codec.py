@@ -14,7 +14,8 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 from enum import Enum
-from typing import Sequence, Tuple
+from functools import lru_cache
+from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from repro.errors import InvalidRecordError
 
@@ -66,40 +67,41 @@ class RecordCodec:
         if not columns:
             raise InvalidRecordError("a record needs at least one column")
         self.columns = tuple(columns)
-        fmt = ["<"]
-        for col in self.columns:
+        fmt = []
+        converters: List[Callable[[object], object]] = []
+        str_indexes: List[int] = []
+        for i, col in enumerate(self.columns):
             if col.ctype is ColumnType.INT64:
                 fmt.append("q")
+                converters.append(int)  # type: ignore[arg-type]
             elif col.ctype is ColumnType.FLOAT64:
                 fmt.append("d")
+                converters.append(float)  # type: ignore[arg-type]
             else:
                 fmt.append(f"{col.width}s")
-        self._struct = struct.Struct("".join(fmt))
+                converters.append(_string_converter(col.width))
+                str_indexes.append(i)
+        self._body = "".join(fmt)
+        self._struct = struct.Struct("<" + self._body)
+        self._converters = tuple(converters)
+        self._str_indexes = tuple(str_indexes)
+        # Repeated / strided struct caches: the counts seen in practice
+        # are page slot counts and bulk-load tails, so these stay small.
+        self._repeated_cache: Dict[Tuple[int, int], struct.Struct] = {}
+        self._strided_item: Dict[int, struct.Struct] = {}
 
     @property
     def record_size(self) -> int:
         """Bytes per encoded record."""
         return self._struct.size
 
+    # ------------------------------------------------------------------
+    # single-record API
+    # ------------------------------------------------------------------
     def encode(self, values: Sequence[object]) -> bytes:
         """Serialize one tuple of Python values."""
-        if len(values) != len(self.columns):
-            raise InvalidRecordError(
-                f"expected {len(self.columns)} values, got {len(values)}"
-            )
-        prepared = []
-        for col, value in zip(self.columns, values):
-            if col.ctype is ColumnType.STRING:
-                raw = str(value).encode("utf-8")
-                if len(raw) > col.width:
-                    raise InvalidRecordError(
-                        f"string {value!r} exceeds column width {col.width}"
-                    )
-                prepared.append(raw)
-            elif col.ctype is ColumnType.INT64:
-                prepared.append(int(value))  # type: ignore[arg-type]
-            else:
-                prepared.append(float(value))  # type: ignore[arg-type]
+        prepared: List[object] = []
+        self._extend_prepared(values, prepared)
         try:
             return self._struct.pack(*prepared)
         except struct.error as exc:  # out-of-range ints etc.
@@ -112,10 +114,178 @@ class RecordCodec:
                 f"expected {self._struct.size} bytes, got {len(raw)}"
             )
         fields = self._struct.unpack(raw)
-        out = []
-        for col, value in zip(self.columns, fields):
-            if col.ctype is ColumnType.STRING:
-                out.append(value.rstrip(b"\x00").decode("utf-8"))
-            else:
-                out.append(value)
-        return tuple(out)
+        if not self._str_indexes:
+            return fields
+        return self._decode_strings(fields)
+
+    # ------------------------------------------------------------------
+    # batched API
+    # ------------------------------------------------------------------
+    def encode_many(self, rows: Sequence[Sequence[object]]) -> bytes:
+        """Serialize many tuples with a single row-repeated pack call."""
+        prepared: List[object] = []
+        extend = self._extend_prepared
+        for row in rows:
+            extend(row, prepared)
+        try:
+            return self._repeated(len(rows), 0).pack(*prepared)
+        except struct.error as exc:
+            raise InvalidRecordError(str(exc)) from exc
+
+    def decode_many(self, raw: bytes) -> List[Tuple[object, ...]]:
+        """Deserialize a contiguous run of records in one unpack pass."""
+        size = self._struct.size
+        if len(raw) % size:
+            raise InvalidRecordError(
+                f"buffer of {len(raw)} bytes is not a multiple of "
+                f"record size {size}"
+            )
+        fields_iter = self._struct.iter_unpack(raw)
+        if not self._str_indexes:
+            return list(fields_iter)
+        return [self._decode_strings(fields) for fields in fields_iter]
+
+    def encode_strided(
+        self, rows: Sequence[Sequence[object]], pad_before: int
+    ) -> bytes:
+        """Serialize rows with ``pad_before`` zero bytes ahead of each.
+
+        This matches a slotted-page records region where every slot is a
+        per-row header (zeros) followed by the record, letting a bulk
+        loader fill the whole region with one pack call.
+        """
+        prepared: List[object] = []
+        extend = self._extend_prepared
+        for row in rows:
+            extend(row, prepared)
+        try:
+            return self._repeated(len(rows), pad_before).pack(*prepared)
+        except struct.error as exc:
+            raise InvalidRecordError(str(exc)) from exc
+
+    def decode_strided(
+        self,
+        buf: "bytes | bytearray | memoryview",
+        count: int,
+        pad_before: int,
+        offset: int = 0,
+    ) -> List[Tuple[object, ...]]:
+        """Deserialize ``count`` slots of (pad + record) starting at offset."""
+        if count <= 0:
+            return []
+        item = self._strided_item.get(pad_before)
+        if item is None:
+            pad = f"{pad_before}x" if pad_before else ""
+            item = struct.Struct("<" + pad + self._body)
+            self._strided_item[pad_before] = item
+        region = memoryview(buf)[offset : offset + count * item.size]
+        fields_iter = item.iter_unpack(region)
+        if not self._str_indexes:
+            return list(fields_iter)
+        return [self._decode_strings(fields) for fields in fields_iter]
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _extend_prepared(
+        self, values: Sequence[object], out: List[object]
+    ) -> None:
+        if len(values) != len(self.columns):
+            raise InvalidRecordError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        for conv, value in zip(self._converters, values):
+            out.append(conv(value))
+
+    def _decode_strings(
+        self, fields: Tuple[object, ...]
+    ) -> Tuple[object, ...]:
+        row = list(fields)
+        for i in self._str_indexes:
+            row[i] = row[i].rstrip(b"\x00").decode("utf-8")  # type: ignore[union-attr]
+        return tuple(row)
+
+    def _repeated(self, count: int, pad_before: int) -> struct.Struct:
+        key = (count, pad_before)
+        cached = self._repeated_cache.get(key)
+        if cached is None:
+            pad = f"{pad_before}x" if pad_before else ""
+            cached = struct.Struct("<" + (pad + self._body) * count)
+            self._repeated_cache[key] = cached
+        return cached
+
+
+def _string_converter(width: int) -> Callable[[object], bytes]:
+    def convert(value: object) -> bytes:
+        raw = str(value).encode("utf-8")
+        if len(raw) > width:
+            raise InvalidRecordError(
+                f"string {value!r} exceeds column width {width}"
+            )
+        return raw
+
+    return convert
+
+
+class EntryCodec:
+    """Batched pack/unpack of homogeneous fixed-width node entries.
+
+    Tree pages (R-tree leaves/interiors, B+-tree nodes) store runs of
+    identical little-endian items.  This helper turns the per-entry
+    ``struct`` loops into one repeated-format call per page; instances are
+    shared through :func:`entry_codec` so the compiled formats are built
+    once per (layout, count).
+    """
+
+    __slots__ = ("item_fmt", "item_size", "_item", "_repeated")
+
+    def __init__(self, item_fmt: str) -> None:
+        self.item_fmt = item_fmt
+        self.item_size = struct.calcsize("<" + item_fmt)
+        self._item = struct.Struct("<" + item_fmt) if self.item_size else None
+        self._repeated: Dict[int, struct.Struct] = {}
+
+    def repeated(self, count: int) -> struct.Struct:
+        """The compiled ``count``-times-repeated item format."""
+        cached = self._repeated.get(count)
+        if cached is None:
+            cached = struct.Struct("<" + self.item_fmt * count)
+            self._repeated[count] = cached
+        return cached
+
+    def pack_into(
+        self,
+        buf: bytearray,
+        offset: int,
+        flat_values: Iterable[object],
+        count: int,
+    ) -> int:
+        """Pack ``count`` items' flattened values; returns bytes written."""
+        if count and self.item_size:
+            self.repeated(count).pack_into(buf, offset, *flat_values)
+        return count * self.item_size
+
+    def iter_unpack_from(
+        self, raw: "bytes | memoryview", offset: int, count: int
+    ) -> Iterator[Tuple[object, ...]]:
+        """Yield ``count`` item tuples starting at ``offset``."""
+        if count <= 0:
+            return iter(())
+        if self._item is None:  # zero-width entries (degenerate apex leaf)
+            return iter([()] * count)
+        region = memoryview(raw)[offset : offset + count * self.item_size]
+        return self._item.iter_unpack(region)
+
+    def unpack_flat_from(
+        self, raw: "bytes | memoryview", offset: int, count: int
+    ) -> Tuple[object, ...]:
+        """Unpack ``count`` items as one flat field tuple."""
+        if count <= 0 or self._item is None:
+            return ()
+        return self.repeated(count).unpack_from(raw, offset)
+
+
+@lru_cache(maxsize=None)
+def entry_codec(item_fmt: str) -> EntryCodec:
+    """Shared :class:`EntryCodec` for a little-endian item format."""
+    return EntryCodec(item_fmt)

@@ -181,6 +181,64 @@ def test_other_literals_not_flagged():
 
 
 # ----------------------------------------------------------------------
+# struct-in-loop
+# ----------------------------------------------------------------------
+def test_struct_pack_in_for_loop_flagged():
+    findings = lint("""
+        def f(codec, rows, out):
+            for row in rows:
+                out += codec.pack(*row)
+    """)
+    assert rules_of(findings) == ["struct-in-loop"]
+
+
+def test_struct_unpack_from_in_while_loop_flagged():
+    findings = lint("""
+        import struct
+        def f(raw):
+            offset = 0
+            while offset < len(raw):
+                yield struct.unpack_from("<qd", raw, offset)
+                offset += 16
+    """)
+    assert rules_of(findings) == ["struct-in-loop"]
+
+
+def test_struct_call_in_comprehension_flagged():
+    findings = lint("""
+        def f(item, rows):
+            return [item.unpack(chunk) for chunk in rows]
+    """)
+    assert rules_of(findings) == ["struct-in-loop"]
+
+
+def test_struct_call_outside_loop_not_flagged():
+    assert lint("""
+        def f(codec, rows):
+            return codec.pack(*[v for row in rows for v in row])
+    """) == []
+
+
+def test_iter_unpack_in_loop_not_flagged():
+    assert lint("""
+        def f(item, raw):
+            for page in raw:
+                yield from item.iter_unpack(page)
+    """) == []
+
+
+def test_nested_function_in_loop_body_still_flagged():
+    findings = lint("""
+        def f(codec, pages):
+            for page in pages:
+                def decode():
+                    return codec.unpack(page)
+                yield decode()
+    """)
+    assert rules_of(findings) == ["struct-in-loop"]
+
+
+# ----------------------------------------------------------------------
 # suppression + registry + formatting
 # ----------------------------------------------------------------------
 def test_inline_suppression():
@@ -203,6 +261,8 @@ def test_every_rule_is_registered():
     sample = """
         def f(x, items=[]):
             assert x
+            for item in items:
+                x.codec.unpack(item)
             if float(x) == 1.0:
                 return x.disk.read_page(4096)
     """

@@ -71,6 +71,32 @@ def test_plan_uses_smallest_parent():
     assert steps["V_none"] == "V_p"  # smallest ancestor
 
 
+def test_plan_tie_break_is_stable_by_name():
+    """Equal-size parent candidates resolve by view name, not input order."""
+    import itertools
+
+    part = Dimension("part", "partkey", ("partkey",),
+                     rows=[(i,) for i in range(1, 5)])
+    supp = Dimension("supplier", "suppkey", ("suppkey",),
+                     rows=[(i,) for i in range(1, 5)])
+    schema = StarSchema(("partkey", "suppkey"), "quantity",
+                        {"partkey": part, "suppkey": supp})
+    comp = CubeComputation(schema)
+    views = [
+        v("V_ps", ("partkey", "suppkey")),
+        v("V_p", ("partkey",)),
+        v("V_s", ("suppkey",)),
+        v("V_none", ()),
+    ]
+    # V_p and V_s have identical Cardenas estimates (4 distinct each), so
+    # V_none's parent is a tie — every supply order must pick the same one.
+    parents = set()
+    for perm in itertools.permutations(views):
+        steps = {s.view.name: s.parent for s in comp.plan(list(perm), 1000)}
+        parents.add(steps["V_none"])
+    assert parents == {"V_p"}
+
+
 def test_plan_describe():
     comp = CubeComputation(small_schema())
     steps = comp.plan([v("V_ps", ("partkey", "suppkey"))], 100)

@@ -9,6 +9,7 @@ from repro.storage.codec import (
     ColumnSpec,
     ColumnType,
     RecordCodec,
+    entry_codec,
     float_column,
     int_column,
     string_column,
@@ -75,6 +76,100 @@ def test_bad_width_for_int_raises():
 def test_bad_width_for_string_raises():
     with pytest.raises(InvalidRecordError):
         ColumnSpec(ColumnType.STRING, width=0)
+
+
+# ----------------------------------------------------------------------
+# batched APIs
+# ----------------------------------------------------------------------
+MIXED_ROWS = [
+    (1, "ab", 0.5),
+    (-7, "", 2.25),
+    (2**40, "xyz", -1.0),
+]
+
+
+def mixed_codec():
+    return RecordCodec([int_column(), string_column(4), float_column()])
+
+
+def test_encode_many_matches_per_record_encode():
+    codec = mixed_codec()
+    assert codec.encode_many(MIXED_ROWS) == b"".join(
+        codec.encode(row) for row in MIXED_ROWS
+    )
+
+
+def test_decode_many_roundtrip():
+    codec = mixed_codec()
+    raw = codec.encode_many(MIXED_ROWS)
+    assert codec.decode_many(raw) == list(MIXED_ROWS)
+    assert codec.decode_many(b"") == []
+
+
+def test_decode_many_rejects_partial_record():
+    codec = RecordCodec([int_column()])
+    with pytest.raises(InvalidRecordError):
+        codec.decode_many(b"\x00" * 12)
+
+
+def test_encode_many_validates_every_row():
+    codec = RecordCodec([int_column(), int_column()])
+    with pytest.raises(InvalidRecordError):
+        codec.encode_many([(1, 2), (3,)])
+
+
+def test_strided_roundtrip_with_padding():
+    codec = mixed_codec()
+    pad = 4
+    raw = codec.encode_strided(MIXED_ROWS, pad)
+    assert len(raw) == len(MIXED_ROWS) * (pad + codec.record_size)
+    # The pad bytes in front of every record are zeroed.
+    stride = pad + codec.record_size
+    for i in range(len(MIXED_ROWS)):
+        assert raw[i * stride : i * stride + pad] == b"\x00" * pad
+    assert codec.decode_strided(raw, len(MIXED_ROWS), pad) == list(MIXED_ROWS)
+
+
+def test_decode_strided_respects_offset_and_count():
+    codec = RecordCodec([int_column()])
+    raw = b"\xff" * 6 + codec.encode_strided([(1,), (2,), (3,)], 2)
+    assert codec.decode_strided(raw, 2, 2, offset=6) == [(1,), (2,)]
+
+
+def test_entry_codec_roundtrip():
+    codec = entry_codec("2q1d")
+    entries = [(1, 2, 0.5), (3, 4, 1.5)]
+    buf = bytearray(2 * codec.item_size)
+    written = codec.pack_into(
+        buf, 0, [v for e in entries for v in e], len(entries)
+    )
+    assert written == len(buf)
+    assert list(codec.iter_unpack_from(bytes(buf), 0, 2)) == entries
+    assert codec.unpack_flat_from(bytes(buf), 0, 2) == (1, 2, 0.5, 3, 4, 1.5)
+
+
+def test_entry_codec_degenerate_zero_width():
+    codec = entry_codec("0q0d")
+    assert codec.item_size == 0
+    assert codec.pack_into(bytearray(8), 0, [], 3) == 0
+    assert list(codec.iter_unpack_from(b"", 0, 3)) == [(), (), ()]
+
+
+def test_entry_codec_is_cached():
+    assert entry_codec("3q2d") is entry_codec("3q2d")
+
+
+@given(st.lists(st.tuples(st.integers(min_value=-(2**63),
+                                      max_value=2**63 - 1),
+                          st.floats(allow_nan=False, allow_infinity=False,
+                                    width=32)),
+                max_size=20),
+       st.integers(min_value=0, max_value=8))
+def test_strided_roundtrip_property(rows, pad):
+    codec = RecordCodec([int_column(), float_column()])
+    typed = [(i, float(f)) for i, f in rows]
+    raw = codec.encode_strided(typed, pad)
+    assert codec.decode_strided(raw, len(typed), pad) == typed
 
 
 @given(st.lists(st.integers(min_value=-(2**63), max_value=2**63 - 1),
