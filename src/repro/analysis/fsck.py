@@ -71,6 +71,7 @@ COUNT_MISMATCH = "count-mismatch"
 UNKNOWN_VIEW = "unknown-view"
 PAGE_CORRUPT = "page-corrupt"
 STRUCTURE_CYCLE = "structure-cycle"
+CHECKPOINT_CORRUPT = "checkpoint-corrupt"
 
 #: view_id -> (expected arity, expected aggregate-value count)
 ExpectedViews = Mapping[int, Tuple[int, int]]
@@ -215,6 +216,43 @@ def check_engine(engine: "CubetreeEngine") -> FsckReport:
     if engine.forest is None:
         raise ReproError("engine has no materialized forest to check")
     return check_forest(engine.forest)
+
+
+def check_checkpoint(directory: str) -> FsckReport:
+    """Verify a *saved* database: checksums first, then structural fsck.
+
+    Runs :func:`repro.core.persistence.verify_checkpoint` over the newest
+    committed generation (manifest/size/CRC32 validation, per-page
+    checksums), and — when that passes — reopens the database and fscks
+    the reconstructed forest, so ``repro check --checkpoint`` covers both
+    the bytes on disk and the structure they encode.  Checksum problems
+    and load failures surface as ``checkpoint-corrupt`` violations.
+    """
+    from repro.core.persistence import (
+        PersistenceError,
+        load_engine,
+        verify_checkpoint,
+    )
+
+    report = FsckReport()
+    label = os.path.basename(os.path.abspath(directory))
+    checkpoint = verify_checkpoint(directory)
+    report.pages_checked += checkpoint.pages_checked
+    for problem in checkpoint.problems:
+        report.violations.append(
+            Violation(CHECKPOINT_CORRUPT, problem, tree_label=label)
+        )
+    if not checkpoint.ok:
+        return report
+    try:
+        engine = load_engine(directory)
+    except PersistenceError as exc:
+        report.violations.append(
+            Violation(CHECKPOINT_CORRUPT, str(exc), tree_label=label)
+        )
+        return report
+    report.merge(check_engine(engine))
+    return report
 
 
 def verify_tree(

@@ -14,7 +14,9 @@ Commands
 ``check``
     Build the paper's configuration and run the structural verifier
     ("cubetree fsck") over every packed tree; non-zero exit on any
-    invariant violation.
+    invariant violation.  With ``--checkpoint DIR`` it instead validates
+    a saved database: manifest/CRC32 checks over the newest committed
+    generation, then fsck over the reopened forest.
 ``bench``
     Run a named benchmark suite and write a schema-versioned JSON
     document (``BENCH_<suite>.json``); ``--compare`` diffs against a
@@ -86,6 +88,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--increment", type=float, default=None,
         help="also merge-pack an increment of this fraction, then "
         "re-verify the refreshed forest",
+    )
+    chk.add_argument(
+        "--checkpoint", default=None, metavar="DIR",
+        help="instead of building a fresh configuration, validate a "
+        "saved database: checksum-verify the newest committed "
+        "generation, reopen it, and fsck the reconstructed forest",
     )
 
     from repro.obs.bench import SUITES
@@ -224,12 +232,20 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 def cmd_check(args: argparse.Namespace) -> int:
     """``repro check``: fsck the paper configuration's Cubetree forest."""
-    from repro.analysis.fsck import check_engine
+    from repro.analysis.fsck import check_checkpoint, check_engine
     from repro.experiments.common import (
         ExperimentConfig,
         build_cubetree_engine,
     )
     from repro.warehouse.tpcd import TPCDGenerator
+
+    if args.checkpoint is not None:
+        from repro.core.persistence import verify_checkpoint
+
+        print(verify_checkpoint(args.checkpoint).format())
+        report = check_checkpoint(args.checkpoint)
+        print(report.format())
+        return 0 if report.ok else 1
 
     generator = TPCDGenerator(scale_factor=args.scale, seed=args.seed)
     data = generator.generate()

@@ -209,6 +209,22 @@ class CubetreeEngine:
         )
 
     # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self, directory: str, retain: int = 2) -> str:
+        """Write a crash-safe generational checkpoint of this engine.
+
+        A thin wrapper over :func:`repro.core.persistence.save_engine`
+        (create-new-then-swap at the checkpoint level: a new ``gen-<n>/``
+        is committed by an atomic manifest rename and the previous
+        generation survives any mid-checkpoint crash).  Returns the
+        committed generation directory.
+        """
+        from repro.core.persistence import save_engine
+
+        return save_engine(self, directory, retain=retain)
+
+    # ------------------------------------------------------------------
     # statistics
     # ------------------------------------------------------------------
     def view_sizes(self) -> Dict[str, int]:

@@ -143,6 +143,44 @@ class CubetreeForest:
         }
         return tree.dims, tree.views, relevant
 
+    # ------------------------------------------------------------------
+    # checkpoint restore
+    # ------------------------------------------------------------------
+    def restore_tree_states(self, states: Sequence[Mapping]) -> None:
+        """Adopt saved per-tree root/leaf/ownership state, strictly.
+
+        One state per Cubetree, in allocation order.  A count mismatch
+        means the catalog and the allocation disagree (a torn or edited
+        checkpoint), so it raises instead of zip-truncating.
+        """
+        if len(states) != len(self.cubetrees):
+            raise ValueError(
+                f"{len(states)} saved tree state(s) for a forest of "
+                f"{len(self.cubetrees)} cubetree(s)"
+            )
+        for tree, state in zip(self.cubetrees, states):
+            tree.tree.root_page_id = int(state["root_page_id"])
+            tree.tree.height = int(state["height"])
+            tree.tree.count = int(state["count"])
+            tree.tree.leaf_page_ids = [int(p) for p in state["leaf_page_ids"]]
+            tree.tree.owned_page_ids = [
+                int(p) for p in state["owned_page_ids"]
+            ]
+        self._paths = None
+
+    def set_view_sizes(self, sizes: Mapping[str, int]) -> None:
+        """Adopt saved tuple counts; keys must match the allocation exactly."""
+        known = set(self._view_tree)
+        unknown = sorted(set(sizes) - known)
+        missing = sorted(known - set(sizes))
+        if unknown or missing:
+            raise ValueError(
+                f"view sizes disagree with the allocation: "
+                f"unknown {unknown}, missing {missing}"
+            )
+        self._sizes = {str(name): int(size) for name, size in sizes.items()}
+        self._paths = None
+
     def query_view(
         self, view_name: str, bindings: Mapping[str, int]
     ) -> Iterator[Tuple[Tuple[int, ...], Tuple[float, ...]]]:

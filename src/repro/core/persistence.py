@@ -1,55 +1,100 @@
-"""Saving and reopening a Cubetree database.
+"""Crash-safe generational checkpoints for a Cubetree database.
 
-A saved database is a directory holding two files:
+The paper's update story rests on a *create-new-then-swap* discipline:
+merge-pack writes a freshly packed Cubetree beside the old one and swaps
+atomically, so the old Cubetree keeps serving queries and a crash never
+loses the previous generation (Sec. 5).  This module applies the same
+discipline at the checkpoint level.  A saved database is a directory of
+numbered **generations**::
 
-* ``pages.bin`` — every page of the simulated disk (leaf/interior nodes of
-  all Cubetrees plus free space), written as an out-of-band checkpoint;
-* ``meta.json`` — the catalog: star schema (including dimension rows),
-  hierarchies, view definitions, replicas, the SelectMapping allocation,
-  and each tree's root/leaf/ownership state.
+    db/
+      gen-000001/
+        pages.bin       every allocated page, in page-id order
+        pages.crc       one little-endian uint32 CRC32 per page
+        meta.json       the catalog (canonical JSON, see below)
+        MANIFEST.json   commit record: file sizes + CRC32s (written last)
+      gen-000002/
+        ...             the next checkpoint; gen-000001 stays intact
 
-:func:`save_engine` checkpoints a :class:`CubetreeEngine`;
-:func:`load_engine` reconstructs an equivalent engine that answers the
-same queries and accepts further merge-pack updates.  (The conventional
-engine is a baseline for the experiments and deliberately has no
-persistence path.)
+:func:`save_engine` writes a brand-new ``gen-<n>/`` directory next to the
+existing ones and *commits* it by writing ``MANIFEST.json`` to a temporary
+name, fsyncing, and atomically renaming it into place — the manifest's
+presence is the commit point, exactly like merge-pack's swap.  A crash at
+any write site leaves either the previous committed generation (manifest
+absent: the partial is garbage) or the new one (manifest present); never a
+torn mix.  :func:`load_engine` recovers by selecting the newest
+manifest-complete generation, verifying every checksum, and discarding
+partials.  Committed generations beyond ``retain`` are pruned only after
+the new commit succeeds.
+
+``meta.json`` is canonical: every dict is dumped with sorted keys and
+explicitly normalized value types (tuples as lists, sizes as ints, names
+as strings), so ``save -> load -> save`` produces byte-identical metadata.
+
+Format history
+--------------
+* **v1** — ``meta.json`` + ``pages.bin`` directly in the directory, no
+  checksums, overwritten in place on every save (a crash mid-checkpoint
+  destroyed the only copy).  Still readable: :func:`load_engine` falls
+  back to the flat layout when no generation directories exist.
+* **v2** — the generational layout above.  New saves always write v2.
+
+Every file operation of a checkpoint passes through a
+:class:`~repro.storage.wal.CrashPoint` (the engine disk's hook by
+default), so recovery tests can kill the simulated process at each step;
+see ``tests/core/test_checkpoint_crash.py``.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List, Tuple
+import re
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
+from repro.constants import PAGE_SIZE
 from repro.core.engine import CubetreeEngine
 from repro.core.forest import CubetreeForest
 from repro.core.mapping import CubetreeAllocation, TreeAssignment
 from repro.errors import ReproError
 from repro.relational.executor import AggFunc, AggSpec
 from repro.relational.view import ViewDefinition
-from repro.storage.buffer import BufferPool
 from repro.storage.disk import DiskManager
+from repro.storage.wal import CrashPoint
 from repro.warehouse.hierarchy import Hierarchy
 from repro.warehouse.star import Dimension, StarSchema
 
 META_NAME = "meta.json"
 PAGES_NAME = "pages.bin"
-FORMAT_VERSION = 1
+CHECKSUMS_NAME = "pages.crc"
+MANIFEST_NAME = "MANIFEST.json"
+GENERATION_PREFIX = "gen-"
+FORMAT_VERSION = 2
+#: Committed generations kept after a successful save (>= 1).
+DEFAULT_RETAIN = 2
+
+_GENERATION_RE = re.compile(r"^gen-(\d{6,})$")
 
 
 class PersistenceError(ReproError):
     """A saved database is missing, incomplete, or version-incompatible."""
 
 
+class CorruptCheckpointError(PersistenceError):
+    """A committed generation failed checksum or size validation."""
+
+
 # ----------------------------------------------------------------------
-# serialization helpers
+# serialization helpers (canonical: sorted keys, explicit value types)
 # ----------------------------------------------------------------------
 def _view_to_json(view: ViewDefinition) -> dict:
     return {
-        "name": view.name,
-        "group_by": list(view.group_by),
+        "name": str(view.name),
+        "group_by": [str(attr) for attr in view.group_by],
         "aggregates": [
-            {"func": spec.func.value, "attribute": spec.attribute}
+            {"func": str(spec.func.value), "attribute": str(spec.attribute)}
             for spec in view.aggregates
         ],
     }
@@ -67,13 +112,13 @@ def _view_from_json(payload: dict) -> ViewDefinition:
 
 def _schema_to_json(schema: StarSchema) -> dict:
     return {
-        "fact_keys": list(schema.fact_keys),
-        "measure": schema.measure,
+        "fact_keys": [str(key) for key in schema.fact_keys],
+        "measure": str(schema.measure),
         "dimensions": {
-            fact_key: {
-                "name": dim.name,
-                "key": dim.key,
-                "attributes": list(dim.attributes),
+            str(fact_key): {
+                "name": str(dim.name),
+                "key": str(dim.key),
+                "attributes": [str(attr) for attr in dim.attributes],
                 "rows": [list(row) for row in dim.rows],
             }
             for fact_key, dim in schema.dimensions.items()
@@ -98,63 +143,479 @@ def _schema_from_json(payload: dict) -> StarSchema:
 
 def _tree_state(tree) -> dict:
     return {
-        "root_page_id": tree.tree.root_page_id,
-        "height": tree.tree.height,
-        "count": tree.tree.count,
-        "leaf_page_ids": list(tree.tree.leaf_page_ids),
-        "owned_page_ids": list(tree.tree.owned_page_ids),
+        "root_page_id": int(tree.tree.root_page_id),
+        "height": int(tree.tree.height),
+        "count": int(tree.tree.count),
+        "leaf_page_ids": [int(p) for p in tree.tree.leaf_page_ids],
+        "owned_page_ids": [int(p) for p in tree.tree.owned_page_ids],
     }
 
 
-# ----------------------------------------------------------------------
-# public API
-# ----------------------------------------------------------------------
-def save_engine(engine: CubetreeEngine, directory: str) -> None:
-    """Checkpoint a loaded CubetreeEngine into ``directory``."""
-    forest = engine.forest
-    if forest is None:
-        raise PersistenceError("engine has no materialized views to save")
-    os.makedirs(directory, exist_ok=True)
-    engine.pool.flush_all()
-    engine.disk.dump_pages(os.path.join(directory, PAGES_NAME))
-
-    meta = {
+def _build_meta(engine: CubetreeEngine, forest: CubetreeForest) -> dict:
+    """The catalog, normalized so serialization is deterministic."""
+    return {
         "format_version": FORMAT_VERSION,
         "schema": _schema_to_json(engine.schema),
-        "hierarchies": [
-            {"attribute": attr, "fact_key": source,
-             "dim_attribute": hierarchy.attribute}
-            for attr, (hierarchy, source) in engine.hierarchies.items()
-        ],
+        "hierarchies": sorted(
+            (
+                {
+                    "attribute": str(attr),
+                    "fact_key": str(source),
+                    "dim_attribute": str(hierarchy.attribute),
+                }
+                for attr, (hierarchy, source) in engine.hierarchies.items()
+            ),
+            key=lambda item: item["attribute"],
+        ),
         "base_views": [_view_to_json(v) for v in engine.base_views],
-        "replicas": dict(engine.replicas),
+        "replicas": {
+            str(replica): str(base)
+            for replica, base in engine.replicas.items()
+        },
         "allocation": [
             {
-                "dims": assignment.dims,
+                "dims": int(assignment.dims),
                 "views": [_view_to_json(v) for v in assignment.views],
             }
             for assignment in forest.allocation.trees
         ],
         "trees": [_tree_state(tree) for tree in forest.cubetrees],
-        "sizes": forest.view_sizes(),
-        "disk": engine.disk.allocation_state(),
-        "buffer_pages": engine.pool.capacity,
+        "sizes": {
+            str(name): int(size)
+            for name, size in forest.view_sizes().items()
+        },
+        "disk": {
+            "next_page_id": int(engine.disk.allocation_state()["next_page_id"]),
+            "freed": [int(p) for p in engine.disk.allocation_state()["freed"]],
+        },
+        "buffer_pages": int(engine.pool.capacity),
     }
-    with open(os.path.join(directory, META_NAME), "w") as handle:
-        json.dump(meta, handle, indent=1)
+
+
+def _meta_bytes(meta: dict) -> bytes:
+    """Canonical encoding: sorted keys, fixed separators, trailing NL."""
+    return (
+        json.dumps(meta, indent=1, sort_keys=True, ensure_ascii=True)
+        + "\n"
+    ).encode("ascii")
+
+
+# ----------------------------------------------------------------------
+# generation bookkeeping
+# ----------------------------------------------------------------------
+def _generation_name(number: int) -> str:
+    return f"{GENERATION_PREFIX}{number:06d}"
+
+
+def _list_generations(directory: str) -> List[Tuple[int, str]]:
+    """``(number, path)`` of every gen-* entry, ascending by number."""
+    found: List[Tuple[int, str]] = []
+    try:
+        entries = os.listdir(directory)
+    except FileNotFoundError:
+        return found
+    for entry in entries:
+        match = _GENERATION_RE.match(entry)
+        if match:
+            found.append((int(match.group(1)), os.path.join(directory, entry)))
+    found.sort()
+    return found
+
+
+def _committed(gen_path: str) -> bool:
+    return os.path.exists(os.path.join(gen_path, MANIFEST_NAME))
+
+
+def _fsync_file(handle) -> None:
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def _fsync_dir(path: str) -> None:
+    """Durably record directory entries (rename/create) — best effort."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def _crash_hit(crash_point: Optional[CrashPoint], context: str) -> None:
+    if crash_point is not None:
+        crash_point.hit(context)
+
+
+def _write_file(
+    path: str,
+    payload: bytes,
+    crash_point: Optional[CrashPoint],
+    context: str,
+) -> None:
+    """One checkpoint write site: crash hook, write, fsync."""
+    _crash_hit(crash_point, context)
+    with open(path, "wb") as handle:
+        handle.write(payload)
+        _fsync_file(handle)
+
+
+def _page_checksums(pages_path: str) -> List[int]:
+    """Per-page CRC32s computed by reading the dump back from disk.
+
+    Read-back (rather than checksumming in-memory buffers) means the
+    recorded checksums cover exactly the bytes a later reopen will see.
+    """
+    crcs: List[int] = []
+    with open(pages_path, "rb") as handle:
+        while True:
+            raw = handle.read(PAGE_SIZE)
+            if not raw:
+                break
+            if len(raw) < PAGE_SIZE:
+                raise PersistenceError(
+                    f"page dump {pages_path!r} ends mid-page "
+                    f"({len(raw)} trailing bytes)"
+                )
+            crcs.append(zlib.crc32(raw))
+    return crcs
+
+
+def _file_crc(path: str) -> int:
+    crc = 0
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(1 << 16)
+            if not chunk:
+                break
+            crc = zlib.crc32(chunk, crc)
+    return crc
+
+
+# ----------------------------------------------------------------------
+# saving
+# ----------------------------------------------------------------------
+def save_engine(
+    engine: CubetreeEngine,
+    directory: str,
+    crash_point: Optional[CrashPoint] = None,
+    retain: int = DEFAULT_RETAIN,
+) -> str:
+    """Checkpoint a loaded CubetreeEngine into a new generation.
+
+    Returns the committed generation directory.  ``crash_point`` defaults
+    to the engine disk's hook, so a test that armed
+    ``engine.disk.crash_point`` kills the checkpoint the same way it kills
+    a merge-pack.  ``retain`` committed generations are kept; older ones
+    (and any uncommitted partials) are pruned only after the new manifest
+    is in place, so a crash at any point keeps the last committed
+    generation reopenable.
+    """
+    forest = engine.forest
+    if forest is None:
+        raise PersistenceError("engine has no materialized views to save")
+    if retain < 1:
+        raise ValueError("retain must be >= 1")
+    if crash_point is None:
+        crash_point = getattr(engine.disk, "crash_point", None)
+
+    os.makedirs(directory, exist_ok=True)
+    engine.pool.flush_all()
+
+    generations = _list_generations(directory)
+    number = (generations[-1][0] + 1) if generations else 1
+    gen_path = os.path.join(directory, _generation_name(number))
+    os.makedirs(gen_path)
+
+    # 1. the page dump (one crash site per page, inside dump_pages)
+    pages_path = os.path.join(gen_path, PAGES_NAME)
+    engine.disk.dump_pages(pages_path, crash_point=crash_point)
+
+    # 2. per-page checksums, read back from the dump just written
+    page_crcs = _page_checksums(pages_path)
+    crc_payload = b"".join(crc.to_bytes(4, "little") for crc in page_crcs)
+    crc_path = os.path.join(gen_path, CHECKSUMS_NAME)
+    _write_file(crc_path, crc_payload, crash_point, "checkpoint page checksums")
+
+    # 3. the catalog
+    meta_payload = _meta_bytes(_build_meta(engine, forest))
+    meta_path = os.path.join(gen_path, META_NAME)
+    _write_file(meta_path, meta_payload, crash_point, "checkpoint catalog")
+
+    # 4. the commit record: temp write, fsync, atomic rename
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "generation": number,
+        "page_count": len(page_crcs),
+        "files": {
+            PAGES_NAME: {
+                "bytes": os.path.getsize(pages_path),
+                "crc32": _file_crc(pages_path),
+            },
+            CHECKSUMS_NAME: {
+                "bytes": len(crc_payload),
+                "crc32": zlib.crc32(crc_payload),
+            },
+            META_NAME: {
+                "bytes": len(meta_payload),
+                "crc32": zlib.crc32(meta_payload),
+            },
+        },
+    }
+    manifest_tmp = os.path.join(gen_path, MANIFEST_NAME + ".tmp")
+    manifest_path = os.path.join(gen_path, MANIFEST_NAME)
+    _write_file(
+        manifest_tmp,
+        _meta_bytes(manifest),
+        crash_point,
+        "checkpoint manifest write",
+    )
+    _crash_hit(crash_point, "checkpoint manifest commit")
+    os.rename(manifest_tmp, manifest_path)
+    _fsync_dir(gen_path)
+    _fsync_dir(directory)
+
+    # 5. only now retire older generations (and stale partials)
+    _crash_hit(crash_point, "checkpoint prune")
+    _prune(directory, keep_newest=number, retain=retain)
+    return gen_path
+
+
+def _prune(directory: str, keep_newest: int, retain: int) -> None:
+    """Remove uncommitted partials and committed gens beyond ``retain``."""
+    import shutil
+
+    committed = [
+        (number, path)
+        for number, path in _list_generations(directory)
+        if _committed(path)
+    ]
+    keep = {number for number, _ in committed[-retain:]}
+    keep.add(keep_newest)
+    for number, path in _list_generations(directory):
+        if number in keep:
+            continue
+        shutil.rmtree(path, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
+# verification
+# ----------------------------------------------------------------------
+@dataclass
+class CheckpointReport:
+    """Result of validating a saved database's newest committed generation."""
+
+    directory: str
+    generation: Optional[int] = None
+    pages_checked: int = 0
+    files_checked: int = 0
+    partial_generations: List[str] = field(default_factory=list)
+    problems: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the newest committed generation validated cleanly."""
+        return not self.problems
+
+    def format(self) -> str:
+        """Human-readable multi-line summary."""
+        head = (
+            f"checkpoint {self.directory}: "
+            + (
+                f"generation {self.generation}, "
+                if self.generation is not None
+                else ""
+            )
+            + f"{self.files_checked} file(s), {self.pages_checked} page(s) "
+            f"checked: {len(self.problems)} problem(s)"
+        )
+        lines = [head]
+        lines.extend(f"  [corrupt] {problem}" for problem in self.problems)
+        lines.extend(f"  [note] {note}" for note in self.notes)
+        lines.extend(
+            f"  [partial] discarded uncommitted generation {name}"
+            for name in self.partial_generations
+        )
+        return "\n".join(lines)
+
+
+def _newest_committed(directory: str) -> Tuple[Optional[str], List[str]]:
+    """Newest manifest-complete generation path + names of partials."""
+    newest: Optional[str] = None
+    partials: List[str] = []
+    for _number, path in _list_generations(directory):
+        if _committed(path):
+            newest = path
+        else:
+            partials.append(os.path.basename(path))
+    return newest, partials
+
+
+def _read_manifest(gen_path: str) -> dict:
+    manifest_path = os.path.join(gen_path, MANIFEST_NAME)
+    try:
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise CorruptCheckpointError(
+            f"unreadable manifest in {gen_path!r}: {exc}"
+        ) from exc
+    if manifest.get("format_version") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported checkpoint format version "
+            f"{manifest.get('format_version')!r} in {gen_path!r}"
+        )
+    return manifest
+
+
+def _validate_generation(gen_path: str, report: CheckpointReport) -> dict:
+    """Verify a committed generation against its manifest; return it."""
+    manifest = _read_manifest(gen_path)
+    for name, expected in sorted(manifest.get("files", {}).items()):
+        path = os.path.join(gen_path, name)
+        if not os.path.exists(path):
+            report.problems.append(f"{name}: listed in manifest but missing")
+            continue
+        report.files_checked += 1
+        actual_bytes = os.path.getsize(path)
+        if actual_bytes != int(expected["bytes"]):
+            report.problems.append(
+                f"{name}: {actual_bytes} bytes on disk, manifest records "
+                f"{expected['bytes']}"
+            )
+            continue
+        if _file_crc(path) != int(expected["crc32"]):
+            report.problems.append(
+                f"{name}: CRC32 mismatch against the manifest"
+            )
+
+    # Per-page checksums: every page of pages.bin against pages.crc.
+    pages_path = os.path.join(gen_path, PAGES_NAME)
+    crc_path = os.path.join(gen_path, CHECKSUMS_NAME)
+    if os.path.exists(pages_path) and os.path.exists(crc_path):
+        with open(crc_path, "rb") as handle:
+            raw = handle.read()
+        recorded = [
+            int.from_bytes(raw[i : i + 4], "little")
+            for i in range(0, len(raw), 4)
+        ]
+        expected_pages = int(manifest.get("page_count", len(recorded)))
+        if len(recorded) != expected_pages:
+            report.problems.append(
+                f"{CHECKSUMS_NAME}: {len(recorded)} page checksums, "
+                f"manifest records {expected_pages} pages"
+            )
+        with open(pages_path, "rb") as handle:
+            page_id = 0
+            while True:
+                page = handle.read(PAGE_SIZE)
+                if not page:
+                    break
+                if len(page) < PAGE_SIZE:
+                    report.problems.append(
+                        f"{PAGES_NAME}: ends mid-page after page {page_id}"
+                    )
+                    break
+                report.pages_checked += 1
+                if page_id < len(recorded) and (
+                    zlib.crc32(page) != recorded[page_id]
+                ):
+                    report.problems.append(
+                        f"{PAGES_NAME}: page {page_id} fails its CRC32"
+                    )
+                page_id += 1
+        if page_id != expected_pages:
+            report.problems.append(
+                f"{PAGES_NAME}: holds {page_id} pages, manifest records "
+                f"{expected_pages}"
+            )
+    return manifest
+
+
+def verify_checkpoint(directory: str) -> CheckpointReport:
+    """Checksum-validate the newest committed generation of a database.
+
+    Partial (manifest-less) generations are reported but are not
+    problems — they are exactly what a crash leaves behind and recovery
+    discards them.  A v1 flat-layout database yields a problem entry
+    (v1 carries no checksums to verify).
+    """
+    report = CheckpointReport(directory=directory)
+    newest, partials = _newest_committed(directory)
+    report.partial_generations = partials
+    if newest is None:
+        if _has_v1_layout(directory):
+            report.notes.append(
+                "v1 flat layout: carries no checksums to verify "
+                "(resave to migrate to the v2 generational format)"
+            )
+            return report
+        report.problems.append("no committed generation found")
+        return report
+    try:
+        manifest = _validate_generation(newest, report)
+        report.generation = int(manifest["generation"])
+    except PersistenceError as exc:
+        report.problems.append(str(exc))
+    return report
+
+
+# ----------------------------------------------------------------------
+# loading
+# ----------------------------------------------------------------------
+def _has_v1_layout(directory: str) -> bool:
+    return os.path.exists(os.path.join(directory, META_NAME)) and os.path.exists(
+        os.path.join(directory, PAGES_NAME)
+    )
 
 
 def load_engine(directory: str) -> CubetreeEngine:
-    """Reopen a database saved by :func:`save_engine`."""
-    meta_path = os.path.join(directory, META_NAME)
-    pages_path = os.path.join(directory, PAGES_NAME)
-    if not (os.path.exists(meta_path) and os.path.exists(pages_path)):
-        raise PersistenceError(f"no saved database in {directory!r}")
+    """Reopen a database saved by :func:`save_engine`.
+
+    Recovery rule: the newest generation whose ``MANIFEST.json`` exists is
+    the database; generations without a manifest are crash debris and are
+    ignored.  Every file of the chosen generation is checksum-verified
+    before a single page is trusted — a torn or bit-flipped checkpoint
+    raises :class:`CorruptCheckpointError` instead of silently loading.
+    Directories written by format v1 (flat ``meta.json`` + ``pages.bin``)
+    are still readable.
+    """
+    newest, _partials = _newest_committed(directory)
+    if newest is not None:
+        report = CheckpointReport(directory=directory)
+        _validate_generation(newest, report)
+        if not report.ok:
+            raise CorruptCheckpointError(
+                f"checkpoint {newest!r} failed validation:\n"
+                + "\n".join(f"  {problem}" for problem in report.problems)
+            )
+        return _load_layout(
+            os.path.join(newest, META_NAME),
+            os.path.join(newest, PAGES_NAME),
+            expected_version=FORMAT_VERSION,
+        )
+    if _has_v1_layout(directory):
+        return _load_layout(
+            os.path.join(directory, META_NAME),
+            os.path.join(directory, PAGES_NAME),
+            expected_version=1,
+        )
+    raise PersistenceError(f"no saved database in {directory!r}")
+
+
+def _load_layout(
+    meta_path: str, pages_path: str, expected_version: int
+) -> CubetreeEngine:
     with open(meta_path) as handle:
         meta = json.load(handle)
-    if meta.get("format_version") != FORMAT_VERSION:
+    if meta.get("format_version") != expected_version:
         raise PersistenceError(
-            f"unsupported format version {meta.get('format_version')!r}"
+            f"unsupported format version {meta.get('format_version')!r} "
+            f"(expected {expected_version})"
         )
 
     schema = _schema_from_json(meta["schema"])
@@ -165,6 +626,15 @@ def load_engine(directory: str) -> CubetreeEngine:
             dim, item["dim_attribute"]
         )
 
+    expected_pages = int(meta["disk"]["next_page_id"])
+    actual_bytes = os.path.getsize(pages_path)
+    if actual_bytes != expected_pages * PAGE_SIZE:
+        raise PersistenceError(
+            f"page dump {pages_path!r} holds {actual_bytes} bytes; the "
+            f"catalog's allocator state needs exactly "
+            f"{expected_pages} pages ({expected_pages * PAGE_SIZE} bytes) "
+            f"— the checkpoint is torn"
+        )
     disk = DiskManager.restore(pages_path, meta["disk"])
     engine = CubetreeEngine(
         schema,
@@ -173,10 +643,20 @@ def load_engine(directory: str) -> CubetreeEngine:
         disk=disk,
     )
     engine.base_views = [_view_from_json(v) for v in meta["base_views"]]
-    engine.replicas = dict(meta["replicas"])
+    engine.replicas = {
+        str(replica): str(base)
+        for replica, base in meta["replicas"].items()
+    }
 
+    tree_states = meta["trees"]
+    assignments = meta["allocation"]
+    if len(tree_states) != len(assignments):
+        raise PersistenceError(
+            f"catalog mismatch: {len(assignments)} tree assignment(s) in "
+            f"the allocation but {len(tree_states)} saved tree state(s)"
+        )
     trees: List[TreeAssignment] = []
-    for assignment in meta["allocation"]:
+    for assignment in assignments:
         trees.append(
             TreeAssignment(
                 int(assignment["dims"]),
@@ -185,14 +665,12 @@ def load_engine(directory: str) -> CubetreeEngine:
         )
     allocation = CubetreeAllocation(trees=trees)
     forest = CubetreeForest(engine.pool, allocation)
-    for tree, state in zip(forest.cubetrees, meta["trees"]):
-        tree.tree.root_page_id = int(state["root_page_id"])
-        tree.tree.height = int(state["height"])
-        tree.tree.count = int(state["count"])
-        tree.tree.leaf_page_ids = [int(p) for p in state["leaf_page_ids"]]
-        tree.tree.owned_page_ids = [int(p) for p in state["owned_page_ids"]]
-    forest._sizes = {
-        name: int(size) for name, size in meta["sizes"].items()
-    }
+    try:
+        forest.restore_tree_states(tree_states)
+        forest.set_view_sizes(
+            {name: int(size) for name, size in meta["sizes"].items()}
+        )
+    except ValueError as exc:
+        raise PersistenceError(f"catalog mismatch: {exc}") from exc
     engine.forest = forest
     return engine

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Tuple
+from typing import FrozenSet, Sequence, Tuple
 
 from repro.errors import QueryError
 
@@ -81,8 +81,24 @@ class SliceQuery:
         out.update(self.range_map)
         return out
 
-    def describe(self) -> str:
-        """SQL-ish rendering for logs and experiment output."""
+    def describe(
+        self,
+        aggregates: Sequence[object] = (),
+        measure: str = "quantity",
+    ) -> str:
+        """SQL-ish rendering for logs and experiment output.
+
+        A slice query carries no aggregate of its own — the view it is
+        routed to does — so callers that know the answering view pass its
+        ``aggregates`` (:class:`~repro.relational.executor.AggSpec`
+        objects, rendered via ``str()``), or at least the schema's
+        ``measure``.  Without either, the TPC-D default ``sum(quantity)``
+        is rendered, as before.
+        """
+        if aggregates:
+            agg_text = ", ".join(str(spec) for spec in aggregates)
+        else:
+            agg_text = f"sum({measure})"
         select = ", ".join(self.group_by) if self.group_by else ""
         predicates = [f"{a} = {v}" for a, v in self.bindings]
         predicates += [
@@ -90,7 +106,7 @@ class SliceQuery:
         ]
         where = " and ".join(predicates)
         parts = ["select"]
-        parts.append(f"{select}, sum(quantity)" if select else "sum(quantity)")
+        parts.append(f"{select}, {agg_text}" if select else agg_text)
         parts.append("from F")
         if where:
             parts.append(f"where {where}")

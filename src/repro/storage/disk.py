@@ -150,10 +150,19 @@ class DiskManager:
     # offline snapshots (checkpoint / restore; not priced by the cost
     # model — these model an out-of-band backup, not query-path I/O)
     # ------------------------------------------------------------------
-    def dump_pages(self, path: str) -> int:
-        """Write every allocated page to ``path``; returns pages written."""
+    def dump_pages(self, path: str, crash_point=None) -> int:
+        """Write every allocated page to ``path``; returns pages written.
+
+        ``crash_point`` (a :class:`~repro.storage.wal.CrashPoint`) is hit
+        once per page *before* it reaches the file, so recovery tests can
+        kill the checkpoint at any point of the dump and observe exactly
+        the prefix a real crash would leave.  The dump is fsynced before
+        returning.
+        """
         with open(path, "wb") as handle:
             for page_id in range(self._next_page_id):
+                if crash_point is not None:
+                    crash_point.hit(f"checkpoint dump of page {page_id}")
                 if self._file is not None:
                     self._file.seek(page_id * PAGE_SIZE)
                     raw = self._file.read(PAGE_SIZE)
@@ -161,6 +170,8 @@ class DiskManager:
                 else:
                     raw = self._pages.get(page_id, bytes(PAGE_SIZE))
                 handle.write(raw)
+            handle.flush()
+            os.fsync(handle.fileno())
         return self._next_page_id
 
     def allocation_state(self) -> dict:
@@ -177,7 +188,12 @@ class DiskManager:
         state: dict,
         cost_model: Optional[IOCostModel] = None,
     ) -> "DiskManager":
-        """Rebuild an in-memory disk from a page dump + allocator state."""
+        """Rebuild an in-memory disk from a page dump + allocator state.
+
+        The dump must hold exactly ``next_page_id`` full pages: a short
+        file means a torn checkpoint, and restoring it would silently
+        zero-fill whatever the crash cut off, so it raises instead.
+        """
         disk = cls(cost_model=cost_model)
         disk._next_page_id = int(state["next_page_id"])
         disk._freed = [int(p) for p in state["freed"]]
@@ -189,7 +205,11 @@ class DiskManager:
             for page_id in range(disk._next_page_id):
                 raw = handle.read(PAGE_SIZE)
                 if len(raw) < PAGE_SIZE:
-                    raw = raw.ljust(PAGE_SIZE, b"\x00")
+                    raise StorageError(
+                        f"page dump {path!r} is truncated: page {page_id} "
+                        f"of {disk._next_page_id} is incomplete "
+                        f"({len(raw)} bytes)"
+                    )
                 if page_id not in freed:
                     disk._pages[page_id] = raw
         return disk

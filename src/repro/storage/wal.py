@@ -123,11 +123,18 @@ class WriteAheadLog:
             self._write_page(sequential=True)
 
     def commit(self) -> None:
-        """Force the partial log page to disk (group-commit boundary)."""
-        _OBS_COMMITS.value += 1
+        """Force the partial log page to disk (group-commit boundary).
+
+        State is cleared only after the write succeeds: if an armed
+        crash point kills the write, the partial page stays pending and a
+        retried commit still forces (and prices) it, instead of silently
+        dropping it.  The ``wal.commits`` counter moves only when the
+        commit actually flushed something.
+        """
         if self._bytes_in_page > 0:
-            self._bytes_in_page = 0
             self._write_page(sequential=False)
+            self._bytes_in_page = 0
+            _OBS_COMMITS.value += 1
 
     def _write_page(self, sequential: bool) -> None:
         if self.crash_point is not None:

@@ -1,0 +1,216 @@
+"""Crash-recovery matrix for the generational checkpoint subsystem.
+
+`save_engine` passes every file operation — each page of the dump, the
+checksum sidecar, the catalog, the manifest temp write, the atomic
+commit rename, and the post-commit prune — through a
+:class:`~repro.storage.wal.CrashPoint`.  These tests arm the point at
+*every* write site in turn and assert the create-new-then-swap
+discipline: after any single-site crash the database reopens to either
+the full pre-crash or the full post-crash generation, never a torn mix.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.fsck import check_checkpoint
+from repro.core.engine import CubetreeEngine
+from repro.core.persistence import (
+    load_engine,
+    save_engine,
+    verify_checkpoint,
+)
+from repro.query.generator import RandomQueryGenerator
+from repro.relational.view import ViewDefinition
+from repro.storage.wal import CrashError, CrashPoint
+from repro.warehouse.tpcd import TPCDGenerator
+
+VIEWS = [
+    ViewDefinition("V_ps", ("partkey", "suppkey")),
+    ViewDefinition("V_s", ("suppkey",)),
+    ViewDefinition("V_none", ()),
+]
+
+#: Named non-page write sites, as offsets from the end of the site list:
+#: ... page writes ..., checksums, catalog, manifest write, commit, prune.
+TAIL_SITES = {
+    "checksums": 5,
+    "catalog": 4,
+    "manifest-write": 3,
+    "manifest-commit": 2,
+    "prune": 1,
+}
+
+
+class CountingCrashPoint(CrashPoint):
+    """A CrashPoint that also counts how many sites it passed through."""
+
+    def __init__(self):
+        super().__init__()
+        self.hits = 0
+
+    def hit(self, context=""):
+        self.hits += 1
+        super().hit(context)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """A loaded engine, an increment, a query set, and the site count."""
+    gen = TPCDGenerator(scale_factor=0.0005, seed=31)
+    data = gen.generate()
+    engine = CubetreeEngine(data.schema, buffer_pages=64)
+    engine.materialize(
+        VIEWS, data.facts,
+        replicate={"V_ps": [("suppkey", "partkey")]},
+    )
+    delta = gen.generate_increment(0.25)
+    qgen = RandomQueryGenerator(data.schema, seed=7)
+    queries = [
+        query
+        for node in (("partkey", "suppkey"), ("suppkey",), ())
+        for query in qgen.generate_for_node(node, 3, include_unbound=True)
+    ]
+    return engine, delta, queries
+
+
+def _answers(engine, queries):
+    return [engine.query(q).rows for q in queries]
+
+
+def _count_sites(engine, tmp_path, name):
+    """How many crashable write sites one full checkpoint passes."""
+    counter = CountingCrashPoint()
+    save_engine(engine, str(tmp_path / name), crash_point=counter)
+    return counter.hits
+
+
+def test_every_site_is_crashable_and_recoverable(tmp_path, workload):
+    """The exhaustive matrix: kill the checkpoint at site k, for every k.
+
+    The database must reopen checksum-clean and answer every query from
+    the last *committed* generation; a follow-up checkpoint must then
+    succeed (recovery did not wedge the directory).
+    """
+    engine, _delta, queries = workload
+    sites = _count_sites(engine, tmp_path, "probe")
+    assert sites > TAIL_SITES["checksums"], "expected page sites too"
+
+    directory = str(tmp_path / "db")
+    save_engine(engine, directory)  # gen-000001, the committed baseline
+    baseline = _answers(engine, queries)
+
+    for k in range(sites):
+        point = CrashPoint()
+        point.arm(after=k)
+        with pytest.raises(CrashError):
+            save_engine(engine, directory, crash_point=point)
+        assert point.fired
+
+        recovered = load_engine(directory)
+        assert _answers(recovered, queries) == baseline, f"site {k}"
+        assert verify_checkpoint(directory).ok, f"site {k}"
+
+    # The directory is not wedged: the next checkpoint commits normally.
+    save_engine(engine, directory)
+    assert verify_checkpoint(directory).ok
+    assert _answers(load_engine(directory), queries) == baseline
+
+
+@pytest.mark.parametrize("site", sorted(TAIL_SITES))
+def test_update_then_crashed_checkpoint_is_all_or_nothing(
+    tmp_path, workload, site
+):
+    """Merge-pack an increment, then crash the checkpoint at a named
+    site: reopening must yield the full pre-update generation (crash
+    before the manifest commit) or the full post-update one (crash in
+    the post-commit prune) — never a mix of the two."""
+    engine, delta, queries = workload
+    directory = str(tmp_path / f"db_{site}")
+    save_engine(engine, directory)
+
+    live = load_engine(directory)
+    pre = _answers(live, queries)
+    live.update(delta)
+    post = _answers(live, queries)
+    assert post != pre
+
+    sites = _count_sites(live, tmp_path, f"probe_{site}")
+    point = CrashPoint()
+    point.arm(after=sites - TAIL_SITES[site])
+    with pytest.raises(CrashError):
+        save_engine(live, directory, crash_point=point)
+    assert point.fired
+
+    recovered = load_engine(directory)
+    answers = _answers(recovered, queries)
+    if site == "prune":
+        # The manifest renamed before the crash: the update committed.
+        assert answers == post
+    else:
+        assert answers == pre
+    assert verify_checkpoint(directory).ok
+    report = check_checkpoint(directory)
+    assert report.ok, report.format()
+
+
+def test_crash_during_page_dump_mid_update_checkpoint(tmp_path, workload):
+    """Same all-or-nothing property with the crash inside the page dump."""
+    engine, delta, queries = workload
+    directory = str(tmp_path / "db_dump")
+    save_engine(engine, directory)
+
+    live = load_engine(directory)
+    pre = _answers(live, queries)
+    live.update(delta)
+
+    point = CrashPoint()
+    point.arm(after=3)  # fourth page of the dump
+    with pytest.raises(CrashError, match="checkpoint dump"):
+        save_engine(live, directory, crash_point=point)
+
+    recovered = load_engine(directory)
+    assert _answers(recovered, queries) == pre
+    # Retrying from the recovered engine reaches the post-update state.
+    recovered.update(delta)
+    save_engine(recovered, directory)
+    reopened = load_engine(directory)
+    assert _answers(reopened, queries) == _answers(live, queries)
+
+
+def test_engine_disk_crash_point_is_threaded_through(tmp_path, workload):
+    """Arming the engine disk's own hook (the merge-pack hook) also
+    kills the checkpoint: the CrashPoint plumbing is shared."""
+    engine, _delta, _queries = workload
+    directory = str(tmp_path / "db_hook")
+    save_engine(engine, directory)
+
+    live = load_engine(directory)
+    point = CrashPoint()
+    live.disk.crash_point = point
+    point.arm(after=1)
+    with pytest.raises(CrashError):
+        save_engine(live, directory)
+    live.disk.crash_point = None
+    assert verify_checkpoint(directory).ok
+
+
+def test_crash_leaves_partial_without_manifest(tmp_path, workload):
+    """A killed checkpoint's debris is a manifest-less directory that
+    verify reports as partial and the next save prunes."""
+    engine, _delta, _queries = workload
+    directory = str(tmp_path / "db_partial")
+    save_engine(engine, directory)
+
+    point = CrashPoint()
+    point.arm(after=2)
+    with pytest.raises(CrashError):
+        save_engine(engine, directory, crash_point=point)
+
+    report = verify_checkpoint(directory)
+    assert report.ok
+    assert report.partial_generations == ["gen-000002"]
+
+    save_engine(engine, directory)
+    assert not os.path.exists(os.path.join(directory, "gen-000002"))
+    assert verify_checkpoint(directory).partial_generations == []

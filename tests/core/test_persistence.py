@@ -1,15 +1,24 @@
-"""Tests for saving and reopening a Cubetree database."""
+"""Tests for saving and reopening a Cubetree database (v2 generations)."""
 
 import json
 import os
+import shutil
+import zlib
 
 import pytest
 
+from repro.constants import PAGE_SIZE
 from repro.core.engine import CubetreeEngine
 from repro.core.persistence import (
+    CHECKSUMS_NAME,
+    CorruptCheckpointError,
+    MANIFEST_NAME,
+    META_NAME,
+    PAGES_NAME,
     PersistenceError,
     load_engine,
     save_engine,
+    verify_checkpoint,
 )
 from repro.query.generator import RandomQueryGenerator
 from repro.query.slice import SliceQuery
@@ -21,6 +30,40 @@ VIEWS = [
     ViewDefinition("V_s", ("suppkey",)),
     ViewDefinition("V_none", ()),
 ]
+
+
+def _newest_gen(directory):
+    gens = sorted(
+        entry for entry in os.listdir(directory) if entry.startswith("gen-")
+    )
+    assert gens, f"no generations in {directory}"
+    return os.path.join(directory, gens[-1])
+
+
+def _rewrite_meta(gen_path, mutate):
+    """Edit a committed generation's catalog, keeping the manifest honest.
+
+    Lets tests exercise *semantic* catalog validation (the strict loader)
+    without tripping the checksum layer first.
+    """
+    meta_path = os.path.join(gen_path, META_NAME)
+    with open(meta_path) as handle:
+        meta = json.load(handle)
+    mutate(meta)
+    payload = (
+        json.dumps(meta, indent=1, sort_keys=True, ensure_ascii=True) + "\n"
+    ).encode("ascii")
+    with open(meta_path, "wb") as handle:
+        handle.write(payload)
+    manifest_path = os.path.join(gen_path, MANIFEST_NAME)
+    with open(manifest_path) as handle:
+        manifest = json.load(handle)
+    manifest["files"][META_NAME] = {
+        "bytes": len(payload),
+        "crc32": zlib.crc32(payload),
+    }
+    with open(manifest_path, "w") as handle:
+        json.dump(manifest, handle, indent=1, sort_keys=True)
 
 
 @pytest.fixture()
@@ -37,11 +80,19 @@ def saved(tmp_path):
     return gen, data, engine, directory
 
 
-def test_save_creates_files(saved):
+def test_save_creates_committed_generation(saved):
     _gen, _data, _engine, directory = saved
-    assert os.path.exists(os.path.join(directory, "meta.json"))
-    assert os.path.exists(os.path.join(directory, "pages.bin"))
-    assert os.path.getsize(os.path.join(directory, "pages.bin")) > 0
+    gen_path = _newest_gen(directory)
+    for name in (META_NAME, PAGES_NAME, CHECKSUMS_NAME, MANIFEST_NAME):
+        assert os.path.exists(os.path.join(gen_path, name)), name
+    assert os.path.getsize(os.path.join(gen_path, PAGES_NAME)) > 0
+    # One uint32 CRC per page of the dump.
+    pages = os.path.getsize(os.path.join(gen_path, PAGES_NAME)) // PAGE_SIZE
+    assert os.path.getsize(os.path.join(gen_path, CHECKSUMS_NAME)) == 4 * pages
+    report = verify_checkpoint(directory)
+    assert report.ok, report.format()
+    assert report.generation == 1
+    assert report.pages_checked == pages
 
 
 def test_reopened_engine_answers_identically(saved):
@@ -97,9 +148,206 @@ def test_load_missing_directory_raises(tmp_path):
         load_engine(str(tmp_path / "nope"))
 
 
-def test_load_bad_version_raises(saved, tmp_path):
+# ----------------------------------------------------------------------
+# generations, retention, and the engine convenience wrapper
+# ----------------------------------------------------------------------
+def test_each_save_is_a_new_generation(saved):
+    _gen, _data, engine, directory = saved
+    first = _newest_gen(directory)
+    second = save_engine(engine, directory)
+    assert second != first
+    assert os.path.exists(first)  # previous generation survives
+    assert verify_checkpoint(directory).generation == 2
+
+
+def test_retention_prunes_oldest_committed_generations(saved):
+    _gen, _data, engine, directory = saved
+    for _ in range(3):
+        save_engine(engine, directory, retain=2)
+    gens = sorted(
+        entry for entry in os.listdir(directory) if entry.startswith("gen-")
+    )
+    assert gens == ["gen-000003", "gen-000004"]
+
+
+def test_engine_checkpoint_method(saved):
+    _gen, _data, engine, directory = saved
+    gen_path = engine.checkpoint(directory)
+    assert os.path.exists(os.path.join(gen_path, MANIFEST_NAME))
+    assert load_engine(directory).view_sizes() == engine.view_sizes()
+
+
+def test_partial_generation_is_discarded_on_load(saved):
+    _gen, _data, engine, directory = saved
+    expected = engine.query(SliceQuery((), ())).scalar()
+    # Simulate crash debris: a newer generation that never committed.
+    partial = os.path.join(directory, "gen-000009")
+    os.makedirs(partial)
+    with open(os.path.join(partial, PAGES_NAME), "wb") as handle:
+        handle.write(b"\x00" * 100)
+    reopened = load_engine(directory)
+    assert reopened.query(SliceQuery((), ())).scalar() == expected
+    report = verify_checkpoint(directory)
+    assert report.ok
+    assert report.partial_generations == ["gen-000009"]
+
+
+# ----------------------------------------------------------------------
+# corruption and torn checkpoints are detected, not opened
+# ----------------------------------------------------------------------
+def test_bitflip_in_pages_is_detected(saved):
     _gen, _data, _engine, directory = saved
-    meta_path = os.path.join(directory, "meta.json")
+    pages_path = os.path.join(_newest_gen(directory), PAGES_NAME)
+    with open(pages_path, "r+b") as handle:
+        handle.seek(PAGE_SIZE + 17)
+        byte = handle.read(1)
+        handle.seek(PAGE_SIZE + 17)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+    report = verify_checkpoint(directory)
+    assert not report.ok
+    assert any("page 1" in problem for problem in report.problems)
+    with pytest.raises(CorruptCheckpointError):
+        load_engine(directory)
+
+
+def test_truncated_pages_is_detected(saved):
+    _gen, _data, _engine, directory = saved
+    pages_path = os.path.join(_newest_gen(directory), PAGES_NAME)
+    with open(pages_path, "r+b") as handle:
+        handle.truncate(os.path.getsize(pages_path) - PAGE_SIZE - 7)
+    assert not verify_checkpoint(directory).ok
+    with pytest.raises(CorruptCheckpointError):
+        load_engine(directory)
+
+
+def test_tampered_meta_is_detected(saved):
+    _gen, _data, _engine, directory = saved
+    meta_path = os.path.join(_newest_gen(directory), META_NAME)
+    with open(meta_path, "a") as handle:
+        handle.write(" ")
+    assert not verify_checkpoint(directory).ok
+    with pytest.raises(CorruptCheckpointError):
+        load_engine(directory)
+
+
+def test_load_bad_manifest_version_raises(saved):
+    _gen, _data, _engine, directory = saved
+    manifest_path = os.path.join(_newest_gen(directory), MANIFEST_NAME)
+    with open(manifest_path) as handle:
+        manifest = json.load(handle)
+    manifest["format_version"] = 999
+    with open(manifest_path, "w") as handle:
+        json.dump(manifest, handle)
+    with pytest.raises(PersistenceError):
+        load_engine(directory)
+
+
+# ----------------------------------------------------------------------
+# strict catalog validation (no silent zip-truncation)
+# ----------------------------------------------------------------------
+def test_tree_state_count_mismatch_rejected(saved):
+    _gen, _data, _engine, directory = saved
+    _rewrite_meta(
+        _newest_gen(directory), lambda meta: meta["trees"].pop()
+    )
+    with pytest.raises(PersistenceError, match="tree state"):
+        load_engine(directory)
+
+
+def test_allocation_count_mismatch_rejected(saved):
+    _gen, _data, _engine, directory = saved
+    _rewrite_meta(
+        _newest_gen(directory), lambda meta: meta["allocation"].pop()
+    )
+    with pytest.raises(PersistenceError, match="allocation"):
+        load_engine(directory)
+
+
+def test_unknown_size_key_rejected(saved):
+    _gen, _data, _engine, directory = saved
+
+    def rename_size(meta):
+        meta["sizes"]["V_ghost"] = meta["sizes"].pop("V_s")
+
+    _rewrite_meta(_newest_gen(directory), rename_size)
+    with pytest.raises(PersistenceError, match="V_ghost"):
+        load_engine(directory)
+
+
+def test_missing_size_key_rejected(saved):
+    _gen, _data, _engine, directory = saved
+    _rewrite_meta(
+        _newest_gen(directory), lambda meta: meta["sizes"].pop("V_none")
+    )
+    with pytest.raises(PersistenceError, match="V_none"):
+        load_engine(directory)
+
+
+# ----------------------------------------------------------------------
+# canonical metadata: save -> load -> save is byte-identical
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [23, 8, 51])
+def test_meta_roundtrip_is_byte_identical(tmp_path, seed):
+    gen = TPCDGenerator(scale_factor=0.0005, seed=seed)
+    data = gen.generate()
+    hierarchies = {"brand": data.hierarchy("partkey", "brand")}
+    engine = CubetreeEngine(data.schema, hierarchies=hierarchies)
+    engine.materialize(
+        VIEWS, data.facts,
+        replicate={"V_ps": [("suppkey", "partkey")]},
+    )
+    directory = str(tmp_path / "db")
+    first = save_engine(engine, directory)
+    second = save_engine(load_engine(directory), directory)
+    with open(os.path.join(first, META_NAME), "rb") as handle:
+        meta_a = handle.read()
+    with open(os.path.join(second, META_NAME), "rb") as handle:
+        meta_b = handle.read()
+    assert meta_a == meta_b
+    with open(os.path.join(first, PAGES_NAME), "rb") as handle:
+        pages_a = handle.read()
+    with open(os.path.join(second, PAGES_NAME), "rb") as handle:
+        pages_b = handle.read()
+    assert pages_a == pages_b
+
+
+# ----------------------------------------------------------------------
+# v1 flat-layout compatibility
+# ----------------------------------------------------------------------
+def _downgrade_to_v1(directory):
+    """Rewrite a v2 database as the flat v1 layout it replaced."""
+    gen_path = _newest_gen(directory)
+    with open(os.path.join(gen_path, META_NAME)) as handle:
+        meta = json.load(handle)
+    meta["format_version"] = 1
+    shutil.copy(
+        os.path.join(gen_path, PAGES_NAME),
+        os.path.join(directory, PAGES_NAME),
+    )
+    with open(os.path.join(directory, META_NAME), "w") as handle:
+        json.dump(meta, handle, indent=1)
+    for entry in list(os.listdir(directory)):
+        if entry.startswith("gen-"):
+            shutil.rmtree(os.path.join(directory, entry))
+
+
+def test_v1_layout_still_loads(saved):
+    _gen, data, original, directory = saved
+    _downgrade_to_v1(directory)
+    reopened = load_engine(directory)
+    qgen = RandomQueryGenerator(data.schema, seed=3)
+    for query in qgen.generate_for_node(("suppkey",), 6):
+        assert reopened.query(query).rows == original.query(query).rows
+    # Verification flags nothing but notes the missing checksums.
+    report = verify_checkpoint(directory)
+    assert report.ok
+    assert any("v1" in note for note in report.notes)
+
+
+def test_v1_bad_version_raises(saved):
+    _gen, _data, _engine, directory = saved
+    _downgrade_to_v1(directory)
+    meta_path = os.path.join(directory, META_NAME)
     with open(meta_path) as handle:
         meta = json.load(handle)
     meta["format_version"] = 999
@@ -107,3 +355,14 @@ def test_load_bad_version_raises(saved, tmp_path):
         json.dump(meta, handle)
     with pytest.raises(PersistenceError):
         load_engine(directory)
+
+
+def test_resave_migrates_v1_to_v2(saved):
+    _gen, _data, engine, directory = saved
+    _downgrade_to_v1(directory)
+    migrated = load_engine(directory)
+    save_engine(migrated, directory)
+    report = verify_checkpoint(directory)
+    assert report.ok
+    assert report.generation == 1
+    assert load_engine(directory).view_sizes() == engine.view_sizes()

@@ -40,3 +40,19 @@ def test_describe():
         "group by partkey"
     )
     assert SliceQuery((), ()).describe() == "select sum(quantity) from F"
+
+
+def test_describe_renders_real_aggregates_and_measure():
+    from repro.relational.executor import AggFunc, AggSpec
+
+    q = SliceQuery(("partkey",), (("custkey", 5),))
+    specs = (AggSpec(AggFunc.AVG, "price"), AggSpec(AggFunc.COUNT))
+    assert q.describe(aggregates=specs) == (
+        "select partkey, avg(price), count(*) from F where custkey = 5 "
+        "group by partkey"
+    )
+    # A schema with a different measure no longer gets the lie
+    # ``sum(quantity)`` in its logs.
+    assert SliceQuery((), ()).describe(measure="extendedprice") == (
+        "select sum(extendedprice) from F"
+    )

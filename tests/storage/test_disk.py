@@ -89,3 +89,47 @@ def test_file_backed_delete(tmp_path):
     disk.write_page(pid, bytes(PAGE_SIZE))
     disk.delete_backing_file()
     assert not os.path.exists(path)
+
+
+# ----------------------------------------------------------------------
+# checkpoint dump / restore
+# ----------------------------------------------------------------------
+def _filled_disk(pages=5):
+    disk = DiskManager()
+    for i in range(pages):
+        pid = disk.allocate_page()
+        disk.write_page(pid, bytes([i + 1]) * PAGE_SIZE)
+    return disk
+
+
+def test_dump_and_restore_roundtrip(tmp_path):
+    disk = _filled_disk()
+    path = str(tmp_path / "pages.bin")
+    assert disk.dump_pages(path) == 5
+    restored = DiskManager.restore(path, disk.allocation_state())
+    for pid in range(5):
+        assert restored.read_page(pid) == disk.read_page(pid)
+
+
+def test_restore_rejects_truncated_dump(tmp_path):
+    """A short page file is a torn checkpoint, not zero-fill material."""
+    disk = _filled_disk()
+    path = str(tmp_path / "pages.bin")
+    disk.dump_pages(path)
+    import os
+
+    with open(path, "r+b") as handle:
+        handle.truncate(os.path.getsize(path) - 100)
+    with pytest.raises(StorageError, match="truncated"):
+        DiskManager.restore(path, disk.allocation_state())
+
+
+def test_dump_pages_hits_crash_point_per_page(tmp_path):
+    from repro.storage.wal import CrashError, CrashPoint
+
+    disk = _filled_disk()
+    point = CrashPoint()
+    point.arm(after=2)
+    with pytest.raises(CrashError, match="page 2"):
+        disk.dump_pages(str(tmp_path / "pages.bin"), crash_point=point)
+    assert point.fired

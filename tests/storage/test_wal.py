@@ -3,8 +3,9 @@
 import pytest
 
 from repro.constants import PAGE_SIZE
+from repro.obs import get_registry
 from repro.storage.iomodel import IOCostModel
-from repro.storage.wal import WriteAheadLog
+from repro.storage.wal import CrashError, CrashPoint, WriteAheadLog
 
 
 def test_records_accumulate_until_page_fills():
@@ -41,6 +42,38 @@ def test_commit_with_empty_page_is_noop():
     wal = WriteAheadLog(model)
     wal.commit()
     assert wal.pages_written == 0
+
+
+def test_commit_crash_then_retry_still_prices_partial_page():
+    """A crash inside the commit's page write must leave the partial
+    page pending: the retried commit still forces (and prices) it,
+    instead of silently no-opping because state was cleared too early."""
+    model = IOCostModel()
+    point = CrashPoint()
+    wal = WriteAheadLog(model, crash_point=point)
+    wal.log_row_operation(1)
+    point.arm()
+    with pytest.raises(CrashError):
+        wal.commit()
+    assert wal.pages_written == 0
+    assert model.stats.random_writes == 0
+
+    point.disarm()  # the simulated machine reboots
+    wal.commit()
+    assert wal.pages_written == 1
+    assert model.stats.random_writes == 1
+
+
+def test_commit_counter_only_moves_when_work_is_done():
+    counter = get_registry().counter("wal.commits")
+    model = IOCostModel()
+    wal = WriteAheadLog(model)
+    before = counter.value
+    wal.commit()  # empty: no page forced, no commit counted
+    assert counter.value == before
+    wal.log_row_operation(1)
+    wal.commit()
+    assert counter.value == before + 1
 
 
 def test_invalid_args():

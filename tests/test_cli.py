@@ -92,6 +92,50 @@ def test_check_with_increment(capsys):
     assert out.count("0 violation(s)") == 2
 
 
+@pytest.fixture()
+def checkpoint_dir(tmp_path):
+    from repro.core.engine import CubetreeEngine
+    from repro.core.persistence import save_engine
+    from repro.relational.view import ViewDefinition
+    from repro.warehouse.tpcd import TPCDGenerator
+
+    data = TPCDGenerator(scale_factor=0.0005, seed=41).generate()
+    engine = CubetreeEngine(data.schema)
+    engine.materialize([ViewDefinition("V_ps", ("partkey", "suppkey")),
+                        ViewDefinition("V_none", ())], data.facts)
+    directory = str(tmp_path / "db")
+    save_engine(engine, directory)
+    return directory
+
+
+def test_check_checkpoint_clean(checkpoint_dir, capsys):
+    assert main(["check", "--checkpoint", checkpoint_dir]) == 0
+    out = capsys.readouterr().out
+    assert "0 problem(s)" in out
+    assert "0 violation(s)" in out
+
+
+def test_check_checkpoint_flags_corruption(checkpoint_dir, capsys):
+    gen = sorted(
+        entry for entry in os.listdir(checkpoint_dir)
+        if entry.startswith("gen-")
+    )[-1]
+    pages = os.path.join(checkpoint_dir, gen, "pages.bin")
+    with open(pages, "r+b") as handle:
+        handle.seek(100)
+        byte = handle.read(1)
+        handle.seek(100)
+        handle.write(bytes([byte[0] ^ 0x01]))
+    assert main(["check", "--checkpoint", checkpoint_dir]) == 1
+    out = capsys.readouterr().out
+    assert "checkpoint-corrupt" in out
+
+
+def test_check_checkpoint_missing_database(tmp_path, capsys):
+    assert main(["check", "--checkpoint", str(tmp_path / "empty")]) == 1
+    assert "no committed generation" in capsys.readouterr().out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["nope"])
