@@ -72,6 +72,7 @@ UNKNOWN_VIEW = "unknown-view"
 PAGE_CORRUPT = "page-corrupt"
 STRUCTURE_CYCLE = "structure-cycle"
 CHECKPOINT_CORRUPT = "checkpoint-corrupt"
+RUN_EXTENT_MISMATCH = "run-extent-mismatch"
 
 #: view_id -> (expected arity, expected aggregate-value count)
 ExpectedViews = Mapping[int, Tuple[int, int]]
@@ -437,6 +438,8 @@ class _TreeChecker:
         prev_leaf_fill: Optional[Tuple[int, int, int]] = None
         #: view_id -> arity of each completed run, in chain order
         runs: List[Tuple[int, int]] = []
+        #: (view_id, first page id, last page id) per run, in chain order
+        run_extents: List[Tuple[int, int, int]] = []
         total_entries = 0
 
         while page_id != -1:
@@ -469,8 +472,11 @@ class _TreeChecker:
             # that closed the previous run is allowed to be partial.
             if prev_view is None or node.view_id != prev_view:
                 runs.append((node.view_id, node.arity))
+                run_extents.append((node.view_id, page_id, page_id))
                 prev_view = node.view_id
             else:
+                view_id, first, _last = run_extents[-1]
+                run_extents[-1] = (view_id, first, page_id)
                 # The *previous* leaf was not the last of its run, so it
                 # must have been full.
                 if self.packed and prev_leaf_fill is not None:
@@ -509,7 +515,12 @@ class _TreeChecker:
 
         self.report.entries_checked += total_entries
         if self.packed:
-            self._check_runs(runs)
+            if self._check_runs(runs):
+                # Extent verification presumes well-formed runs; when
+                # views interleave, every extent is wrong for the same
+                # root cause, so reporting them would only bury the
+                # interleaving violation in noise.
+                self._check_extents(run_extents)
         if chain != list(tree.leaf_page_ids):
             self._flag(
                 LEAF_CHAIN_BROKEN,
@@ -593,12 +604,88 @@ class _TreeChecker:
             prev_key = key
         return prev_key
 
-    def _check_runs(self, runs: List[Tuple[int, int]]) -> None:
-        """Views must form contiguous runs in ascending arity order."""
+    def _check_extents(
+        self, run_extents: List[Tuple[int, int, int]]
+    ) -> None:
+        """Verify persisted leaf-run extents against the actual chain.
+
+        Trees without recorded extents (dynamic builds, checkpoints
+        predating the field) are skipped — the fast path falls back to
+        the descent for them, so there is nothing to betray a query.
+        """
+        recorded = self.tree.view_extents
+        if not recorded:
+            return
+        actual = {
+            view_id: (first, last)
+            for view_id, first, last in run_extents
+        }
+        for view_id in sorted(recorded):
+            extent = tuple(recorded[view_id])
+            found = actual.get(view_id)
+            if found is None:
+                self._flag(
+                    RUN_EXTENT_MISMATCH,
+                    f"catalog records leaf-run extent {extent}, but the "
+                    f"leaf chain holds no run for this view",
+                    view_id=view_id,
+                )
+            elif extent != found:
+                self._flag(
+                    RUN_EXTENT_MISMATCH,
+                    f"catalog leaf-run extent {extent} disagrees with the "
+                    f"chain's actual run [{found[0]}, {found[1]}]",
+                    view_id=view_id,
+                )
+        for view_id, first, last in run_extents:
+            if view_id not in recorded:
+                self._flag(
+                    RUN_EXTENT_MISMATCH,
+                    f"leaf chain holds a run [{first}, {last}] with no "
+                    f"recorded extent in the catalog",
+                    view_id=view_id,
+                )
+        # Runs ascend by arity (== view id inside a Cubetree), so the
+        # recorded extents must appear at monotonically increasing chain
+        # positions when visited in view-id order.
+        positions = {
+            pid: i for i, pid in enumerate(self.tree.leaf_page_ids)
+        }
+        prev_end: Optional[int] = None
+        for view_id in sorted(recorded):
+            first, last = recorded[view_id]
+            lo = positions.get(first)
+            hi = positions.get(last)
+            if lo is None or hi is None or lo > hi:
+                self._flag(
+                    RUN_EXTENT_MISMATCH,
+                    f"leaf-run extent [{first}, {last}] does not name an "
+                    f"ordered span of the leaf chain",
+                    view_id=view_id,
+                )
+                continue
+            if prev_end is not None and lo <= prev_end:
+                self._flag(
+                    RUN_EXTENT_MISMATCH,
+                    f"leaf-run extent [{first}, {last}] overlaps or "
+                    f"precedes the previous view's run — runs must be "
+                    f"disjoint and in ascending order",
+                    view_id=view_id,
+                )
+            prev_end = hi
+
+    def _check_runs(self, runs: List[Tuple[int, int]]) -> bool:
+        """Views must form contiguous runs in ascending arity order.
+
+        Returns True when the run structure is clean (extent checks only
+        make sense then).
+        """
+        ok = True
         seen_views: Dict[int, int] = {}
         prev_arity: Optional[int] = None
         for run_index, (view_id, arity) in enumerate(runs):
             if view_id in seen_views:
+                ok = False
                 self._flag(
                     VIEW_INTERLEAVED,
                     f"view reappears at run {run_index} after its run "
@@ -609,6 +696,7 @@ class _TreeChecker:
                 continue
             seen_views[view_id] = run_index
             if prev_arity is not None and arity <= prev_arity:
+                ok = False
                 self._flag(
                     VIEW_INTERLEAVED,
                     f"run of arity {arity} follows a run of arity "
@@ -617,3 +705,4 @@ class _TreeChecker:
                     view_id=view_id,
                 )
             prev_arity = arity
+        return ok

@@ -67,6 +67,11 @@ RULES: Dict[str, str] = {
         "per-record struct pack/unpack inside a loop; batch the page "
         "with encode_many/decode_many/iter_unpack instead"
     ),
+    "sequential-fetch-loop": (
+        "BufferPool.fetch_page called in a loop over a page range; use "
+        "the run-scan helpers (RTree._scan_leaves / pool.prefetch_run) "
+        "so sequential reads go through scan admission and read-ahead"
+    ),
 }
 
 #: Per-rule path suffixes (POSIX-style) that are exempt by design.
@@ -79,6 +84,9 @@ PATH_EXEMPTIONS: Dict[str, Tuple[str, ...]] = {
     ),
     # The one place the literal is allowed to exist.
     "magic-page-size": ("repro/constants.py",),
+    # The pool owns the sanctioned sequential-read helper (prefetch_run),
+    # which necessarily iterates a page range itself.
+    "sequential-fetch-loop": ("repro/storage/buffer.py",),
 }
 
 _PAGE_SIZE_LITERAL = 4096  # lint: ignore[magic-page-size]
@@ -222,6 +230,15 @@ _MUTABLE_CONSTRUCTORS = ("list", "dict", "set")
 _STRUCT_CALLS = frozenset({"pack", "unpack", "pack_into", "unpack_from"})
 
 
+def _is_range_iter(node: ast.expr) -> bool:
+    """True for ``range(...)`` loop iterables — the page-range pattern."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "range"
+    )
+
+
 def _is_mutable_default(node: ast.expr) -> bool:
     if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
                          ast.DictComp, ast.SetComp)):
@@ -242,6 +259,7 @@ class _LintVisitor(ast.NodeVisitor):
         self.exempt = exempt
         self.findings: List[LintFinding] = []
         self._loop_depth = 0
+        self._range_loop_depth = 0
 
     def _flag(self, rule: str, node: ast.AST, message: str) -> None:
         if rule in self.exempt:
@@ -291,12 +309,29 @@ class _LintVisitor(ast.NodeVisitor):
                 f"per-record .{func.attr}() inside a loop; batch the "
                 f"whole page (encode_many/decode_many/iter_unpack)",
             )
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "fetch_page"
+            and self._range_loop_depth > 0
+        ):
+            self._flag(
+                "sequential-fetch-loop",
+                node,
+                "fetch_page in a loop over a sequential page range "
+                "bypasses scan admission and read-ahead; use the "
+                "run-scan helper instead",
+            )
         self.generic_visit(node)
 
     # -- struct-in-loop loop tracking ----------------------------------
     def _visit_loop(self, node: ast.AST) -> None:
+        ranged = isinstance(node, ast.For) and _is_range_iter(node.iter)
         self._loop_depth += 1
+        if ranged:
+            self._range_loop_depth += 1
         self.generic_visit(node)
+        if ranged:
+            self._range_loop_depth -= 1
         self._loop_depth -= 1
 
     visit_For = _visit_loop

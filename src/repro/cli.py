@@ -70,13 +70,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     qry = sub.add_parser("query", help="answer an ad-hoc SQL slice query")
     qry.add_argument("sql", help='e.g. "select partkey, sum(quantity) '
-                     'from F where suppkey = 3 group by partkey"')
+                     'from F where suppkey = 3 group by partkey"; with '
+                     '--batch, several queries separated by ";"')
     qry.add_argument("--scale", type=float, default=0.002)
     qry.add_argument("--seed", type=int, default=42)
     qry.add_argument("--engine", choices=("cubetree", "conventional"),
                      default="cubetree")
     qry.add_argument("--limit", type=int, default=20,
                      help="max rows to print")
+    qry.add_argument("--batch", action="store_true",
+                     help="split the SQL on ';' and answer all queries "
+                     "as one batch over shared leaf-run passes "
+                     "(cubetree engine only)")
 
     chk = sub.add_parser(
         "check",
@@ -114,8 +119,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print a phase table to stdout")
     ben.add_argument("--scale", type=float, default=None)
     ben.add_argument("--seed", type=int, default=42)
-    ben.add_argument("--queries", type=int, default=5,
-                     help="queries per lattice node in query phases")
+    ben.add_argument("--queries", type=int, default=None,
+                     help="queries per lattice node in query phases "
+                     "(default: per-suite, 5 except 50 for queries)")
 
     sub.add_parser("info", help="print version and device parameters")
     return parser
@@ -217,6 +223,26 @@ def cmd_query(args: argparse.Namespace) -> int:
         engine, _ = build_cubetree_engine(config, data)
     else:
         engine, _ = build_conventional_engine(config, data)
+
+    if args.batch:
+        if args.engine != "cubetree":
+            print("error: --batch requires --engine cubetree",
+                  file=sys.stderr)
+            return 2
+        statements = [s.strip() for s in args.sql.split(";") if s.strip()]
+        queries = [parse_query(s, data.schema) for s in statements]
+        batch = engine.query_batch(queries)
+        for i, result in enumerate(batch.results):
+            print(f"[{i}] plan: {result.plan}")
+            for row in result.rows[: args.limit]:
+                print("  " + "\t".join(str(v) for v in row))
+            if len(result.rows) > args.limit:
+                print(f"  ... {len(result.rows) - args.limit} more rows")
+        print(f"batch: {len(batch)} queries, {batch.batched} via shared "
+              f"passes ({batch.groups} group(s))")
+        print(f"simulated I/O: {batch.io.total_ms:.1f} ms "
+              f"({batch.io.total_ios} page accesses)")
+        return 0
 
     query = parse_query(args.sql, data.schema)
     result = engine.query(query)

@@ -10,7 +10,8 @@ merge-packs.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.fsck import check_cubetree, debug_checks_enabled
 from repro.btree.keys import INT64_MAX
@@ -21,11 +22,28 @@ from repro.relational.view import ViewDefinition
 from repro.rtree.geometry import Rect
 from repro.rtree.merge import merge_pack
 from repro.rtree.packing import PackedRun, pack_rtree, sort_key
-from repro.rtree.tree import RTree
+from repro.rtree.tree import RTree, RunKey
 from repro.storage.buffer import BufferPool
 
 Row = Tuple[object, ...]
 Values = Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class SliceSpec:
+    """A compiled slice over one view: the Fig. 4 query rectangle plus
+    the run-key prefix bounds the packed-run fast path can seek with.
+
+    ``lo_key``/``hi_key`` bound the longest leading prefix of the run's
+    sort order (``reversed(group_by)``) made of equality bindings,
+    optionally closed by a single range binding; empty tuples mean the
+    query has no usable prefix and a fast scan covers the whole run.
+    """
+
+    view: ViewDefinition
+    rect: Rect
+    lo_key: RunKey
+    hi_key: RunKey
 
 
 def prepare_packed_runs(
@@ -157,10 +175,10 @@ class Cubetree:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
-    def query(
+    def slice_spec(
         self, view_name: str, bindings: Mapping[str, object]
-    ) -> Iterator[Tuple[Tuple[int, ...], Values]]:
-        """Slice one view: yields (group coordinates, aggregate states).
+    ) -> SliceSpec:
+        """Compile a slice into its query rectangle and run-key bounds.
 
         Builds the query rectangle of Fig. 4: bound attributes become
         degenerate or closed ranges, open attributes span the positive
@@ -170,6 +188,11 @@ class Cubetree:
         predicates natively, which is the paper's point that "in a more
         general experiment where arbitrary range queries are allowed ...
         the Cubetrees would be even faster".
+
+        The run-key bounds cover the longest leading prefix of the
+        packing order (last group-by attribute first) that is
+        equality-bound, plus at most one trailing range binding — the
+        same prefix rule the query router costs with.
         """
         view = self._by_name.get(view_name)
         if view is None:
@@ -195,13 +218,100 @@ class Cubetree:
                 lows.append(1)
                 highs.append(INT64_MAX)
         arity = view.arity
+        lo_key: List[int] = []
+        hi_key: List[int] = []
+        for pos in range(arity - 1, -1, -1):
+            if view.group_by[pos] not in bindings:
+                break
+            lo_key.append(lows[pos])
+            hi_key.append(highs[pos])
+            if lows[pos] != highs[pos]:
+                break  # a range binding closes the usable prefix
         lows.extend([0] * (self.dims - arity))
         highs.extend([0] * (self.dims - arity))
         rect = Rect(tuple(lows), tuple(highs))
-        for matched_id, point, values in self.tree.search(rect):
+        return SliceSpec(view, rect, tuple(lo_key), tuple(hi_key))
+
+    def query(
+        self,
+        view_name: str,
+        bindings: Mapping[str, object],
+        fast: bool = False,
+    ) -> Iterator[Tuple[Tuple[int, ...], Values]]:
+        """Slice one view: yields (group coordinates, aggregate states).
+
+        With ``fast=False`` the query descends the interior nodes from
+        the root (the classic R-tree search).  With ``fast=True`` and a
+        recorded leaf-run extent, the view's sorted leaf run is searched
+        directly — binary seek on the bound prefix, sequential scan
+        otherwise — producing the identical matches in identical order;
+        trees without extents (dynamic builds, old checkpoints) fall
+        back to the descent.
+        """
+        spec = self.slice_spec(view_name, bindings)
+        arity = spec.view.arity
+        if fast and self.tree.run_bounds(arity) is not None:
+            matches = self.tree.search_run(
+                arity, spec.rect, spec.lo_key, spec.hi_key
+            )
+        else:
+            matches = self.tree.search(spec.rect)
+        for matched_id, point, values in matches:
             if matched_id != arity:  # pragma: no cover - defensive
                 raise MappingError("search strayed into another view region")
             yield point[:arity], values
+
+    def query_group(
+        self,
+        view_name: str,
+        bindings_list: Sequence[Mapping[str, object]],
+    ) -> List[List[Tuple[Tuple[int, ...], Values]]]:
+        """Answer several slices of one view in a single shared run pass.
+
+        Returns one match list per input binding set, in input order;
+        each list is exactly what :meth:`query` would have produced for
+        that binding set alone.  Requires a recorded leaf-run extent —
+        callers fall back to per-query execution when
+        :meth:`has_run` is false.
+        """
+        specs = [self.slice_spec(view_name, b) for b in bindings_list]
+        if not specs:
+            return []
+        arity = specs[0].view.arity
+        # Sort the group into run order (unbounded slices first), so the
+        # shared pass opens at the earliest qualifying leaf and retires
+        # requests front to back as the scan advances.
+        order = sorted(range(len(specs)), key=lambda i: specs[i].lo_key)
+        grouped = self.tree.search_run_group(
+            arity,
+            [(specs[i].rect, specs[i].lo_key, specs[i].hi_key) for i in order],
+        )
+        results: List[List[Tuple[Tuple[int, ...], Values]]] = [
+            [] for _ in specs
+        ]
+        for position, i in enumerate(order):
+            results[i] = [
+                (point[:arity], values)
+                for _, point, values in grouped[position]
+            ]
+        return results
+
+    def has_run(self, view_name: str) -> bool:
+        """True when the view has a usable recorded leaf-run extent."""
+        view = self._by_name.get(view_name)
+        if view is None:
+            raise QueryError(f"view {view_name!r} is not in this Cubetree")
+        return self.tree.run_bounds(view.arity) is not None
+
+    def run_leaf_count(self, view_name: str) -> Optional[int]:
+        """Number of leaves in the view's packed run (None if unknown)."""
+        view = self._by_name.get(view_name)
+        if view is None:
+            raise QueryError(f"view {view_name!r} is not in this Cubetree")
+        bounds = self.tree.run_bounds(view.arity)
+        if bounds is None:
+            return None
+        return bounds[1] - bounds[0] + 1
 
     # ------------------------------------------------------------------
     # statistics

@@ -17,8 +17,17 @@ on an identical device.
 
 from __future__ import annotations
 
+import os
 import time
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.constants import DEFAULT_BUFFER_PAGES
 from repro.core.answer import finalize_matches, split_bindings
@@ -41,12 +50,24 @@ from repro.storage.disk import DiskManager
 from repro.warehouse.hierarchy import Hierarchy
 from repro.warehouse.star import StarSchema
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.query.batch import BatchResult
+
 Row = Tuple[object, ...]
 
 _REG = get_registry()
 _OBS_QUERIES = _REG.counter("query.cubetree.count")
 _OBS_QUERY_SIM_MS = _REG.histogram("query.cubetree.simulated_ms")
 _OBS_QUERY_WALL_MS = _REG.histogram("query.cubetree.wall_ms")
+_OBS_BATCHES = _REG.counter("query.cubetree.batches")
+_OBS_BATCHED_QUERIES = _REG.counter("query.cubetree.batched_queries")
+
+
+def _env_fast_scans() -> bool:
+    """Default for the engine's ``fast_scans`` flag (``REPRO_FAST_SCANS``)."""
+    return os.environ.get("REPRO_FAST_SCANS", "").strip().lower() in (
+        "1", "true", "yes", "on",
+    )
 
 
 class CubetreeEngine:
@@ -60,12 +81,22 @@ class CubetreeEngine:
         sort_chunk_rows: int = 100_000,
         disk: Optional[DiskManager] = None,
         workers: Optional[int] = None,
+        fast_scans: Optional[bool] = None,
     ) -> None:
         """``workers`` (default: ``REPRO_WORKERS``, i.e. 1) parallelizes
         the pure-CPU stages — cube-computation branches and merge-pack run
         preparation — across processes; all simulated I/O stays in this
-        process in serial order, so costs are identical at any count."""
+        process in serial order, so costs are identical at any count.
+
+        ``fast_scans`` (default: ``REPRO_FAST_SCANS``, i.e. off) makes
+        single queries execute through the packed-run fast path and the
+        router cost plans accordingly; off, :meth:`query` keeps the
+        classic interior descent and its exact simulated I/O.  Batched
+        execution (:meth:`query_batch`) always uses the run pass."""
         self.schema = schema
+        self.fast_scans = (
+            _env_fast_scans() if fast_scans is None else fast_scans
+        )
         self.disk = disk if disk is not None else DiskManager()
         self.pool = BufferPool(self.disk, capacity=buffer_pages)
         self.workers = worker_count() if workers is None else max(1, workers)
@@ -90,6 +121,7 @@ class CubetreeEngine:
                 attr: float(schema.distinct_count(attr))
                 for attr in schema.groupable_attributes()
             },
+            fast_scans=self.fast_scans,
         )
         self.forest: Optional[CubetreeForest] = None
         self.base_views: List[ViewDefinition] = []
@@ -154,16 +186,30 @@ class CubetreeEngine:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
-    def query(self, query: SliceQuery) -> QueryResult:
-        """Answer one slice query through the forest."""
+    def query(
+        self, query: SliceQuery, fast: Optional[bool] = None
+    ) -> QueryResult:
+        """Answer one slice query through the forest.
+
+        ``fast`` overrides the engine's ``fast_scans`` default for this
+        query: True plans with the fast cost model, which prices the
+        packed-run execution (binary seek + sequential scan; identical
+        rows) against the classic interior descent and takes whichever
+        is cheaper; False forces classic planning and descent.
+        """
         forest = self._require_forest()
+        use_fast = self.fast_scans if fast is None else fast
+        if use_fast:
+            self._protect_index_pages()
         wall_start = time.perf_counter()
         io_start = self.disk.cost_model.snapshot()
 
-        decision = self.router.route(query, forest.access_paths())
+        decision = self.router.route(
+            query, forest.access_paths(), fast_scans=use_fast
+        )
         view = decision.path.view
         direct, residual = split_bindings(view, query, self.hierarchies)
-        matches = forest.query_view(view.name, direct)
+        matches = forest.query_view(view.name, direct, fast=decision.use_run)
         rows = finalize_matches(
             matches, view, query, self.hierarchies, residual
         )
@@ -178,6 +224,36 @@ class CubetreeEngine:
             wall_ms=wall_ms,
             plan=decision.describe(),
         )
+
+    def query_batch(self, queries: Sequence[SliceQuery]) -> "BatchResult":
+        """Answer a batch of slice queries with one shared run pass per
+        routed view (see :mod:`repro.query.batch`).
+
+        Each query's rows are identical to what :meth:`query` returns for
+        it alone; the batch-level I/O and wall totals live on the result.
+        """
+        from repro.query.batch import execute_batch
+
+        forest = self._require_forest()
+        self._protect_index_pages()
+        wall_start = time.perf_counter()
+        io_start = self.disk.cost_model.snapshot()
+
+        with trace("engine.query_batch", queries=len(queries)):
+            batch = execute_batch(
+                self.router, forest, self.hierarchies, queries
+            )
+        batch.io = self.disk.cost_model.stats - io_start
+        batch.wall_ms = (time.perf_counter() - wall_start) * 1000.0
+        _OBS_BATCHES.value += 1
+        _OBS_BATCHED_QUERIES.value += batch.batched
+        _OBS_QUERIES.value += len(queries)
+        return batch
+
+    def _protect_index_pages(self) -> None:
+        """Shelter interior/root pages from scan churn (idempotent)."""
+        if self.forest is not None:
+            self.forest.protect_index_pages()
 
     # ------------------------------------------------------------------
     # bulk-incremental updates

@@ -166,6 +166,14 @@ class CubetreeForest:
             tree.tree.owned_page_ids = [
                 int(p) for p in state["owned_page_ids"]
             ]
+            # Checkpoints written before leaf-run extents existed simply
+            # lack the key; such trees fall back to the interior descent.
+            tree.tree.view_extents = {
+                int(view_id): (int(first), int(last))
+                for view_id, (first, last) in state.get(
+                    "view_extents", {}
+                ).items()
+            }
         self._paths = None
 
     def set_view_sizes(self, sizes: Mapping[str, int]) -> None:
@@ -182,10 +190,44 @@ class CubetreeForest:
         self._paths = None
 
     def query_view(
-        self, view_name: str, bindings: Mapping[str, int]
+        self,
+        view_name: str,
+        bindings: Mapping[str, int],
+        fast: bool = False,
     ) -> Iterator[Tuple[Tuple[int, ...], Tuple[float, ...]]]:
         """Slice one view (see Cubetree.query)."""
-        return self._tree_for(view_name).query(view_name, bindings)
+        return self._tree_for(view_name).query(view_name, bindings, fast=fast)
+
+    def query_view_group(
+        self,
+        view_name: str,
+        bindings_list: Sequence[Mapping[str, int]],
+    ) -> List[List[Tuple[Tuple[int, ...], Tuple[float, ...]]]]:
+        """Answer several slices of one view in one shared run pass
+        (see Cubetree.query_group)."""
+        return self._tree_for(view_name).query_group(view_name, bindings_list)
+
+    def has_run(self, view_name: str) -> bool:
+        """True when the view's leaf-run extent is recorded."""
+        return self._tree_for(view_name).has_run(view_name)
+
+    def protect_index_pages(self) -> int:
+        """Shelter every interior/root page from scan-driven eviction.
+
+        Fast run scans flow through the pool's probationary segment, but
+        the descent pages they bypass are still the hot set for any
+        residual classic searches; protecting them keeps the paper's
+        "top-level pages stay resident" property under scan pressure.
+        Returns the number of protected page ids.
+        """
+        protected = 0
+        for tree in self.cubetrees:
+            leaves = set(tree.tree.leaf_page_ids)
+            for page_id in tree.tree.owned_page_ids:
+                if page_id not in leaves:
+                    self.pool.protect_page(page_id)
+                    protected += 1
+        return protected
 
     # ------------------------------------------------------------------
     def access_paths(self) -> List[AccessPath]:
@@ -203,6 +245,7 @@ class CubetreeForest:
             for name in self.view_names():
                 view = self.view_definition(name)
                 order = tuple(reversed(view.group_by))
+                tree = self._tree_for(name)
                 paths.append(
                     AccessPath(
                         view,
@@ -212,6 +255,7 @@ class CubetreeForest:
                             view.arity, view.total_state_width
                         ),
                         clustered=order,
+                        run_leaves=tree.run_leaf_count(name),
                     )
                 )
             self._paths = paths

@@ -148,6 +148,15 @@ def _tree_state(tree) -> dict:
         "count": int(tree.tree.count),
         "leaf_page_ids": [int(p) for p in tree.tree.leaf_page_ids],
         "owned_page_ids": [int(p) for p in tree.tree.owned_page_ids],
+        # Per-view packed leaf-run extents (JSON forces string keys;
+        # restore re-ints them).  Checkpoints written before this field
+        # existed simply lack the key and restore with no extents.
+        "view_extents": {
+            str(view_id): [int(first), int(last)]
+            for view_id, (first, last) in sorted(
+                tree.tree.view_extents.items()
+            )
+        },
     }
 
 

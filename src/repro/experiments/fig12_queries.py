@@ -32,28 +32,53 @@ def run(config: Optional[ExperimentConfig] = None, verbose: bool = True) -> Dict
     qgen = RandomQueryGenerator(data.schema, seed=config.query_seed)
 
     per_node: Dict[str, Dict[str, float]] = {}
-    rows = []
+    workload = []
     for node in FIG12_NODES:
-        queries = qgen.generate_for_node(node, config.queries_per_node)
+        queries = list(
+            qgen.generate_for_node(node, config.queries_per_node)
+        )
+        workload.append((node, queries))
         cube_ms = sum(cube.query(q).io.total_ms for q in queries)
         conv_ms = sum(conv.query(q).io.total_ms for q in queries)
+        per_node[node_label(node)] = {
+            "cubetrees": cube_ms,
+            "conventional": conv_ms,
+        }
+    # The same workload once more as one batch per node: shared run
+    # passes where the cost gate prices them cheaper, per-query
+    # otherwise.  Measured in a second loop from a cold buffer pool so
+    # the batch scans do not perturb the per-query series above, and so
+    # each batch is priced like the bench `queries` suite (cold cache)
+    # rather than riding on pages the serial pass just faulted in.
+    for node, queries in workload:
+        cube.pool.clear()
+        per_node[node_label(node)]["batched"] = (
+            cube.query_batch(queries).io.total_ms
+        )
+    rows = []
+    for node, _queries in workload:
         label = node_label(node)
-        per_node[label] = {"cubetrees": cube_ms, "conventional": conv_ms}
+        cube_ms = per_node[label]["cubetrees"]
+        conv_ms = per_node[label]["conventional"]
         speedup = f"{conv_ms / cube_ms:.1f}x" if cube_ms else "-"
         rows.append([
-            label, fmt_duration(conv_ms), fmt_duration(cube_ms), speedup,
+            label, fmt_duration(conv_ms), fmt_duration(cube_ms),
+            fmt_duration(per_node[label]["batched"]), speedup,
         ])
 
     total_cube = sum(v["cubetrees"] for v in per_node.values())
     total_conv = sum(v["conventional"] for v in per_node.values())
+    total_batch = sum(v["batched"] for v in per_node.values())
     rows.append([
         "TOTAL", fmt_duration(total_conv), fmt_duration(total_cube),
+        fmt_duration(total_batch),
         f"{total_conv / total_cube:.1f}x" if total_cube else "-",
     ])
     print_table(
         f"Figure 12: total time of {config.queries_per_node} queries per "
         f"view (simulated I/O; paper shows ~10x overall)",
-        ["view", "Conventional", "Cubetrees", "speedup"],
+        ["view", "Conventional", "Cubetrees", "Cubetrees (batched)",
+         "speedup"],
         rows,
         verbose,
     )
@@ -61,7 +86,11 @@ def run(config: Optional[ExperimentConfig] = None, verbose: bool = True) -> Dict
         "per_node": per_node,
         "total_cubetrees_ms": total_cube,
         "total_conventional_ms": total_conv,
+        "total_batched_ms": total_batch,
         "ratio": total_conv / total_cube if total_cube else float("inf"),
+        "batch_ratio": (
+            total_cube / total_batch if total_batch else float("inf")
+        ),
     }
 
 

@@ -52,6 +52,18 @@ _DEFAULT_SCALES = {
     "scalability": 0.0005,
 }
 
+#: Default queries per lattice node.  The queries suite is a throughput
+#: workload (Fig. 13's shape): batches must be large enough to amortize
+#: a shared run pass, or the cost gate correctly refuses to share and
+#: the suite measures nothing but the fallback.
+_DEFAULT_QUERIES = {
+    "smoke": 5,
+    "loading": 5,
+    "queries": 50,
+    "updates": 5,
+    "scalability": 5,
+}
+
 
 # ----------------------------------------------------------------------
 # recording
@@ -87,17 +99,7 @@ class BenchRun:
                     "sequential_writes": io.sequential_writes,
                     "random_writes": io.random_writes,
                 },
-                "buffer": {
-                    "hits": buf.hits,
-                    "misses": buf.misses,
-                    "evictions": buf.evictions,
-                    "new_pages": buf.new_pages,
-                    "accesses": buf.accesses,
-                    # null (not 0.0) when the phase made no lookups.
-                    "hit_ratio": (
-                        buf.hit_ratio if buf.accesses > 0 else None
-                    ),
-                },
+                "buffer": _buffer_record(buf),
             }
         )
 
@@ -142,7 +144,7 @@ def run_suite(
     suite: str,
     scale: Optional[float] = None,
     seed: int = 42,
-    queries_per_node: int = 5,
+    queries_per_node: Optional[int] = None,
 ) -> Dict[str, object]:
     """Run one named suite and return its JSON-ready result dict.
 
@@ -154,6 +156,8 @@ def run_suite(
         raise ValueError(f"unknown suite {suite!r}; pick one of {SUITES}")
     if scale is None:
         scale = _DEFAULT_SCALES[suite]
+    if queries_per_node is None:
+        queries_per_node = _DEFAULT_QUERIES[suite]
 
     registry = get_registry()
     registry.reset()
@@ -262,14 +266,24 @@ def _absolute_phase(name: str, pool, wall_ms: float = 0.0) -> Dict[str, object]:
             "sequential_writes": io.sequential_writes,
             "random_writes": io.random_writes,
         },
-        "buffer": {
-            "hits": buf.hits,
-            "misses": buf.misses,
-            "evictions": buf.evictions,
-            "new_pages": buf.new_pages,
-            "accesses": buf.accesses,
-            "hit_ratio": buf.hit_ratio if buf.accesses > 0 else None,
-        },
+        "buffer": _buffer_record(buf),
+    }
+
+
+def _buffer_record(buf) -> Dict[str, object]:
+    """The per-phase buffer-stats dict (shared by both phase builders)."""
+    return {
+        "hits": buf.hits,
+        "misses": buf.misses,
+        "evictions": buf.evictions,
+        "new_pages": buf.new_pages,
+        "unpins": buf.unpins,
+        "scan_admissions": buf.scan_admissions,
+        "promotions": buf.promotions,
+        "readahead_pages": buf.readahead_pages,
+        "accesses": buf.accesses,
+        # null (not 0.0) when the phase made no lookups.
+        "hit_ratio": buf.hit_ratio if buf.accesses > 0 else None,
     }
 
 
@@ -307,7 +321,15 @@ def _suite_loading(scale: float, seed: int, queries: int) -> Dict[str, object]:
 
 
 def _suite_queries(scale: float, seed: int, queries: int) -> Dict[str, object]:
-    """Query throughput over every Fig. 12 lattice node."""
+    """Query cost over every Fig. 12 lattice node, three execution modes.
+
+    Per node the same query set runs three ways from a cold cache:
+    ``serial:<node>`` through the classic interior descent (the guarded
+    baseline), ``fast:<node>`` through the packed-run fast path, and
+    ``batch:<node>`` through one shared run pass.  The mode phases answer
+    identical queries with identical rows, so their simulated-ms ratio
+    *is* the fast-path/batching win.
+    """
     from repro.experiments.common import (
         FIG12_NODES,
         build_cubetree_engine,
@@ -321,10 +343,26 @@ def _suite_queries(scale: float, seed: int, queries: int) -> Dict[str, object]:
     qgen = RandomQueryGenerator(data.schema, seed=config.query_seed)
 
     for node in FIG12_NODES:
-        label = "queries:" + (",".join(node) or "none")
-        with run.phase(label, engine.pool):
-            for query in qgen.generate_for_node(node, queries):
-                engine.query(query)
+        label = ",".join(node) or "none"
+        node_queries = list(qgen.generate_for_node(node, queries))
+
+        # Fast/batch modes protect index pages; drop the shelter before
+        # the serial phase so it measures the untouched classic engine.
+        for page_id in engine.pool.protected_page_ids:
+            engine.pool.unprotect_page(page_id)
+        engine.pool.clear()
+        with run.phase(f"serial:{label}", engine.pool):
+            for query in node_queries:
+                engine.query(query, fast=False)
+
+        engine.pool.clear()
+        with run.phase(f"fast:{label}", engine.pool):
+            for query in node_queries:
+                engine.query(query, fast=True)
+
+        engine.pool.clear()
+        with run.phase(f"batch:{label}", engine.pool):
+            engine.query_batch(node_queries)
     return run.result()
 
 

@@ -1,0 +1,249 @@
+"""Batched multi-query execution over shared leaf-run passes.
+
+The paper's Fig. 13 throughput experiment fires many slice queries at the
+same small set of materialized views.  Executed one at a time, every query
+pays its own descent (or run seek) over a view whose leaves its neighbours
+are about to read again.  This module instead:
+
+1. routes every query of a batch exactly as single-query execution would
+   (same router, same cost model — so each query is answered by the same
+   view either way);
+2. groups the queries by the view the router assigned them to, then
+   merges groups whose views are sort-order replicas of the same data —
+   single-query routing picks the replica whose clustering matches each
+   query's bound prefix, but a shared scan reads every leaf regardless
+   of order, so one pass over one replica's run answers them all; and
+3. answers each merged group in **one shared pass** over that view's
+   packed leaf run (:meth:`repro.rtree.tree.RTree.search_run_group`),
+   with the group sorted into run order so the pass reads each leaf at
+   most once, sequentially — *when the cost model prices that pass below
+   the cost of the group's individual plans run back to back*.  A few
+   highly selective queries scattered over a large run are cheaper
+   answered one by one (each reads two or three leaves; a shared pass
+   would walk the whole span between them), so such groups fall back to
+   per-query execution using each query's own cheapest plan.
+
+Per-query answers are byte-identical to serial execution: the shared pass
+yields every query its own matches in run order — the same points, in the
+same order, that a solo :meth:`search`/:meth:`search_run` produces — and
+:func:`finalize_matches` folds and sorts them per query as usual.  Views
+without a recorded leaf-run extent (dynamic trees, checkpoints predating
+the field) fall back to per-query execution inside the batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.answer import finalize_matches, split_bindings
+from repro.query.result import QueryResult
+from repro.query.router import (
+    _DESCENT_PAGES,
+    QueryRouter,
+    RoutingDecision,
+    run_scan_cost,
+    run_seek_probes,
+)
+from repro.query.slice import SliceQuery
+from repro.storage.iomodel import IOStats
+
+
+@dataclass
+class BatchResult:
+    """Answers for one query batch plus batch-level execution totals.
+
+    ``results`` line up with the input queries.  Individual results carry
+    empty ``io``/``wall_ms`` — a shared pass cannot honestly attribute
+    page reads to single queries — so the totals live here instead.
+    """
+
+    results: List[QueryResult] = field(default_factory=list)
+    io: IOStats = field(default_factory=IOStats)
+    wall_ms: float = 0.0
+    #: Shared run passes executed (= distinct views routed to).
+    groups: int = 0
+    #: Queries answered through a shared pass (vs per-query fallback).
+    batched: int = 0
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+def route_batch(
+    router: QueryRouter,
+    paths: Sequence,
+    queries: Sequence[SliceQuery],
+) -> Tuple[List[RoutingDecision], Dict[str, List[int]]]:
+    """Route every query and group query indices by assigned view.
+
+    Routing is identical to fast single-query execution (the fast cost
+    model is engaged, as batch execution can always use the runs), so
+    batching never changes *which* view answers a query — only how its
+    leaves are read.  Group lists preserve input order; callers re-sort
+    into run order.
+    """
+    decisions = [
+        router.route(query, paths, fast_scans=True) for query in queries
+    ]
+    groups: Dict[str, List[int]] = {}
+    for index, decision in enumerate(decisions):
+        groups.setdefault(decision.view_name, []).append(index)
+    return decisions, groups
+
+
+def execute_batch(
+    router: QueryRouter,
+    forest,
+    hierarchies: Mapping[str, tuple],
+    queries: Sequence[SliceQuery],
+) -> BatchResult:
+    """Answer a batch of slice queries with one pass per routed view.
+
+    The caller (``CubetreeEngine.query_batch``) measures I/O and wall
+    time around this call and fills in the :class:`BatchResult` totals.
+    """
+    batch = BatchResult(results=[QueryResult() for _ in queries])
+    if not queries:
+        return batch
+    decisions, groups = route_batch(router, forest.access_paths(), queries)
+    for view_names in _merge_replica_groups(decisions, groups):
+        indices = sorted(i for name in view_names for i in groups[name])
+        target = _scan_target(forest, decisions, groups, view_names)
+        if target is not None and _shared_pass_cheaper(
+            router,
+            decisions[groups[target][0]].path,
+            [decisions[i] for i in indices],
+        ):
+            view = forest.view_definition(target)
+            splits = [
+                split_bindings(view, queries[i], hierarchies)
+                for i in indices
+            ]
+            match_lists = forest.query_view_group(
+                target, [direct for direct, _ in splits]
+            )
+            batch.batched += len(indices)
+            batch.groups += 1
+            _finalize_group(
+                batch, queries, hierarchies, decisions, view,
+                indices, splits, match_lists, " [batched]",
+            )
+            continue
+        # Fallback: each routed view's queries run their own best plans.
+        for view_name in view_names:
+            view_indices = groups[view_name]
+            view = decisions[view_indices[0]].path.view
+            splits = [
+                split_bindings(view, queries[i], hierarchies)
+                for i in view_indices
+            ]
+            match_lists = [
+                list(
+                    forest.query_view(
+                        view_name, direct, fast=decisions[i].use_run
+                    )
+                )
+                for i, (direct, _) in zip(view_indices, splits)
+            ]
+            batch.groups += 1
+            _finalize_group(
+                batch, queries, hierarchies, decisions, view,
+                view_indices, splits, match_lists, "",
+            )
+    return batch
+
+
+def _finalize_group(
+    batch: BatchResult,
+    queries: Sequence[SliceQuery],
+    hierarchies: Mapping[str, tuple],
+    decisions: Sequence[RoutingDecision],
+    view,
+    indices: Sequence[int],
+    splits: Sequence[tuple],
+    match_lists: Sequence[list],
+    suffix: str,
+) -> None:
+    """Fold each query's matches into its final rows and store them."""
+    for index, matches, (_direct, residual) in zip(
+        indices, match_lists, splits
+    ):
+        rows = finalize_matches(
+            matches, view, queries[index], hierarchies, residual
+        )
+        batch.results[index] = QueryResult(
+            rows=rows, plan=decisions[index].describe() + suffix
+        )
+
+
+def _merge_replica_groups(
+    decisions: Sequence[RoutingDecision],
+    groups: Mapping[str, List[int]],
+) -> List[List[str]]:
+    """Partition routed view names into replica classes.
+
+    Views with the same group-by *set* hold the same rows in different
+    physical orders (the Datablade's replication); one shared scan can
+    answer every query routed to any of them.  Returns sorted name lists
+    in deterministic order.
+    """
+    classes: Dict[frozenset, List[str]] = {}
+    for view_name in sorted(groups):
+        view = decisions[groups[view_name][0]].path.view
+        classes.setdefault(frozenset(view.group_by), []).append(view_name)
+    return [classes[key] for key in sorted(classes, key=sorted)]
+
+
+def _scan_target(
+    forest,
+    decisions: Sequence[RoutingDecision],
+    groups: Mapping[str, List[int]],
+    view_names: Sequence[str],
+) -> Optional[str]:
+    """The replica whose run a merged shared pass should read, if any."""
+    candidates = [name for name in view_names if forest.has_run(name)]
+    if not candidates:
+        return None
+    def run_length(name: str) -> Tuple[int, str]:
+        path = decisions[groups[name][0]].path
+        return (path.run_leaves or 0, name)
+    return min(candidates, key=run_length)
+
+
+def _shared_pass_cheaper(
+    router: QueryRouter,
+    path,
+    group: Sequence[RoutingDecision],
+) -> bool:
+    """Should this view group run as one shared pass over the leaf run?
+
+    Compares a conservative shared-pass estimate — one binary seek plus,
+    at worst, the whole run read sequentially — against the cost of
+    running the group's individual best plans back to back.  The serial
+    side is *caching-aware*: consecutive descents into the same view
+    re-read the same interior pages, so only the group's first descent
+    pays them (the router's single-query estimate charges every query).
+    The shared estimate over-counts a bounded group's span (we do not
+    know where its prefixes land without reading leaves), so the gate
+    only shares when the pass wins even in the worst case; per-query
+    answers are identical either way.
+    """
+    if path.run_leaves is None:
+        return False
+    run_pages = float(path.run_leaves)
+    shared_est = (
+        run_seek_probes(run_pages) * router.random_ms
+        + run_scan_cost(run_pages, router.random_ms, router.sequential_ms)
+    )
+    serial_est = 0.0
+    seen_descent: set = set()
+    for decision in group:
+        cost = decision.est_cost
+        if decision.order is not None and not decision.use_run:
+            # Interiors are shared between descents into the same view.
+            if decision.view_name in seen_descent:
+                cost -= _DESCENT_PAGES * router.random_ms
+            seen_descent.add(decision.view_name)
+        serial_est += cost
+    return shared_est < serial_est

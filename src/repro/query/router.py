@@ -32,6 +32,21 @@ from repro.relational.view import ViewDefinition
 #: Pages touched descending an index to its first qualifying entry.
 _DESCENT_PAGES = 3
 
+
+def run_scan_cost(
+    run_pages: float,
+    random_ms: float = RANDOM_IO_MS,
+    sequential_ms: float = SEQUENTIAL_IO_MS,
+) -> float:
+    """Cost of scanning a packed leaf run end to end: one positioning
+    seek, then purely sequential reads."""
+    return random_ms + max(0.0, run_pages - 1.0) * sequential_ms
+
+
+def run_seek_probes(run_pages: float) -> float:
+    """Leaf pages a binary seek over a run's first-keys touches."""
+    return max(1.0, math.ceil(math.log2(max(2.0, run_pages))))
+
 _REG = get_registry()
 _OBS_DECISIONS = _REG.counter("router.decisions")
 _OBS_SCANS = _REG.counter("router.plans.scan")
@@ -66,6 +81,11 @@ class AccessPath:
     orders: Tuple[Tuple[str, ...], ...] = ()
     rows_per_page: int = 100
     clustered: Optional[Tuple[str, ...]] = None
+    #: Leaves in the view's packed Cubetree run, when a leaf-run extent
+    #: is recorded (None for conventional paths and legacy trees).  Lets
+    #: a fast-scan-aware router price run scans and binary-seek prefix
+    #: access instead of the generic descent.
+    run_leaves: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -77,11 +97,16 @@ class RoutingDecision:
     prefix: Tuple[str, ...]           # bound attrs usable as access prefix
     est_cost: float                   # estimated milliseconds of I/O
     needs_reaggregation: bool         # view is finer than the query node
+    #: Execute through the packed leaf run (binary seek / run scan)
+    #: instead of the classic interior descent.  Only set on plans the
+    #: fast cost model generated *and* priced cheaper than the descent.
+    use_run: bool = False
 
     def describe(self) -> str:
         """Human-readable one-line rendering."""
         via = f" via {self.order}" if self.order else " (scan)"
-        return f"{self.view_name}{via} ~{self.est_cost:.1f} ms"
+        run = " [run]" if self.use_run else ""
+        return f"{self.view_name}{via}{run} ~{self.est_cost:.1f} ms"
 
     @property
     def view_name(self) -> str:
@@ -98,22 +123,40 @@ class QueryRouter:
         distinct_counts: Mapping[str, float],
         random_ms: float = RANDOM_IO_MS,
         sequential_ms: float = SEQUENTIAL_IO_MS,
+        fast_scans: bool = False,
     ) -> None:
+        """``fast_scans=True`` makes the cost model price paths with a
+        recorded leaf-run extent (:attr:`AccessPath.run_leaves`) as the
+        packed-run fast path executes them: an unbound access is one
+        positioning seek plus a sequential run scan, and a prefix access
+        is a binary seek over the run's leaves instead of a fixed-depth
+        interior descent.  Off by default so existing single-query plans
+        (and their simulated-I/O estimates) are unchanged."""
         self.lattice = lattice
         self.distinct = dict(distinct_counts)
         self.random_ms = random_ms
         self.sequential_ms = sequential_ms
+        self.fast_scans = fast_scans
 
     def route(
-        self, query: SliceQuery, paths: Sequence[AccessPath]
+        self,
+        query: SliceQuery,
+        paths: Sequence[AccessPath],
+        fast_scans: Optional[bool] = None,
     ) -> RoutingDecision:
-        """Choose the cheapest plan, or raise QueryError if nothing answers."""
+        """Choose the cheapest plan, or raise QueryError if nothing answers.
+
+        ``fast_scans`` overrides the router's default for this one call —
+        the engine passes its per-query ``fast`` flag through so a fast
+        execution is planned with the fast cost model even on a router
+        constructed with ``fast_scans=False``.
+        """
         best: Optional[RoutingDecision] = None
         node = tuple(query.node)
         for path in paths:
             if not self.lattice.derives_from(node, path.view.group_by):
                 continue
-            decision = self._best_plan_for(path, query)
+            decision = self._best_plan_for(path, query, fast_scans)
             if best is None or self._better(decision, best):
                 best = decision
         if best is None:
@@ -139,18 +182,47 @@ class QueryRouter:
         width = high - low + 1
         return max(1.0, self.distinct.get(attr, 1.0) / width)
 
-    def _best_plan_for(
-        self, path: AccessPath, query: SliceQuery
-    ) -> RoutingDecision:
+    def candidate_plans(
+        self,
+        path: AccessPath,
+        query: SliceQuery,
+        fast_scans: Optional[bool] = None,
+    ) -> List[RoutingDecision]:
+        """Every plan the cost model considers for one path.
+
+        The scan plan comes first, then one plan per order with a usable
+        prefix — the enumeration :meth:`route` minimizes over, exposed so
+        tests can check the choice against the brute-force minimum.  With
+        the fast cost model engaged (``fast_scans``, defaulting to the
+        router's flag) and a recorded run extent, each physical
+        alternative appears as its own candidate — classic descent *and*
+        run seek/scan — so minimizing picks the cheaper execution, not
+        just the cheaper view.
+        """
         needs_reagg = frozenset(path.view.group_by) != query.node
         data_pages = max(1.0, path.size / max(path.rows_per_page, 1))
         equality = set(query.binding_map)
         ranged = set(query.range_map)
+        use_fast = self.fast_scans if fast_scans is None else fast_scans
+        fast_run = use_fast and path.run_leaves is not None
+        run_pages = float(path.run_leaves or 0)
 
-        # Plan 0: sequential scan.
-        best_cost = self.random_ms + data_pages * self.sequential_ms
-        best_order: Optional[Tuple[str, ...]] = None
-        best_prefix: Tuple[str, ...] = ()
+        # Plan 0: sequential scan (classic: descend, then walk every
+        # leaf; pages estimated from the view size).
+        scan_cost = self.random_ms + data_pages * self.sequential_ms
+        plans = [RoutingDecision(path, None, (), scan_cost, needs_reagg)]
+        if fast_run:
+            # Fast alternative: the recorded extent bounds the scan to
+            # exactly the view's own leaves, read sequentially.
+            plans.append(
+                RoutingDecision(
+                    path, None, (),
+                    run_scan_cost(
+                        run_pages, self.random_ms, self.sequential_ms
+                    ),
+                    needs_reagg, use_run=True,
+                )
+            )
 
         # Ordered accesses: a usable prefix is any run of equality-bound
         # attributes, optionally ending with one range-bound attribute
@@ -172,23 +244,53 @@ class QueryRouter:
                 selectivity *= self._attr_selectivity(attr, query)
             matches = max(1.0, path.size / selectivity)
             match_pages = max(1.0, matches / max(path.rows_per_page, 1))
-            cost = _DESCENT_PAGES * self.random_ms
-            if path.clustered is not None and tuple(
+            clustered = path.clustered is not None and tuple(
                 path.clustered[: len(prefix)]
-            ) == tuple(prefix):
+            ) == tuple(prefix)
+            if clustered:
                 # Matches are physically contiguous.
+                cost = _DESCENT_PAGES * self.random_ms
                 cost += self.random_ms + (match_pages - 1) * self.sequential_ms
             else:
                 # One random data page per match (capped by the view size).
+                cost = _DESCENT_PAGES * self.random_ms
                 cost += min(matches, data_pages) * self.random_ms
-            if cost < best_cost:
-                best_cost = cost
-                best_order = order
-                best_prefix = tuple(prefix)
+            plans.append(
+                RoutingDecision(
+                    path, order, tuple(prefix), cost, needs_reagg
+                )
+            )
+            if fast_run and clustered:
+                # Fast alternative: binary seek over the run's leaf
+                # first-keys replaces the fixed-depth interior descent;
+                # the matches then stream sequentially from the first
+                # qualifying leaf.  Enumerated *after* the descent plan,
+                # so an exact cost tie keeps the classic execution.
+                probes = run_seek_probes(run_pages)
+                cost = probes * self.random_ms
+                cost += self.random_ms + (match_pages - 1) * self.sequential_ms
+                plans.append(
+                    RoutingDecision(
+                        path, order, tuple(prefix), cost, needs_reagg,
+                        use_run=True,
+                    )
+                )
+        return plans
 
-        return RoutingDecision(
-            path, best_order, best_prefix, best_cost, needs_reagg
-        )
+    def _best_plan_for(
+        self,
+        path: AccessPath,
+        query: SliceQuery,
+        fast_scans: Optional[bool] = None,
+    ) -> RoutingDecision:
+        plans = self.candidate_plans(path, query, fast_scans)
+        # First strictly-cheaper plan wins, so ties keep the scan plan —
+        # the enumeration order candidate_plans guarantees.
+        best = plans[0]
+        for plan in plans[1:]:
+            if plan.est_cost < best.est_cost:
+                best = plan
+        return best
 
     @staticmethod
     def _better(a: RoutingDecision, b: RoutingDecision) -> bool:

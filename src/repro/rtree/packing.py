@@ -158,6 +158,7 @@ def _pack_rtree(
         if not run.entries:
             continue
         cap = leaf_capacity(run.arity, run.n_aggs)
+        run_first: int | None = None
         i = 0
         while i < len(run.entries):
             take = min(cap, len(run.entries) - i)
@@ -173,10 +174,17 @@ def _pack_rtree(
             level.append((leaf.mbr(dims), page.page_id))
             tree.leaf_page_ids.append(page.page_id)
             tree.owned_page_ids.append(page.page_id)
+            if run_first is None:
+                run_first = page.page_id
             count += take
             i += take
             _OBS_PACK_ENTRIES.value += take
             _OBS_PACK_LEAVES.value += 1
+        if run_first is not None:
+            tree.view_extents[run.view_id] = (
+                run_first,
+                tree.leaf_page_ids[-1],
+            )
 
     if prev_leaf is None:
         return tree  # no data: empty tree
@@ -231,6 +239,8 @@ def free_tree(pool: BufferPool, tree: RTree) -> int:
     tree.root_page_id = -1
     tree.leaf_page_ids = []
     tree.owned_page_ids = []
+    tree.view_extents = {}
+    tree._run_index.clear()
     tree.count = 0
     tree.height = 0
     _OBS_FREED_PAGES.value += len(freed)

@@ -12,7 +12,8 @@ Pin protocol: ``_fetch_node`` pins and returns ``(node, page)``; callers
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Tuple
+from contextlib import closing
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import InvalidCoordinateError, StorageError
 from repro.obs import get_registry
@@ -35,6 +36,30 @@ Match = Tuple[int, Point, Values]
 _REG = get_registry()
 _OBS_SEARCHES = _REG.counter("rtree.searches")
 _OBS_INSERTS = _REG.counter("rtree.inserts")
+_OBS_RUN_SEARCHES = _REG.counter("rtree.run_searches")
+_OBS_RUN_SCANS = _REG.counter("rtree.run_scans")
+
+#: Leaves prefetched per read-ahead window during a run scan.
+RUN_READAHEAD = 8
+
+#: Reversed-coordinate key — the order packed runs are sorted in.
+RunKey = Tuple[int, ...]
+#: A slice request against one view's leaf run: the full filter rect plus
+#: lower/upper bounds on the leading run-key prefix (empty = unbounded).
+RunRequest = Tuple[Rect, RunKey, RunKey]
+
+
+def _discriminating_dim(rect: Rect) -> Optional[int]:
+    """A dimension whose equality bound can index a run request.
+
+    Zero is the padding value every point of a run shares, so a ``0==0``
+    bound carries no information; returns None for pure scans and
+    all-range requests, which must be tested against every point.
+    """
+    for dim, (lo, hi) in enumerate(zip(rect.lows, rect.highs)):
+        if lo == hi and lo != 0:
+            return dim
+    return None
 
 
 class RTree:
@@ -69,6 +94,15 @@ class RTree:
         #: the packer and by dynamic inserts so the tree can be retired
         #: without re-reading it from disk.
         self.owned_page_ids: List[int] = []
+        #: Per-view leaf-run extents ``view_id -> (first, last)`` leaf
+        #: page ids, recorded by the packer and persisted in the catalog.
+        #: Empty for dynamically built trees and for trees restored from
+        #: checkpoints that predate the field — run fast paths then fall
+        #: back to the interior descent.
+        self.view_extents: Dict[int, Tuple[int, int]] = {}
+        #: Lazily resolved ``view_id -> (lo, hi)`` positions of each
+        #: extent inside :attr:`leaf_page_ids`.
+        self._run_index: Dict[int, Tuple[int, int]] = {}
 
     # ------------------------------------------------------------------
     # queries
@@ -88,25 +122,264 @@ class RTree:
         yield from self._search(self.root_page_id, rect)
 
     def scan_leaf_chain(self) -> Iterator[RLeafNode]:
-        """Yield leaves in packed (sort) order via the next-leaf chain."""
+        """Yield leaves in packed (sort) order via the next-leaf chain.
+
+        Each page's pin is released in a ``finally`` block, so a consumer
+        that abandons the iterator early (``break``, exception,
+        ``close()``) still leaves the pool fully unpinned.
+        """
         if not self.leaf_page_ids:
             return
         page_id = self.leaf_page_ids[0]
         while page_id != -1:
             node, page = self._fetch_node(page_id)
-            if not isinstance(node, RLeafNode):
+            try:
+                if not isinstance(node, RLeafNode):
+                    raise StorageError("leaf chain points at a non-leaf page")
+                next_id = node.next_leaf
+                yield node
+            finally:
                 self._release(page)
-                raise StorageError("leaf chain points at a non-leaf page")
-            yield node
-            next_id = node.next_leaf
-            self._release(page)
             page_id = next_id
 
     def scan_points(self) -> Iterator[Match]:
         """Yield every stored point in leaf-chain order."""
-        for leaf in self.scan_leaf_chain():
-            for point, values in zip(leaf.points, leaf.values):
-                yield leaf.view_id, leaf.padded_point(point, self.dims), values
+        with closing(self.scan_leaf_chain()) as leaves:
+            for leaf in leaves:
+                for point, values in zip(leaf.points, leaf.values):
+                    yield (
+                        leaf.view_id,
+                        leaf.padded_point(point, self.dims),
+                        values,
+                    )
+
+    # ------------------------------------------------------------------
+    # packed-run fast paths
+    # ------------------------------------------------------------------
+    def run_bounds(self, view_id: int) -> Optional[Tuple[int, int]]:
+        """Positions ``(lo, hi)`` of ``view_id``'s leaf run inside
+        :attr:`leaf_page_ids`, or None when no extent is recorded."""
+        cached = self._run_index.get(view_id)
+        if cached is not None:
+            return cached
+        extent = self.view_extents.get(view_id)
+        if extent is None:
+            return None
+        first, last = extent
+        try:
+            lo = self.leaf_page_ids.index(first)
+            hi = self.leaf_page_ids.index(last, lo)
+        except ValueError as exc:
+            raise StorageError(
+                f"leaf-run extent {extent} of view {view_id} not found "
+                "in the leaf chain"
+            ) from exc
+        self._run_index[view_id] = (lo, hi)
+        return (lo, hi)
+
+    def scan_run(self, view_id: int) -> Iterator[RLeafNode]:
+        """Yield the view's packed leaves as one sequential run scan.
+
+        Pages are fetched through the pool's probationary (scan) segment
+        with read-ahead, so an unbound slice query costs one positioning
+        seek plus sequential transfers and cannot wipe the hot set.
+        """
+        bounds = self.run_bounds(view_id)
+        if bounds is None:
+            raise StorageError(
+                f"no leaf-run extent recorded for view {view_id}"
+            )
+        _OBS_RUN_SCANS.value += 1
+        yield from self._scan_leaves(bounds[0], bounds[1], view_id)
+
+    def search_run(
+        self,
+        view_id: int,
+        rect: Rect,
+        lo_key: RunKey = (),
+        hi_key: RunKey = (),
+    ) -> Iterator[Match]:
+        """Answer ``rect`` over the view's leaf run without descending
+        interior nodes.
+
+        ``lo_key``/``hi_key`` bound the leading prefix of the run's
+        reversed-coordinate sort key (empty tuples = unbounded).  When a
+        prefix is bound, the starting leaf is located by binary search on
+        leaf first-keys and the scan stops at the first leaf past
+        ``hi_key``; every candidate point is still filtered through the
+        full ``rect``, so the match set (and its order) is identical to
+        :meth:`search` restricted to this view.
+        """
+        if rect.dims != self.dims:
+            raise ValueError(
+                f"query rect has {rect.dims} dims, tree has {self.dims}"
+            )
+        bounds = self.run_bounds(view_id)
+        if bounds is None:
+            raise StorageError(
+                f"no leaf-run extent recorded for view {view_id}"
+            )
+        _OBS_RUN_SEARCHES.value += 1
+        lo_idx, hi_idx = bounds
+        lo = tuple(lo_key)
+        hi = tuple(hi_key)
+        start = self._run_seek(lo_idx, hi_idx, lo) if lo else lo_idx
+        with closing(self._scan_leaves(start, hi_idx, view_id)) as leaves:
+            for leaf in leaves:
+                keys = [tuple(reversed(pt)) for pt in leaf.points]
+                if hi and keys and keys[0][: len(hi)] > hi:
+                    break
+                for point, key, values in zip(
+                    leaf.points, keys, leaf.values
+                ):
+                    if lo and key[: len(lo)] < lo:
+                        continue
+                    if hi and key[: len(hi)] > hi:
+                        break
+                    padded = leaf.padded_point(point, self.dims)
+                    if rect.contains_point(padded):
+                        yield leaf.view_id, padded, values
+
+    def search_run_group(
+        self, view_id: int, requests: Sequence[RunRequest]
+    ) -> List[List[Match]]:
+        """Answer a batch of slice requests in one shared pass over the
+        view's leaf run.
+
+        ``requests`` holds ``(rect, lo_key, hi_key)`` triples sorted (or
+        not — the pass is order-insensitive) by their run-key bounds; the
+        scan starts at the earliest lower bound and each request drops
+        out once the run moves past its upper bound.  Per-request match
+        lists come back in run order, exactly as :meth:`search_run`
+        would have produced one at a time.
+        """
+        results: List[List[Match]] = [[] for _ in requests]
+        if not requests:
+            return results
+        bounds = self.run_bounds(view_id)
+        if bounds is None:
+            raise StorageError(
+                f"no leaf-run extent recorded for view {view_id}"
+            )
+        lo_idx, hi_idx = bounds
+        specs: List[RunRequest] = []
+        for rect, lo_key, hi_key in requests:
+            if rect.dims != self.dims:
+                raise ValueError(
+                    f"query rect has {rect.dims} dims, tree has {self.dims}"
+                )
+            specs.append((rect, tuple(lo_key), tuple(hi_key)))
+        _OBS_RUN_SEARCHES.value += len(specs)
+        start = lo_idx
+        if all(spec[1] for spec in specs):
+            start = self._run_seek(
+                lo_idx, hi_idx, min(spec[1] for spec in specs)
+            )
+        # Point-major matching: a request with a discriminating equality
+        # bound is indexed by that (dimension, value); each point then
+        # probes the index with its own coordinates, so per-point work
+        # scales with the handful of bound dimensions, not the number of
+        # requests.  Requests with no equality bound (pure scans,
+        # all-range bindings) are tested against every point.  The run
+        # prefix bounds prune at leaf granularity only: a request whose
+        # hi_key lies before a leaf's first key is retired, and the pass
+        # stops once every request has retired.
+        active = [True] * len(specs)
+        remaining = len(specs)
+        eq_index: Dict[Tuple[int, int], List[int]] = {}
+        residual: List[int] = []
+        for r, (rect, _lo, _hi) in enumerate(specs):
+            dim = _discriminating_dim(rect)
+            if dim is None:
+                residual.append(r)
+            else:
+                eq_index.setdefault((dim, rect.lows[dim]), []).append(r)
+        probe_dims = sorted({dim for dim, _value in eq_index})
+        with closing(self._scan_leaves(start, hi_idx, view_id)) as leaves:
+            for leaf in leaves:
+                if not leaf.points:
+                    continue
+                first = tuple(reversed(leaf.points[0]))
+                for r, (_rect, _lo, hi) in enumerate(specs):
+                    if active[r] and hi and first[: len(hi)] > hi:
+                        active[r] = False
+                        remaining -= 1
+                if remaining == 0:
+                    break
+                for j, pt in enumerate(leaf.points):
+                    candidates: List[int] = []
+                    for dim in probe_dims:
+                        if dim >= len(pt):
+                            continue  # stored points are arity-truncated
+                        found = eq_index.get((dim, pt[dim]))
+                        if found:
+                            candidates.extend(found)
+                    if not candidates and not residual:
+                        continue
+                    point = leaf.padded_point(pt, self.dims)
+                    values = leaf.values[j]
+                    for r in candidates:
+                        if active[r] and specs[r][0].contains_point(point):
+                            results[r].append((leaf.view_id, point, values))
+                    for r in residual:
+                        if active[r] and specs[r][0].contains_point(point):
+                            results[r].append((leaf.view_id, point, values))
+        return results
+
+    def _scan_leaves(
+        self, lo: int, hi: int, view_id: Optional[int] = None
+    ) -> Iterator[RLeafNode]:
+        """Yield leaves ``leaf_page_ids[lo..hi]`` through the scan
+        (probationary) segment, reading ahead a window at a time."""
+        run = self.leaf_page_ids
+        for idx in range(lo, hi + 1):
+            if (idx - lo) % RUN_READAHEAD == 0:
+                self.pool.prefetch_run(
+                    run[idx : min(idx + RUN_READAHEAD, hi + 1)]
+                )
+            node, page = self._fetch_node(run[idx], scan=True)
+            try:
+                if not isinstance(node, RLeafNode):
+                    raise StorageError(
+                        "leaf run contains a non-leaf page"
+                    )
+                if view_id is not None and node.view_id != view_id:
+                    raise StorageError(
+                        f"leaf run of view {view_id} contains a page of "
+                        f"view {node.view_id}"
+                    )
+                yield node
+            finally:
+                self._release(page)
+
+    def _leaf_first_key(self, idx: int) -> RunKey:
+        """Reversed-coordinate key of the first point in leaf ``idx``."""
+        node, page = self._fetch_node(self.leaf_page_ids[idx], scan=True)
+        try:
+            if not isinstance(node, RLeafNode) or not node.points:
+                raise StorageError(
+                    "packed leaf run contains an empty or non-leaf page"
+                )
+            return tuple(reversed(node.points[0]))
+        finally:
+            self._release(page)
+
+    def _run_seek(self, lo_idx: int, hi_idx: int, lo_key: RunKey) -> int:
+        """Binary-search the run for the leaf where matches can start.
+
+        Returns the position just before the leftmost leaf whose
+        first-key prefix reaches ``lo_key`` — keys equal to the bound may
+        begin in the preceding leaf, so the scan starts one leaf early.
+        """
+        p = len(lo_key)
+        lo, hi = lo_idx, hi_idx + 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._leaf_first_key(mid)[:p] < lo_key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return max(lo_idx, lo - 1)
 
     # ------------------------------------------------------------------
     # dynamic insertion (ablation baseline)
@@ -122,6 +395,11 @@ class RTree:
         if len(vals) != self.n_aggs:
             raise ValueError(f"expected {self.n_aggs} aggregate values")
         _OBS_INSERTS.value += 1
+        # Dynamic inserts split and reorder leaves, so any packed-run
+        # extents recorded for this tree no longer describe the chain.
+        if self.view_extents:
+            self.view_extents = {}
+        self._run_index.clear()
 
         if self.root_page_id == -1:
             leaf = RLeafNode(view_id=-1, arity=self.dims, n_aggs=self.n_aggs)
@@ -184,8 +462,8 @@ class RTree:
     # ------------------------------------------------------------------
     # node I/O
     # ------------------------------------------------------------------
-    def _fetch_node(self, page_id: int):
-        page = self.pool.fetch_page(page_id)
+    def _fetch_node(self, page_id: int, scan: bool = False):
+        page = self.pool.fetch_page(page_id, scan=scan)
         if page.cached_obj is None:
             raw = bytes(page.data)
             if node_type_of(raw) == 1:

@@ -45,14 +45,22 @@ class BlobFile:
         return handle
 
     def read(self, handle: BlobHandle) -> bytes:
-        """Read a blob back (page-granular, sequential)."""
+        """Read a blob back (page-granular, sequential).
+
+        Blob pages are touched exactly once per read, so the whole run
+        goes through the pool's scan path: read ahead into the
+        probationary segment, then scan-fetch each page — a long bitmap
+        read cannot evict the protected hot set.
+        """
         if handle.num_pages < 1:
             raise StorageError("empty blob handle")
-        out = bytearray()
-        for page_id in range(
+        page_ids = range(
             handle.first_page, handle.first_page + handle.num_pages
-        ):
-            page = self.pool.fetch_page(page_id)
+        )
+        self.pool.prefetch_run(page_ids)
+        out = bytearray()
+        for page_id in page_ids:
+            page = self.pool.fetch_page(page_id, scan=True)
             try:
                 out.extend(page.data)
             finally:

@@ -1,16 +1,37 @@
-"""LRU buffer pool with hit-ratio statistics.
+"""Scan-resistant (2Q-style) buffer pool with hit-ratio statistics.
 
 The paper argues that minimizing the number of Cubetrees "increases the
 buffer hit ratio, i.e. the probability of having the top-level pages of the
 trees in memory" (Sec. 2.4).  The pool therefore tracks hits and misses so
 experiments and ablations can report that ratio directly.
+
+Plain LRU undermines that argument: one sequential run scan touches every
+leaf of a view exactly once and, page by page, pushes the hot top-level
+index pages out of the pool.  The pool is therefore split into two
+segments, in the spirit of the 2Q replacement policy:
+
+* the **protected** segment (``_frames``) — an LRU over pages admitted by
+  ordinary (point-access) fetches and re-referenced scan pages; and
+* the **probationary** segment (``_probation``) — a FIFO over pages
+  admitted by ``fetch_page(..., scan=True)`` and :meth:`prefetch_run`.
+  Single-touch scan pages live and die here without ever displacing a
+  protected page; a later *point* access promotes a page into the
+  protected LRU (the demand fetch behind a read-ahead does not — it is
+  the same logical access that triggered the prefetch).
+
+Eviction always drains the probationary FIFO before touching the
+protected LRU, and pages registered via :meth:`protect_page` (interior
+and root index pages during fast scans) are passed over until no other
+victim exists.  A workload that never issues a scan fetch and never
+protects a page sees byte-for-byte the old LRU behaviour — existing
+simulated-I/O baselines cannot drift.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import FrozenSet, Iterable, Sequence, Set
 
 from repro.constants import DEFAULT_BUFFER_PAGES
 from repro.errors import StorageError
@@ -24,6 +45,10 @@ _OBS_HITS = _REG.counter("buffer.hits")
 _OBS_MISSES = _REG.counter("buffer.misses")
 _OBS_EVICTIONS = _REG.counter("buffer.evictions")
 _OBS_NEW_PAGES = _REG.counter("buffer.new_pages")
+_OBS_UNPINS = _REG.counter("buffer.unpins")
+_OBS_SCAN_ADMITS = _REG.counter("buffer.scan_admissions")
+_OBS_PROMOTIONS = _REG.counter("buffer.promotions")
+_OBS_READAHEAD = _REG.counter("buffer.readahead_pages")
 
 
 @dataclass
@@ -41,6 +66,16 @@ class BufferStats:
     misses: int = 0
     evictions: int = 0
     new_pages: int = 0
+    #: Pins released via :meth:`BufferPool.unpin_page` — iterator paths
+    #: must balance every fetch with a release even when abandoned early,
+    #: and tests assert on this counter to prove they do.
+    unpins: int = 0
+    #: Pages admitted to the probationary FIFO by scan fetches/read-ahead.
+    scan_admissions: int = 0
+    #: Probationary pages re-referenced and moved to the protected LRU.
+    promotions: int = 0
+    #: Pages read ahead of demand by :meth:`BufferPool.prefetch_run`.
+    readahead_pages: int = 0
 
     @property
     def accesses(self) -> int:
@@ -68,6 +103,10 @@ class BufferStats:
             misses=self.misses,
             evictions=self.evictions,
             new_pages=self.new_pages,
+            unpins=self.unpins,
+            scan_admissions=self.scan_admissions,
+            promotions=self.promotions,
+            readahead_pages=self.readahead_pages,
         )
 
     def __sub__(self, other: "BufferStats") -> "BufferStats":
@@ -76,12 +115,16 @@ class BufferStats:
             misses=self.misses - other.misses,
             evictions=self.evictions - other.evictions,
             new_pages=self.new_pages - other.new_pages,
+            unpins=self.unpins - other.unpins,
+            scan_admissions=self.scan_admissions - other.scan_admissions,
+            promotions=self.promotions - other.promotions,
+            readahead_pages=self.readahead_pages - other.readahead_pages,
         )
 
 
 class BufferPool:
-    """Caches :class:`Page` objects over a :class:`DiskManager` with LRU
-    replacement.
+    """Caches :class:`Page` objects over a :class:`DiskManager` with a
+    two-segment (protected LRU + probationary FIFO) replacement policy.
 
     Pinned pages (``pin_count > 0``) are never evicted; callers must balance
     :meth:`fetch_page`/:meth:`new_page` with :meth:`unpin_page`.
@@ -105,24 +148,48 @@ class BufferPool:
         self.capacity = capacity
         self.eviction_batch = eviction_batch
         self.stats = BufferStats()
+        #: Protected segment: LRU over point-access and re-referenced pages.
         self._frames: "OrderedDict[int, Page]" = OrderedDict()
+        #: Probationary segment: FIFO over single-touch scan pages.
+        self._probation: "OrderedDict[int, Page]" = OrderedDict()
+        #: Page ids sheltered from eviction while unprotected victims exist
+        #: (interior/root index pages during fast run scans).
+        self._sticky: Set[int] = set()
 
     # ------------------------------------------------------------------
     # page access
     # ------------------------------------------------------------------
-    def fetch_page(self, page_id: int) -> Page:
-        """Return the page, reading it from disk on a miss.  Pins the page."""
+    def fetch_page(self, page_id: int, scan: bool = False) -> Page:
+        """Return the page, reading it from disk on a miss.  Pins the page.
+
+        ``scan=True`` marks the access as part of a sequential run scan:
+        a miss is admitted to the probationary FIFO instead of the
+        protected LRU, so a long scan cannot wipe out the hot set.  A
+        *point* (``scan=False``) hit on a probationary page promotes it
+        to the protected LRU — genuine re-reference is the 2Q signal
+        that a page is worth keeping; a scan hit leaves it probationary,
+        because the demand fetch behind a read-ahead is one logical
+        access, not evidence of reuse.
+        """
         page = self._frames.get(page_id)
         if page is not None:
             self.stats.hits += 1
             _OBS_HITS.value += 1
             self._frames.move_to_end(page_id)
+        elif (page := self._probation.get(page_id)) is not None:
+            self.stats.hits += 1
+            _OBS_HITS.value += 1
+            if not scan:
+                del self._probation[page_id]
+                self._frames[page_id] = page
+                self.stats.promotions += 1
+                _OBS_PROMOTIONS.value += 1
         else:
             self.stats.misses += 1
             _OBS_MISSES.value += 1
             data = self.disk.read_page(page_id)
             page = Page(page_id, data)
-            self._admit(page)
+            self._admit(page, scan=scan)
         page.pin_count += 1
         return page
 
@@ -143,12 +210,60 @@ class BufferPool:
         """Release one pin; optionally mark the page dirty."""
         page = self._frames.get(page_id)
         if page is None:
+            page = self._probation.get(page_id)
+        if page is None:
             raise StorageError(f"unpin of page {page_id} not in pool")
         if page.pin_count <= 0:
             raise StorageError(f"page {page_id} is not pinned")
         page.pin_count -= 1
         if dirty:
             page.dirty = True
+        self.stats.unpins += 1
+        _OBS_UNPINS.value += 1
+
+    # ------------------------------------------------------------------
+    # scan support
+    # ------------------------------------------------------------------
+    def prefetch_run(self, page_ids: Sequence[int]) -> int:
+        """Read ahead a window of a sequential leaf run.
+
+        Pages not already cached are read from disk in the given order
+        (callers pass ascending page ids, so the simulated device prices
+        them sequentially — the same cost the demand fetches would have
+        paid) and admitted *unpinned* to the probationary FIFO.  The
+        demand :meth:`fetch_page` that follows then hits in memory.
+        Returns the number of pages actually read.
+        """
+        read = 0
+        for page_id in page_ids:
+            if page_id in self._frames or page_id in self._probation:
+                continue
+            data = self.disk.read_page(page_id)
+            self._admit(Page(page_id, data), scan=True)
+            read += 1
+        self.stats.readahead_pages += read
+        _OBS_READAHEAD.value += read
+        return read
+
+    def protect_page(self, page_id: int) -> None:
+        """Shelter a page id from eviction while other victims exist.
+
+        Used for interior/root index pages during fast run scans: they
+        are re-read on every descent, so letting a scan's probationary
+        churn force them out would turn their next access into a random
+        read.  Protection is advisory — when every other page is pinned
+        or protected, protected pages become evictable again rather than
+        failing the admission."""
+        self._sticky.add(page_id)
+
+    def unprotect_page(self, page_id: int) -> None:
+        """Remove eviction shelter from a page id (missing ids are fine)."""
+        self._sticky.discard(page_id)
+
+    @property
+    def protected_page_ids(self) -> FrozenSet[int]:
+        """Snapshot of the sheltered page ids (for tests/diagnostics)."""
+        return frozenset(self._sticky)
 
     # ------------------------------------------------------------------
     # write-back
@@ -156,6 +271,8 @@ class BufferPool:
     def flush_page(self, page_id: int) -> None:
         """Write one dirty page back to disk."""
         page = self._frames.get(page_id)
+        if page is None:
+            page = self._probation.get(page_id)
         if page is None:
             return
         if page.dirty:
@@ -165,18 +282,19 @@ class BufferPool:
     def flush_all(self) -> None:
         """Write every dirty page back to disk in page-id order (pages
         stay cached; ordering keeps the flush burst sequential)."""
-        for page_id in sorted(self._frames):
+        for page_id in sorted(self._all_page_ids()):
             self.flush_page(page_id)
 
     def clear(self) -> None:
         """Flush everything and empty the pool (simulates a cold cache)."""
         self.flush_all()
-        for page in self._frames.values():
+        for page in self._all_pages():
             if page.pin_count > 0:
                 raise StorageError(
                     f"cannot clear pool: page {page.page_id} is pinned"
                 )
         self._frames.clear()
+        self._probation.clear()
 
     def discard_page(self, page_id: int) -> None:
         """Drop a page from the pool *without* writing it back.
@@ -185,38 +303,72 @@ class BufferPool:
         Cubetree after a merge-pack), so flushing would be wasted work.
         """
         page = self._frames.pop(page_id, None)
+        if page is None:
+            page = self._probation.pop(page_id, None)
+            segment = self._probation
+        else:
+            segment = self._frames
         if page is not None and page.pin_count > 0:
-            self._frames[page_id] = page
+            segment[page_id] = page
             raise StorageError(f"cannot discard pinned page {page_id}")
+        self._sticky.discard(page_id)
 
     # ------------------------------------------------------------------
     @property
     def num_cached(self) -> int:
-        """Pages currently held in the pool."""
-        return len(self._frames)
+        """Pages currently held in the pool (both segments)."""
+        return len(self._frames) + len(self._probation)
 
-    def _admit(self, page: Page) -> None:
-        if len(self._frames) >= self.capacity:
+    def _all_page_ids(self) -> Iterable[int]:
+        yield from self._frames
+        yield from self._probation
+
+    def _all_pages(self) -> Iterable[Page]:
+        yield from self._frames.values()
+        yield from self._probation.values()
+
+    def _admit(self, page: Page, scan: bool = False) -> None:
+        if self.num_cached >= self.capacity:
             self._evict_batch()
-        self._frames[page.page_id] = page
+        if scan:
+            self._probation[page.page_id] = page
+            self.stats.scan_admissions += 1
+            _OBS_SCAN_ADMITS.value += 1
+        else:
+            self._frames[page.page_id] = page
 
     def _evict_batch(self) -> None:
-        """Evict up to ``eviction_batch`` LRU pages, writing dirty ones in
-        page-id order so the write burst is (mostly) sequential."""
+        """Evict up to ``eviction_batch`` pages, writing dirty ones in
+        page-id order so the write burst is (mostly) sequential.
+
+        Victim preference: probationary FIFO first (single-touch scan
+        pages), then the protected LRU; protected-list (sticky) pages in
+        either segment are skipped on the first pass and reconsidered
+        only when nothing else is evictable."""
         # Always clear a full batch of headroom: evicting one page at a
         # time would interleave every read with a write and destroy the
         # sequentiality of bulk operations.
-        want = max(1, min(self.eviction_batch, len(self._frames)))
+        want = max(1, min(self.eviction_batch, self.num_cached))
         victims: list[Page] = []
-        for page_id, page in self._frames.items():  # LRU order
-            if page.pin_count == 0:
-                victims.append(page)
+        for allow_sticky in (False, True):
+            for segment in (self._probation, self._frames):
+                for page_id, page in segment.items():  # FIFO / LRU order
+                    if page.pin_count > 0:
+                        continue
+                    if not allow_sticky and page_id in self._sticky:
+                        continue
+                    victims.append(page)
+                    if len(victims) >= want:
+                        break
                 if len(victims) >= want:
                     break
+            if victims:
+                break
         if not victims:
             raise StorageError("buffer pool exhausted: every page is pinned")
         for victim in victims:
-            del self._frames[victim.page_id]
+            self._frames.pop(victim.page_id, None)
+            self._probation.pop(victim.page_id, None)
             self.stats.evictions += 1
             _OBS_EVICTIONS.value += 1
             victim.cached_obj = None

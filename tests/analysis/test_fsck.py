@@ -272,3 +272,70 @@ def test_cubetree_build_verifies_under_debug_flag():
     finally:
         set_debug_checks(None)
     assert check_cubetree(cube).ok
+
+
+# ----------------------------------------------------------------------
+# persisted leaf-run extents vs the actual leaf chain
+# ----------------------------------------------------------------------
+def test_fresh_extents_verify_clean():
+    _disk, pool = make_pool()
+    tree = packed_tree(pool)
+    assert sorted(tree.view_extents) == [1, 2]
+    assert check_tree(tree).ok
+
+
+def test_tampered_extent_is_reported():
+    _disk, pool = make_pool()
+    tree = packed_tree(pool)
+    first, _last = tree.view_extents[1]
+    # Catalog claims view 1's run ends one leaf early.
+    tree.view_extents[1] = (first, tree.leaf_page_ids[0])
+    report = check_tree(tree)
+    assert report.codes() == [fsck.RUN_EXTENT_MISMATCH]
+    assert report.violations[0].view_id == 1
+    assert "disagrees" in report.violations[0].message
+
+
+def test_extent_for_absent_run_is_reported():
+    _disk, pool = make_pool()
+    tree = packed_tree(pool)
+    tree.view_extents[7] = tree.view_extents[1]
+    report = check_tree(tree)
+    codes = report.codes()
+    assert fsck.RUN_EXTENT_MISMATCH in codes
+    assert any(
+        v.view_id == 7 and "no run" in v.message
+        for v in report.violations
+    )
+
+
+def test_run_without_recorded_extent_is_reported():
+    _disk, pool = make_pool()
+    tree = packed_tree(pool)
+    del tree.view_extents[2]
+    report = check_tree(tree)
+    assert fsck.RUN_EXTENT_MISMATCH in report.codes()
+    assert any(
+        "no recorded extent" in v.message for v in report.violations
+    )
+
+
+def test_extents_absent_entirely_is_legacy_clean():
+    """Dynamic builds and pre-extent checkpoints record nothing; the
+    fast path falls back to the descent, so fsck stays green."""
+    _disk, pool = make_pool()
+    tree = packed_tree(pool)
+    tree.view_extents = {}
+    assert check_tree(tree).ok
+
+
+def test_interleaving_suppresses_extent_findings():
+    """When the runs themselves are broken, every extent is wrong for
+    the same root cause — only the interleaving must be reported."""
+    _disk, pool = make_pool()
+    tree = packed_tree(pool)
+    rewrite_leaf(
+        pool, tree.leaf_page_ids[1], lambda n: setattr(n, "view_id", 9)
+    )
+    report = check_tree(tree)
+    assert set(report.codes()) == {fsck.VIEW_INTERLEAVED}

@@ -239,6 +239,68 @@ def test_nested_function_in_loop_body_still_flagged():
 
 
 # ----------------------------------------------------------------------
+# sequential-fetch-loop
+# ----------------------------------------------------------------------
+def test_fetch_page_in_range_loop_flagged():
+    findings = lint("""
+        def f(pool, first, count):
+            for page_id in range(first, first + count):
+                pool.fetch_page(page_id)
+    """)
+    assert rules_of(findings) == ["sequential-fetch-loop"]
+
+
+def test_fetch_page_in_nested_range_loop_flagged():
+    findings = lint("""
+        def f(pool, runs):
+            for run in runs:
+                for idx in range(run.first, run.last + 1):
+                    page = pool.fetch_page(run.page_ids[idx])
+                    yield page
+    """)
+    assert rules_of(findings) == ["sequential-fetch-loop"]
+
+
+def test_fetch_page_over_explicit_ids_not_flagged():
+    # Iterating an arbitrary id collection is not the sequential-range
+    # pattern the read-ahead helper replaces.
+    assert lint("""
+        def f(pool, page_ids):
+            for page_id in page_ids:
+                pool.fetch_page(page_id)
+    """) == []
+
+
+def test_fetch_page_outside_loop_not_flagged():
+    assert lint("""
+        def f(pool, page_id):
+            return pool.fetch_page(page_id)
+    """) == []
+
+
+def test_fetch_page_after_range_loop_not_flagged():
+    assert lint("""
+        def f(pool, n):
+            total = 0
+            for i in range(n):
+                total += i
+            return pool.fetch_page(total)
+    """) == []
+
+
+def test_buffer_module_exempt_from_fetch_loop_rule():
+    snippet = """
+        def prefetch(self, first, count):
+            for page_id in range(first, first + count):
+                self.fetch_page(page_id)
+    """
+    assert lint(snippet, "src/repro/storage/buffer.py") == []
+    assert rules_of(lint(snippet, "src/repro/rtree/tree.py")) == [
+        "sequential-fetch-loop"
+    ]
+
+
+# ----------------------------------------------------------------------
 # suppression + registry + formatting
 # ----------------------------------------------------------------------
 def test_inline_suppression():
@@ -263,6 +325,8 @@ def test_every_rule_is_registered():
             assert x
             for item in items:
                 x.codec.unpack(item)
+            for page_id in range(8):
+                x.pool.fetch_page(page_id)
             if float(x) == 1.0:
                 return x.disk.read_page(4096)
     """

@@ -366,3 +366,44 @@ def test_resave_migrates_v1_to_v2(saved):
     assert report.ok
     assert report.generation == 1
     assert load_engine(directory).view_sizes() == engine.view_sizes()
+
+
+# ----------------------------------------------------------------------
+# leaf-run extents: round-trip + pre-extent checkpoint compatibility
+# ----------------------------------------------------------------------
+def test_view_extents_survive_roundtrip(saved):
+    _gen, data, original, directory = saved
+    reopened = load_engine(directory)
+    originals = [t.tree.view_extents for t in original.forest.cubetrees]
+    restored = [t.tree.view_extents for t in reopened.forest.cubetrees]
+    assert restored == originals
+    assert any(extents for extents in restored)  # not vacuously equal
+    # The restored extents drive the fast path to serial-identical rows.
+    qgen = RandomQueryGenerator(data.schema, seed=11)
+    for query in qgen.generate_for_node(("suppkey",), 6, include_unbound=True):
+        assert (
+            reopened.query(query, fast=True).rows
+            == original.query(query, fast=False).rows
+        )
+
+
+def test_checkpoint_without_extents_still_loads(saved):
+    """Checkpoints written before the field existed lack the key; the
+    loader restores empty extents and fast queries fall back."""
+    _gen, data, original, directory = saved
+
+    def drop_extents(meta):
+        for state in meta["trees"]:
+            state.pop("view_extents", None)
+
+    _rewrite_meta(_newest_gen(directory), drop_extents)
+    reopened = load_engine(directory)
+    assert all(
+        t.tree.view_extents == {} for t in reopened.forest.cubetrees
+    )
+    qgen = RandomQueryGenerator(data.schema, seed=11)
+    for query in qgen.generate_for_node(("partkey",), 6):
+        assert (
+            reopened.query(query, fast=True).rows
+            == original.query(query).rows
+        )

@@ -142,3 +142,180 @@ def test_decision_describe():
     decision = router().route(q, [psc_path()])
     assert "V_psc" in decision.describe()
     assert "ms" in decision.describe()
+
+
+# ----------------------------------------------------------------------
+# fast (packed-run) costing
+# ----------------------------------------------------------------------
+def run_path(size=6_000_000.0, run_leaves=None,
+             clustered=("partkey", "suppkey", "custkey")):
+    v_psc = ViewDefinition("V_psc", PSC)
+    return AccessPath(
+        v_psc, size, (clustered,), rows_per_page=120,
+        clustered=clustered, run_leaves=run_leaves,
+    )
+
+
+def test_classic_router_never_emits_run_plans():
+    q = SliceQuery(("suppkey",), (("partkey", 7),))
+    plans = sf1_router().candidate_plans(run_path(run_leaves=50_000), q)
+    assert all(not plan.use_run for plan in plans)
+
+
+def test_fast_router_enumerates_both_physical_paths():
+    q = SliceQuery(("suppkey",), (("partkey", 7),))
+    plans = sf1_router().candidate_plans(
+        run_path(run_leaves=50_000), q, fast_scans=True
+    )
+    assert any(plan.use_run for plan in plans)
+    assert any(not plan.use_run for plan in plans)
+    # The run alternatives price the same logical access differently;
+    # route() then minimizes over all of them.
+
+
+def test_fast_scan_of_small_run_beats_descent():
+    """A few-leaf view: one seek + sequential run beats three random
+    descent pages, so the fast plan wins and is marked use_run."""
+    v_s = ViewDefinition("V_s", ("suppkey",))
+    path = AccessPath(v_s, 600.0, (("suppkey",),), rows_per_page=200,
+                      clustered=("suppkey",), run_leaves=3)
+    q = SliceQuery(("suppkey",), ())
+    decision = router().route(q, [path], fast_scans=True)
+    assert decision.use_run
+    assert decision.est_cost == 8.0 + 2 * 0.8
+
+
+def test_fast_prefix_seek_loses_on_deep_runs():
+    """A big run needs ~log2(leaves) random probes to seek; the 3-page
+    interior descent stays cheaper, so classic execution is kept."""
+    q = SliceQuery(("suppkey", "custkey"), (("partkey", 7),))
+    decision = sf1_router().route(
+        q, [run_path(run_leaves=50_000)], fast_scans=True
+    )
+    assert decision.order is not None
+    assert not decision.use_run  # ceil(log2(50000)) = 16 probes > descent
+
+
+def test_exact_cost_tie_keeps_classic_execution():
+    """When the run seek prices exactly like the descent, the classic
+    plan (enumerated first) must win — zero drift on ties."""
+    v_s = ViewDefinition("V_s", ("suppkey",))
+    # 8 leaves: ceil(log2(8)) = 3 probes == _DESCENT_PAGES.
+    path = AccessPath(v_s, 1600.0, (("suppkey",),), rows_per_page=200,
+                      clustered=("suppkey",), run_leaves=8)
+    q = SliceQuery((), (("suppkey", 7),))
+    plans = router().candidate_plans(path, q, fast_scans=True)
+    ordered = [p for p in plans if p.order is not None]
+    assert len(ordered) == 2
+    assert ordered[0].est_cost == ordered[1].est_cost
+    decision = router().route(q, [path], fast_scans=True)
+    if decision.order is not None:
+        assert not decision.use_run
+
+
+def test_route_fast_scans_override_beats_constructor_default():
+    fast_router = QueryRouter(
+        CubeLattice(PSC), PSC_DISTINCT_SF1, fast_scans=True
+    )
+    v_s = ViewDefinition("V_s", ("suppkey",))
+    path = AccessPath(v_s, 600.0, (("suppkey",),), rows_per_page=200,
+                      clustered=("suppkey",), run_leaves=3)
+    q = SliceQuery(("suppkey",), ())
+    assert fast_router.route(q, [path]).use_run
+    assert not fast_router.route(q, [path], fast_scans=False).use_run
+    classic = router()
+    assert classic.route(q, [path], fast_scans=True).use_run
+
+
+def test_decision_describe_marks_run_plans():
+    v_s = ViewDefinition("V_s", ("suppkey",))
+    path = AccessPath(v_s, 600.0, (("suppkey",),), rows_per_page=200,
+                      clustered=("suppkey",), run_leaves=3)
+    q = SliceQuery(("suppkey",), ())
+    decision = router().route(q, [path], fast_scans=True)
+    assert "[run]" in decision.describe()
+    assert "[run]" not in router().route(q, [path]).describe()
+
+
+# ----------------------------------------------------------------------
+# property: route() == brute-force minimum over every candidate plan
+# ----------------------------------------------------------------------
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is a test dependency
+    HAVE_HYPOTHESIS = False
+
+if HAVE_HYPOTHESIS:
+
+    @st.composite
+    def routed_cases(draw):
+        """Random paths (sizes, orders, run extents) + a random query."""
+        attrs = PSC
+        paths = []
+        n_paths = draw(st.integers(min_value=1, max_value=4))
+        for i in range(n_paths):
+            n_attrs = draw(st.integers(min_value=0, max_value=3))
+            group_by = tuple(draw(st.permutations(attrs)))[:n_attrs]
+            size = draw(st.floats(min_value=1.0, max_value=1e7))
+            clustered = tuple(reversed(group_by)) or None
+            orders = (clustered,) if clustered else ()
+            run_leaves = draw(
+                st.one_of(st.none(), st.integers(min_value=1, max_value=60_000))
+            )
+            paths.append(
+                AccessPath(
+                    ViewDefinition(f"V_{i}_{'_'.join(group_by)}", group_by),
+                    size, orders, rows_per_page=120,
+                    clustered=clustered, run_leaves=run_leaves,
+                )
+            )
+        node = tuple(
+            draw(st.permutations(attrs))
+        )[: draw(st.integers(min_value=0, max_value=3))]
+        bound = draw(
+            st.lists(st.sampled_from(attrs), unique=True, max_size=2)
+            if attrs else st.just([])
+        )
+        bindings = []
+        ranges = []
+        for attr in bound:
+            if attr in node:
+                continue
+            if draw(st.booleans()):
+                bindings.append((attr, draw(st.integers(1, 100))))
+            else:
+                low = draw(st.integers(1, 100))
+                ranges.append((attr, low, draw(st.integers(low, 200))))
+        query = SliceQuery(tuple(node), tuple(bindings), tuple(ranges))
+        fast = draw(st.booleans())
+        return paths, query, fast
+
+    @given(routed_cases())
+    @settings(max_examples=150, deadline=None)
+    def test_route_matches_brute_force_minimum(case):
+        """route() returns exactly the cheapest plan any derivable path
+        offers — the enumeration candidate_plans exposes."""
+        paths, query, fast = case
+        r = sf1_router()
+        node = tuple(query.node)
+        derivable = [
+            p for p in paths
+            if r.lattice.derives_from(node, p.view.group_by)
+        ]
+        all_plans = [
+            plan
+            for path in derivable
+            for plan in r.candidate_plans(path, query, fast_scans=fast)
+        ]
+        if not all_plans:
+            with pytest.raises(QueryError):
+                r.route(query, paths, fast_scans=fast)
+            return
+        decision = r.route(query, paths, fast_scans=fast)
+        best = min(plan.est_cost for plan in all_plans)
+        assert decision.est_cost == best
+        if not fast:
+            assert not decision.use_run

@@ -111,3 +111,191 @@ def test_eviction_drops_cached_obj():
     refetched = pool.fetch_page(page.page_id)
     assert refetched.cached_obj is None
     pool.unpin_page(page.page_id)
+
+
+# ----------------------------------------------------------------------
+# 2Q scan resistance: probation, promotion, protection, read-ahead
+# ----------------------------------------------------------------------
+def _flushed_pages(pool, n):
+    """Allocate n pages, write them out, and cold-start the pool."""
+    ids = []
+    for i in range(n):
+        page = pool.new_page()
+        page.data[0] = i + 1
+        pool.unpin_page(page.page_id, dirty=True)
+        ids.append(page.page_id)
+    pool.flush_all()
+    pool.clear()
+    return ids
+
+
+def test_scan_fetch_admits_to_probation():
+    _disk, pool = make_pool(capacity=8)
+    (page_id,) = _flushed_pages(pool, 1)
+    pool.fetch_page(page_id, scan=True)
+    pool.unpin_page(page_id)
+    assert page_id in pool._probation
+    assert page_id not in pool._frames
+    assert pool.stats.scan_admissions == 1
+
+
+def test_point_hit_promotes_probationary_page():
+    _disk, pool = make_pool(capacity=8)
+    (page_id,) = _flushed_pages(pool, 1)
+    pool.fetch_page(page_id, scan=True)
+    pool.unpin_page(page_id)
+    pool.fetch_page(page_id)  # genuine re-reference
+    pool.unpin_page(page_id)
+    assert page_id in pool._frames
+    assert page_id not in pool._probation
+    assert pool.stats.promotions == 1
+
+
+def test_scan_hit_does_not_promote():
+    """The demand fetch behind a read-ahead is one logical access, not
+    evidence of reuse — the page must stay probationary."""
+    _disk, pool = make_pool(capacity=8)
+    (page_id,) = _flushed_pages(pool, 1)
+    pool.fetch_page(page_id, scan=True)
+    pool.unpin_page(page_id)
+    pool.fetch_page(page_id, scan=True)
+    pool.unpin_page(page_id)
+    assert page_id in pool._probation
+    assert pool.stats.promotions == 0
+
+
+def test_scan_cannot_evict_protected_hot_set():
+    """A long scan churns through probation while the point-access pages
+    (the 'hot top-level pages') stay resident."""
+    disk = DiskManager()
+    pool = BufferPool(disk, capacity=4, eviction_batch=1)
+    ids = _flushed_pages(pool, 12)
+    hot = ids[:2]
+    for page_id in hot:
+        pool.fetch_page(page_id)  # protected-LRU residents
+        pool.unpin_page(page_id)
+    for page_id in ids[2:]:      # scan longer than the pool
+        pool.fetch_page(page_id, scan=True)
+        pool.unpin_page(page_id)
+    assert all(page_id in pool._frames for page_id in hot)
+
+
+def test_eviction_prefers_probation_over_lru():
+    disk = DiskManager()
+    pool = BufferPool(disk, capacity=3, eviction_batch=1)
+    ids = _flushed_pages(pool, 4)
+    pool.fetch_page(ids[0])
+    pool.unpin_page(ids[0])
+    pool.fetch_page(ids[1], scan=True)
+    pool.unpin_page(ids[1])
+    pool.fetch_page(ids[2])
+    pool.unpin_page(ids[2])
+    pool.fetch_page(ids[3])  # pool full: must evict the scan page
+    pool.unpin_page(ids[3])
+    assert ids[1] not in pool._probation
+    assert ids[0] in pool._frames
+
+
+def test_protected_page_is_evicted_only_as_last_resort():
+    disk = DiskManager()
+    pool = BufferPool(disk, capacity=3, eviction_batch=1)
+    ids = _flushed_pages(pool, 5)
+    pool.fetch_page(ids[0])
+    pool.unpin_page(ids[0])
+    pool.protect_page(ids[0])
+    pool.fetch_page(ids[1])
+    pool.unpin_page(ids[1])
+    pool.fetch_page(ids[2])
+    pool.unpin_page(ids[2])
+    # ids[0] is the LRU victim but sticky: ids[1] must go instead.
+    pool.fetch_page(ids[3])
+    pool.unpin_page(ids[3])
+    assert ids[0] in pool._frames
+    assert ids[1] not in pool._frames
+    # With everything else pinned, protection yields rather than failing.
+    pool.fetch_page(ids[2])
+    pool.fetch_page(ids[3])
+    pool.fetch_page(ids[4])
+    assert ids[0] not in pool._frames
+    assert pool.protected_page_ids == frozenset({ids[0]})
+    for page_id in (ids[2], ids[3], ids[4]):
+        pool.unpin_page(page_id)
+
+
+def test_unprotect_page_restores_evictability():
+    _disk, pool = make_pool(capacity=8)
+    pool.protect_page(3)
+    assert pool.protected_page_ids == frozenset({3})
+    pool.unprotect_page(3)
+    pool.unprotect_page(99)  # unknown ids are fine
+    assert pool.protected_page_ids == frozenset()
+
+
+def test_prefetch_run_reads_ahead_unpinned():
+    _disk, pool = make_pool(capacity=16)
+    ids = _flushed_pages(pool, 6)
+    read = pool.prefetch_run(ids)
+    assert read == 6
+    assert pool.stats.readahead_pages == 6
+    assert all(page.pin_count == 0 for page in pool._probation.values())
+    before = pool.stats.copy()
+    for page_id in ids:  # demand fetches now hit in memory
+        pool.fetch_page(page_id, scan=True)
+        pool.unpin_page(page_id)
+    delta = pool.stats - before
+    assert delta.misses == 0 and delta.hits == 6
+    # Re-prefetching cached pages reads nothing.
+    assert pool.prefetch_run(ids) == 0
+
+
+def test_unpins_are_counted():
+    _disk, pool = make_pool()
+    page = pool.new_page()
+    pool.unpin_page(page.page_id)
+    pool.fetch_page(page.page_id)
+    pool.unpin_page(page.page_id)
+    assert pool.stats.unpins == 2
+
+
+def test_stats_copy_and_subtract_cover_all_fields():
+    import dataclasses
+
+    from repro.storage.buffer import BufferStats
+
+    a = BufferStats(**{
+        field.name: i + 1
+        for i, field in enumerate(dataclasses.fields(BufferStats))
+    })
+    zero = a - a
+    assert all(
+        getattr(zero, field.name) == 0
+        for field in dataclasses.fields(BufferStats)
+    )
+    assert a.copy() == a
+
+
+def test_discard_page_from_probation():
+    _disk, pool = make_pool(capacity=8)
+    (page_id,) = _flushed_pages(pool, 1)
+    pool.fetch_page(page_id, scan=True)
+    pool.unpin_page(page_id)
+    pool.discard_page(page_id)
+    assert pool.num_cached == 0
+
+
+def test_point_workload_is_plain_lru():
+    """No scan fetches, no protection: the probation segment stays empty
+    and eviction order is exactly the old LRU behaviour."""
+    disk = DiskManager()
+    pool = BufferPool(disk, capacity=2, eviction_batch=1)
+    ids = _flushed_pages(pool, 3)
+    for page_id in ids[:2]:
+        pool.fetch_page(page_id)
+        pool.unpin_page(page_id)
+    pool.fetch_page(ids[0])  # refresh: ids[1] becomes the LRU victim
+    pool.unpin_page(ids[0])
+    pool.fetch_page(ids[2])
+    pool.unpin_page(ids[2])
+    assert not pool._probation
+    assert ids[1] not in pool._frames
+    assert ids[0] in pool._frames

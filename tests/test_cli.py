@@ -78,6 +78,27 @@ def test_query_with_between(capsys):
     ]) == 0
 
 
+def test_query_batch(capsys):
+    assert main([
+        "query",
+        "select partkey, sum(quantity) from F group by partkey; "
+        "select suppkey, sum(quantity) from F group by suppkey",
+        "--scale", "0.0005", "--batch", "--limit", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "[0] plan:" in out
+    assert "[1] plan:" in out
+    assert "batch: 2 queries" in out
+
+
+def test_query_batch_requires_cubetree_engine(capsys):
+    assert main([
+        "query", "select sum(quantity) from F",
+        "--scale", "0.0005", "--batch", "--engine", "conventional",
+    ]) == 2
+    assert "--engine cubetree" in capsys.readouterr().err
+
+
 def test_check_reports_clean(capsys):
     assert main(["check", "--scale", "0.0005"]) == 0
     out = capsys.readouterr().out
