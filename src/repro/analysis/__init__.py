@@ -10,6 +10,12 @@ Two halves:
   as a post-condition of bulk load and merge-pack.
 * :mod:`repro.analysis.lint` — repo-specific AST lint rules enforced
   over ``src/`` by ``tools/lint.py`` and CI.
+* :mod:`repro.analysis.flowrules` — flow-aware rules (pin-balance,
+  crash-point-coverage, obs-isolation, shared-state) built on the
+  statement-level CFGs of :mod:`repro.analysis.cfg`, the worklist
+  engine of :mod:`repro.analysis.dataflow`, and the heuristic call
+  graph of :mod:`repro.analysis.callgraph`.  Exposed as
+  ``repro check --flow`` and ``tools/lint.py --flow``.
 """
 
 from repro.analysis.fsck import (
@@ -22,6 +28,13 @@ from repro.analysis.fsck import (
     debug_checks_enabled,
     set_debug_checks,
     verify_tree,
+)
+from repro.analysis.flowrules import (
+    FLOW_RULES,
+    FlowReport,
+    SharedStateEntry,
+    analyze_paths,
+    analyze_sources,
 )
 from repro.analysis.lint import (
     RULES,
@@ -48,4 +61,9 @@ __all__ = [
     "lint_file",
     "lint_paths",
     "lint_source",
+    "FLOW_RULES",
+    "FlowReport",
+    "SharedStateEntry",
+    "analyze_paths",
+    "analyze_sources",
 ]

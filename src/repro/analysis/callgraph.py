@@ -1,0 +1,330 @@
+"""An intra-project call graph built from source text.
+
+Resolution is deliberately heuristic — the analyzer runs on plain
+source, without importing anything:
+
+* ``f(...)`` resolves through the module's own ``def``s and its
+  ``from repro.x import f`` / ``import repro.x`` statements;
+* ``obj.m(...)`` resolves *receiver-agnostically* to every project
+  function or method named ``m`` (plus, when ``obj`` is a recognised
+  stdlib module alias like ``os``, to the external name ``os.m``).
+
+The result over-approximates the real call relation, which is the right
+direction for the flow rules that consume it: obs-isolation asks "can
+anything in ``repro/obs/`` *reach* storage cost accounting?", and
+crash-point coverage asks "does *every* caller of this helper hit a
+crash point first?" — both want a superset of feasible edges.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.analysis.cfg import FunctionNode, iter_functions
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for a source path (``.../repro/obs/trace.py``
+    -> ``repro.obs.trace``); falls back to the basename stem."""
+    norm = path.replace(os.sep, "/")
+    marker = norm.rfind("repro/")
+    if marker >= 0:
+        tail = norm[marker:]
+    else:
+        tail = os.path.basename(norm)
+    if tail.endswith(".py"):
+        tail = tail[: -len(".py")]
+    if tail.endswith("/__init__"):
+        tail = tail[: -len("/__init__")]
+    return tail.replace("/", ".")
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    node: ast.Call
+    #: resolved target ("repro.obs.registry:get_registry",
+    #: "ext:os.rename") or a bare method/function name ("unpin_page")
+    target: str
+
+
+@dataclass
+class FunctionInfo:
+    """One project function or method."""
+
+    qualname: str  # "repro.storage.disk:DiskManager.write_page"
+    module: str
+    simple_name: str  # "write_page"
+    path: str
+    node: FunctionNode
+    calls: List[CallSite] = field(default_factory=list)
+
+
+class CallGraph:
+    """Project-wide call graph with name-based edge resolution."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionInfo] = {}
+        self._by_simple_name: Dict[str, List[str]] = {}
+        self.module_imports: Dict[str, Set[str]] = {}
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def from_sources(cls, sources: Mapping[str, str]) -> "CallGraph":
+        """Build from a {path: source} mapping (also used by tests)."""
+        graph = cls()
+        for path, source in sorted(sources.items()):
+            try:
+                tree = ast.parse(source)
+            except SyntaxError:
+                continue
+            graph._add_module(path, tree)
+        return graph
+
+    @classmethod
+    def from_files(cls, paths: Iterable[str]) -> "CallGraph":
+        sources: Dict[str, str] = {}
+        for path in paths:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    sources[path] = handle.read()
+            except OSError:
+                continue
+        return cls.from_sources(sources)
+
+    def _add_module(self, path: str, tree: ast.Module) -> None:
+        module = module_name_for_path(path)
+        imports = _module_imports(tree)
+        self.module_imports[module] = {
+            target for target in imports.values()
+        }
+        local_defs = {
+            node.name
+            for node in tree.body
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+        }
+        for qual, func in iter_functions(tree):
+            info = FunctionInfo(
+                qualname=f"{module}:{qual}",
+                module=module,
+                simple_name=func.name,
+                path=path,
+                node=func,
+            )
+            info.calls = _extract_calls(func, imports, local_defs, module)
+            self.functions[info.qualname] = info
+            self._by_simple_name.setdefault(func.name, []).append(
+                info.qualname
+            )
+
+    # -- queries -------------------------------------------------------
+    def functions_named(self, simple_name: str) -> List[FunctionInfo]:
+        return [
+            self.functions[qual]
+            for qual in self._by_simple_name.get(simple_name, [])
+        ]
+
+    def callees(self, qualname: str) -> Set[str]:
+        """Qualnames of project functions this function may call."""
+        info = self.functions.get(qualname)
+        if info is None:
+            return set()
+        out: Set[str] = set()
+        for site in info.calls:
+            out.update(self._resolve(site.target, info.module))
+        return out
+
+    def _resolve(self, target: str, caller_module: str) -> Set[str]:
+        if target.startswith("ext:"):
+            return set()
+        if ":" in target:
+            if target in self.functions:
+                return {target}
+            # "module:name" where name is a method of some class in
+            # that module
+            module, name = target.split(":", 1)
+            return {
+                qual
+                for qual in self._by_simple_name.get(name.split(".")[-1], [])
+                if self.functions[qual].module == module
+            }
+        # A bare method name fans out receiver-agnostically, but only to
+        # modules the caller could plausibly hold an instance from: its
+        # own module and its direct imports.  Without this, generic
+        # names (append, clear, snapshot, ...) connect everything to
+        # everything and reachability checks drown in false edges.
+        candidates = self._by_simple_name.get(target, [])
+        visible = self.module_imports.get(caller_module, set())
+        out = set()
+        for qual in candidates:
+            module = self.functions[qual].module
+            if module == caller_module or any(
+                origin == module or origin.startswith(module + ".")
+                for origin in visible
+            ):
+                out.add(qual)
+        return out
+
+    def reaches(
+        self,
+        start: str,
+        predicate: Callable[[FunctionInfo], bool],
+        max_depth: int = 12,
+    ) -> Optional[List[str]]:
+        """BFS from ``start``: the first call chain (list of qualnames,
+        start excluded) reaching a function matching ``predicate``, or
+        None."""
+        seen = {start}
+        frontier: List[Tuple[str, List[str]]] = [(start, [])]
+        for _ in range(max_depth):
+            next_frontier: List[Tuple[str, List[str]]] = []
+            for qual, chain in frontier:
+                for callee in sorted(self.callees(qual)):
+                    if callee in seen:
+                        continue
+                    seen.add(callee)
+                    path = chain + [callee]
+                    info = self.functions[callee]
+                    if predicate(info):
+                        return path
+                    next_frontier.append((callee, path))
+            if not next_frontier:
+                return None
+            frontier = next_frontier
+        return None
+
+    def callers_of(self, qualname: str) -> List[FunctionInfo]:
+        """Project functions that may call ``qualname``."""
+        out = []
+        for info in self.functions.values():
+            if info.qualname == qualname:
+                continue
+            if qualname in self.callees(info.qualname):
+                out.append(info)
+        return out
+
+    def transitive_closure_matching(
+        self, seeds: Set[str]
+    ) -> Set[str]:
+        """Grow a seed set of qualnames with every function that calls
+        into the set (directly or transitively)."""
+        closed = set(seeds)
+        changed = True
+        while changed:
+            changed = False
+            for qual, info in self.functions.items():
+                if qual in closed:
+                    continue
+                if self.callees(qual) & closed:
+                    closed.add(qual)
+                    changed = True
+        return closed
+
+
+# ----------------------------------------------------------------------
+# extraction helpers
+# ----------------------------------------------------------------------
+_STDLIB_MODULES = frozenset(
+    {
+        "os",
+        "io",
+        "sys",
+        "json",
+        "math",
+        "time",
+        "shutil",
+        "struct",
+        "zlib",
+        "heapq",
+        "bisect",
+        "random",
+        "itertools",
+        "functools",
+        "collections",
+        "threading",
+        "contextlib",
+        "dataclasses",
+        "tempfile",
+        "pathlib",
+        "argparse",
+        "re",
+        "ast",
+    }
+)
+
+
+def _module_imports(tree: ast.Module) -> Dict[str, str]:
+    """Map local name -> imported dotted origin for a module."""
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                imports[local] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue
+            for alias in node.names:
+                local = alias.asname or alias.name
+                imports[local] = f"{node.module}.{alias.name}"
+    return imports
+
+
+def _extract_calls(
+    func: FunctionNode,
+    imports: Dict[str, str],
+    local_defs: Set[str],
+    module: str,
+) -> List[CallSite]:
+    calls: List[CallSite] = []
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue  # nested defs carry their own FunctionInfo
+        if isinstance(node, ast.Call):
+            target = _call_target(node, imports, local_defs, module)
+            if target is not None:
+                calls.append(CallSite(node, target))
+        stack.extend(ast.iter_child_nodes(node))
+    return calls
+
+
+def _call_target(
+    call: ast.Call,
+    imports: Dict[str, str],
+    local_defs: Set[str],
+    module: str,
+) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Name):
+        name = func.id
+        if name in local_defs:
+            return f"{module}:{name}"
+        origin = imports.get(name)
+        if origin is not None:
+            if origin.startswith("repro."):
+                head, _, leaf = origin.rpartition(".")
+                return f"{head}:{leaf}"
+            return f"ext:{origin}"
+        return name
+    if isinstance(func, ast.Attribute):
+        receiver = func.value
+        if isinstance(receiver, ast.Name):
+            origin = imports.get(receiver.id)
+            if origin is not None and not origin.startswith("repro."):
+                return f"ext:{origin}.{func.attr}"
+            if receiver.id in _STDLIB_MODULES:
+                return f"ext:{receiver.id}.{func.attr}"
+            if origin is not None and origin.startswith("repro."):
+                return f"{origin}:{func.attr}"
+        return func.attr
+    return None

@@ -1,0 +1,484 @@
+"""Statement-level control-flow graphs over Python function bodies.
+
+The flow rules (:mod:`repro.analysis.flowrules`) need to reason about
+*paths* — "is every pinned page released on every way out of this
+function?" — which a per-node AST walk cannot answer.  This module builds
+a small CFG per function:
+
+* one node per ``ast.stmt`` (compound statements contribute their header
+  — the ``if``/``while``/``for``/``try`` line — as the node; their bodies
+  become separate nodes), plus synthetic ``entry`` and ``exit`` nodes;
+* every statement of the function body appears **exactly once** — there
+  is no duplication of ``finally`` blocks along each exit route (a
+  property the test suite asserts for the whole source tree);
+* abrupt exits (``return``, ``raise``, ``break``, ``continue``) are
+  routed *through* enclosing ``finally`` blocks by edge chaining: the
+  jump statement gets an edge to the ``finally`` entry, and the
+  ``finally`` exits fan out to every continuation that was routed
+  through them.  This is deliberately conservative (a ``finally`` exit
+  may have edges to both the loop header and the function exit) — flow
+  rules only need a superset of the feasible paths;
+* a statement containing ``yield``/``yield from`` gets an extra
+  *abandonment* edge: a suspended generator may be closed at the yield
+  point, running only the enclosing ``finally`` blocks on the way out.
+  This models the iterator-leak class fixed dynamically in the rtree
+  scans — and makes it statically detectable.
+
+Exception edges are intentionally coarse: only explicit ``raise``
+statements create exceptional exits (routed to the handlers of the
+innermost enclosing ``try`` and, conservatively, through ``finally``
+blocks to the function exit).  Arbitrary calls are assumed non-raising;
+the pin rule's job is to catch *structurally* missing releases, not to
+prove exception safety of every arithmetic expression.
+
+Nested ``def``/``class`` statements are opaque single nodes: each
+function gets its own CFG via :func:`build_cfg`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import InternalError
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Jump keys used to route abrupt exits through ``finally`` frames.
+_RETURN = "return"
+_RAISE = "raise"
+_ABANDON = "abandon"
+
+
+@dataclass
+class CFGNode:
+    """One CFG node: a statement, or a synthetic entry/exit."""
+
+    index: int
+    stmt: Optional[ast.stmt]
+    kind: str  # "entry" | "exit" | "stmt"
+    succs: List[int] = field(default_factory=list)
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one function body."""
+
+    func: FunctionNode
+    nodes: List[CFGNode]
+    entry: int
+    exit: int
+
+    def node(self, index: int) -> CFGNode:
+        return self.nodes[index]
+
+    def statements(self) -> List[ast.stmt]:
+        """Every statement node, in creation (source) order."""
+        return [n.stmt for n in self.nodes if n.stmt is not None]
+
+
+class _LoopFrame:
+    """Routing frame for an enclosing loop (break/continue targets)."""
+
+    def __init__(self, header: int) -> None:
+        self.header = header
+        self.breaks: List[int] = []
+
+
+class _TryFrame:
+    """Routing frame for a try body with handlers: raisers jump here."""
+
+    def __init__(self) -> None:
+        self.raisers: List[int] = []
+
+
+class _FinallyFrame:
+    """Routing frame for a try with a ``finally`` block.
+
+    Abrupt jumps from within the protected region are parked here (keyed
+    by their ultimate continuation) until the finally body is built, at
+    which point the finally's exits are fanned out to every parked
+    continuation.
+    """
+
+    def __init__(self) -> None:
+        self.pending: Dict[Tuple[object, ...], List[int]] = {}
+
+    def park(self, key: Tuple[object, ...], sources: List[int]) -> None:
+        self.pending.setdefault(key, []).extend(sources)
+
+
+_Frame = Union[_LoopFrame, _TryFrame, _FinallyFrame]
+
+
+class _Builder:
+    def __init__(self, func: FunctionNode) -> None:
+        self.func = func
+        self.nodes: List[CFGNode] = []
+        self.entry = self._new(None, "entry")
+        self.exit = self._new(None, "exit")
+        self.frames: List[_Frame] = []
+
+    # -- node/edge primitives ------------------------------------------
+    def _new(self, stmt: Optional[ast.stmt], kind: str = "stmt") -> int:
+        node = CFGNode(len(self.nodes), stmt, kind)
+        self.nodes.append(node)
+        return node.index
+
+    def _edge(self, src: int, dst: int) -> None:
+        succs = self.nodes[src].succs
+        if dst not in succs:
+            succs.append(dst)
+
+    def _edges(self, srcs: List[int], dst: int) -> None:
+        for src in srcs:
+            self._edge(src, dst)
+
+    # -- abrupt-jump routing -------------------------------------------
+    def _route(self, sources: List[int], key: Tuple[object, ...]) -> None:
+        """Route an abrupt jump through enclosing frames.
+
+        The innermost applicable frame intercepts: a ``finally`` frame
+        parks the jump (it resumes from the finally's exits), a loop
+        frame resolves break/continue, and with no applicable frame the
+        jump reaches the function exit.
+        """
+        if not sources:
+            return
+        for frame in reversed(self.frames):
+            if isinstance(frame, _FinallyFrame):
+                frame.park(key, sources)
+                return
+            if isinstance(frame, _LoopFrame) and len(key) == 2:
+                verb, target = key
+                if target is frame:
+                    if verb == "break":
+                        frame.breaks.extend(sources)
+                    else:  # continue
+                        self._edges(sources, frame.header)
+                    return
+        self._edges(sources, self.exit)
+
+    def _innermost_loop(self) -> Optional[_LoopFrame]:
+        for frame in reversed(self.frames):
+            if isinstance(frame, _LoopFrame):
+                return frame
+        return None
+
+    # -- statement builders --------------------------------------------
+    def build(self) -> CFG:
+        entry_idx, exits = self._seq(self.func.body)
+        if entry_idx is not None:
+            self._edge(self.entry, entry_idx)
+        else:  # pragma: no cover - functions always have a body
+            exits = [self.entry]
+        self._edges(exits, self.exit)
+        return CFG(self.func, self.nodes, self.entry, self.exit)
+
+    def _seq(
+        self, stmts: List[ast.stmt]
+    ) -> Tuple[Optional[int], List[int]]:
+        """Build a statement sequence; returns (entry index, open exits).
+
+        Statements after an abrupt jump are unreachable but still get
+        nodes (with no incoming edges) so the exactly-once coverage
+        property holds for the whole body.
+        """
+        entry: Optional[int] = None
+        open_exits: List[int] = []
+        first = True
+        for stmt in stmts:
+            s_entry, s_exits = self._stmt(stmt)
+            if first:
+                entry = s_entry
+                first = False
+            else:
+                self._edges(open_exits, s_entry)
+            open_exits = s_exits
+        return entry, open_exits
+
+    def _seq_entry(self, stmts: List[ast.stmt]) -> Tuple[int, List[int]]:
+        """Like :meth:`_seq` for blocks the grammar requires non-empty."""
+        entry, exits = self._seq(stmts)
+        if entry is None:  # pragma: no cover - unreachable on valid ASTs
+            raise InternalError("non-empty block produced no CFG entry")
+        return entry, exits
+
+    def _stmt(self, stmt: ast.stmt) -> Tuple[int, List[int]]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt)
+        if isinstance(stmt, (ast.While,)):
+            return self._while(stmt)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt)
+        return self._simple(stmt)
+
+    def _simple(self, stmt: ast.stmt) -> Tuple[int, List[int]]:
+        idx = self._new(stmt)
+        if _contains_yield(stmt):
+            self._route([idx], (_ABANDON,))
+        if isinstance(stmt, ast.Return):
+            self._route([idx], (_RETURN,))
+            return idx, []
+        if isinstance(stmt, ast.Raise):
+            for frame in reversed(self.frames):
+                if isinstance(frame, _TryFrame):
+                    frame.raisers.append(idx)
+                    break
+                if isinstance(frame, _FinallyFrame):
+                    break
+            self._route([idx], (_RAISE,))
+            return idx, []
+        if isinstance(stmt, ast.Break):
+            loop = self._innermost_loop()
+            if loop is not None:
+                self._route([idx], ("break", loop))
+            else:  # pragma: no cover - invalid python
+                self._route([idx], (_RAISE,))
+            return idx, []
+        if isinstance(stmt, ast.Continue):
+            loop = self._innermost_loop()
+            if loop is not None:
+                self._route([idx], ("continue", loop))
+            else:  # pragma: no cover - invalid python
+                self._route([idx], (_RAISE,))
+            return idx, []
+        return idx, [idx]
+
+    def _if(self, stmt: ast.If) -> Tuple[int, List[int]]:
+        idx = self._new(stmt)
+        body_entry, body_exits = self._seq_entry(stmt.body)
+        self._edge(idx, body_entry)
+        exits = list(body_exits)
+        if stmt.orelse:
+            else_entry, else_exits = self._seq_entry(stmt.orelse)
+            self._edge(idx, else_entry)
+            exits.extend(else_exits)
+        else:
+            exits.append(idx)
+        return idx, exits
+
+    def _while(self, stmt: ast.While) -> Tuple[int, List[int]]:
+        idx = self._new(stmt)
+        loop = _LoopFrame(idx)
+        self.frames.append(loop)
+        body_entry, body_exits = self._seq_entry(stmt.body)
+        self.frames.pop()
+        self._edge(idx, body_entry)
+        self._edges(body_exits, idx)
+        exits: List[int] = []
+        infinite = (
+            isinstance(stmt.test, ast.Constant) and bool(stmt.test.value)
+        )
+        if stmt.orelse:
+            else_entry, else_exits = self._seq_entry(stmt.orelse)
+            if not infinite:
+                self._edge(idx, else_entry)
+            exits.extend(else_exits)
+        elif not infinite:
+            exits.append(idx)
+        # break exits skip the else clause entirely
+        exits.extend(loop.breaks)
+        return idx, self._dedupe(exits)
+
+    def _for(
+        self, stmt: Union[ast.For, ast.AsyncFor]
+    ) -> Tuple[int, List[int]]:
+        idx = self._new(stmt)
+        loop = _LoopFrame(idx)
+        self.frames.append(loop)
+        body_entry, body_exits = self._seq_entry(stmt.body)
+        self.frames.pop()
+        self._edge(idx, body_entry)
+        self._edges(body_exits, idx)
+        exits = []
+        if stmt.orelse:
+            else_entry, else_exits = self._seq_entry(stmt.orelse)
+            self._edge(idx, else_entry)
+            exits.extend(else_exits)
+        else:
+            exits.append(idx)
+        exits.extend(loop.breaks)
+        return idx, self._dedupe(exits)
+
+    @staticmethod
+    def _dedupe(exits: List[int]) -> List[int]:
+        # dedupe while preserving order
+        seen = set()
+        out = []
+        for idx in exits:
+            if idx not in seen:
+                seen.add(idx)
+                out.append(idx)
+        return out
+
+    def _with(
+        self, stmt: Union[ast.With, ast.AsyncWith]
+    ) -> Tuple[int, List[int]]:
+        idx = self._new(stmt)
+        body_entry, body_exits = self._seq_entry(stmt.body)
+        self._edge(idx, body_entry)
+        return idx, body_exits
+
+    def _match(self, stmt: ast.Match) -> Tuple[int, List[int]]:
+        idx = self._new(stmt)
+        exits: List[int] = [idx]  # no case may match
+        for case in stmt.cases:
+            case_entry, case_exits = self._seq_entry(case.body)
+            self._edge(idx, case_entry)
+            exits.extend(case_exits)
+        return idx, exits
+
+    def _try(self, stmt: ast.Try) -> Tuple[int, List[int]]:
+        idx = self._new(stmt)
+        fin_frame = _FinallyFrame() if stmt.finalbody else None
+        try_frame = _TryFrame() if stmt.handlers else None
+        if fin_frame is not None:
+            self.frames.append(fin_frame)
+        if try_frame is not None:
+            self.frames.append(try_frame)
+
+        body_entry, body_exits = self._seq_entry(stmt.body)
+        self._edge(idx, body_entry)
+
+        if try_frame is not None:
+            self.frames.pop()
+
+        # else clause runs after the body completes normally; its own
+        # raises are not caught by this try's handlers.
+        if stmt.orelse:
+            else_entry, else_exits = self._seq_entry(stmt.orelse)
+            self._edges(body_exits, else_entry)
+            normal_exits = else_exits
+        else:
+            normal_exits = body_exits
+
+        # handlers: entered from explicit raises in the body (and,
+        # conservatively, from the try header itself so handler code is
+        # reachable even when the body has no explicit raise).
+        handler_exits: List[int] = []
+        if try_frame is not None:
+            for handler in stmt.handlers:
+                h_entry, h_exits = self._seq_entry(handler.body)
+                self._edges(try_frame.raisers, h_entry)
+                self._edge(idx, h_entry)
+                handler_exits.extend(h_exits)
+
+        all_exits = normal_exits + handler_exits
+
+        if fin_frame is not None:
+            self.frames.pop()
+            fin_entry, fin_exits = self._seq_entry(stmt.finalbody)
+            self._edges(all_exits, fin_entry)
+            # fan the finally's exits out to every continuation that was
+            # routed through it
+            for key, sources in fin_frame.pending.items():
+                self._edges(sources, fin_entry)
+                self._route(list(fin_exits), key)
+            return idx, fin_exits
+        return idx, all_exits
+
+
+def build_cfg(func: FunctionNode) -> CFG:
+    """Build the CFG of one function definition."""
+    return _Builder(func).build()
+
+
+def _contains_yield(stmt: ast.stmt) -> bool:
+    """Does this statement suspend (yield) — excluding nested defs?"""
+    for node in walk_statement(stmt):
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+    return False
+
+
+def walk_statement(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """Walk a statement's subtree without entering nested def/class
+    bodies or other statements (compound headers only contribute their
+    own expressions)."""
+    stack: List[ast.AST] = [stmt]
+    first = True
+    while stack:
+        node = stack.pop()
+        yield node
+        if not first and isinstance(node, ast.stmt):
+            continue  # sibling statements are their own CFG nodes
+        first = False
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                continue
+            stack.append(child)
+
+
+def collect_statements(func: FunctionNode) -> List[ast.stmt]:
+    """Every statement in a function body, excluding nested def/class
+    bodies (those belong to their own CFGs) but including the nested
+    def/class statements themselves.
+
+    The CFG must cover exactly this set, exactly once.
+    """
+    out: List[ast.stmt] = []
+
+    def visit_block(stmts: List[ast.stmt]) -> None:
+        for stmt in stmts:
+            out.append(stmt)
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            for block in _child_blocks(stmt):
+                visit_block(block)
+
+    visit_block(func.body)
+    return out
+
+
+def _child_blocks(stmt: ast.stmt) -> List[List[ast.stmt]]:
+    blocks: List[List[ast.stmt]] = []
+    for name in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, name, None)
+        if (
+            isinstance(block, list)
+            and block
+            and isinstance(block[0], ast.stmt)
+        ):
+            blocks.append(block)
+    for handler in getattr(stmt, "handlers", []) or []:
+        blocks.append(handler.body)
+    for case in getattr(stmt, "cases", []) or []:
+        blocks.append(case.body)
+    return blocks
+
+
+def iter_functions(
+    tree: ast.Module,
+) -> Iterator[Tuple[str, FunctionNode]]:
+    """Yield (qualname, funcdef) for every function in a module,
+    including methods and nested functions."""
+
+    def visit(
+        nodes: List[ast.stmt], prefix: str
+    ) -> Iterator[Tuple[str, FunctionNode]]:
+        for node in nodes:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{node.name}"
+                yield qual, node
+                yield from visit(node.body, f"{qual}.")
+            elif isinstance(node, ast.ClassDef):
+                yield from visit(node.body, f"{prefix}{node.name}.")
+            else:
+                for block in _child_blocks(node):
+                    yield from visit(block, prefix)
+
+    yield from visit(tree.body, "")

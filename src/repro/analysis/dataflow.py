@@ -1,0 +1,77 @@
+"""A small forward dataflow engine over :mod:`repro.analysis.cfg` graphs.
+
+Classic worklist iteration to a fixpoint.  An analysis supplies three
+things: the state entering the function (:meth:`ForwardAnalysis.initial`),
+a per-node transfer function, and a merge for join points.  The engine
+makes no assumption about the lattice beyond merge being monotone and
+the state space finite (both pin-sets over a fixed set of acquisition
+sites and the crash-coverage boolean are) — an iteration cap backstops
+termination regardless.
+
+Findings are *not* emitted during iteration (a node's in-state may be
+revised several times before the fixpoint); rules run a post-pass over
+the final in-states instead, via :func:`analyze`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Generic, List, TypeVar
+
+from repro.analysis.cfg import CFG, CFGNode
+
+S = TypeVar("S")
+
+
+class ForwardAnalysis(ABC, Generic[S]):
+    """A forward dataflow problem over statement-level CFGs."""
+
+    @abstractmethod
+    def initial(self) -> S:
+        """State entering the function."""
+
+    @abstractmethod
+    def transfer(self, node: CFGNode, state: S) -> S:
+        """State after executing ``node`` given the state before it.
+
+        Must not mutate ``state``; return a new value when the state
+        changes.
+        """
+
+    @abstractmethod
+    def merge(self, a: S, b: S) -> S:
+        """Join two states at a CFG confluence point."""
+
+
+class FixpointError(RuntimeError):
+    """The worklist failed to converge within the iteration cap."""
+
+
+def run_forward(cfg: CFG, analysis: ForwardAnalysis[S]) -> Dict[int, S]:
+    """Iterate ``analysis`` to a fixpoint; returns in-states by node.
+
+    Unreachable nodes (statements after an abrupt jump) have no entry in
+    the result.
+    """
+    in_states: Dict[int, S] = {cfg.entry: analysis.initial()}
+    worklist: List[int] = [cfg.entry]
+    budget = max(1000, 64 * len(cfg.nodes) * max(1, len(cfg.nodes)))
+    while worklist:
+        budget -= 1
+        if budget < 0:
+            raise FixpointError(
+                f"dataflow did not converge over {len(cfg.nodes)} nodes"
+            )
+        idx = worklist.pop()
+        node = cfg.node(idx)
+        out = analysis.transfer(node, in_states[idx])
+        for succ in node.succs:
+            if succ not in in_states:
+                in_states[succ] = out
+                worklist.append(succ)
+            else:
+                merged = analysis.merge(in_states[succ], out)
+                if merged != in_states[succ]:
+                    in_states[succ] = merged
+                    worklist.append(succ)
+    return in_states

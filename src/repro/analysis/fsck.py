@@ -143,7 +143,7 @@ class FsckReport:
 # ----------------------------------------------------------------------
 # debug flag (consulted by rtree.merge / core.cubetree post-conditions)
 # ----------------------------------------------------------------------
-_DEBUG_CHECKS: Optional[bool] = None
+_DEBUG_CHECKS: Optional[bool] = None  # repro: worker-local
 
 
 def set_debug_checks(enabled: Optional[bool]) -> None:

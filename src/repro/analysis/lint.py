@@ -43,7 +43,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
 
 #: rule id -> short description (the registry ``tools/lint.py`` prints).
-RULES: Dict[str, str] = {
+RULES: Dict[str, str] = {  # repro: read-only
     "runtime-assert": (
         "assert used for runtime validation (vanishes under python -O); "
         "raise a repro.errors exception"
@@ -75,7 +75,7 @@ RULES: Dict[str, str] = {
 }
 
 #: Per-rule path suffixes (POSIX-style) that are exempt by design.
-PATH_EXEMPTIONS: Dict[str, Tuple[str, ...]] = {
+PATH_EXEMPTIONS: Dict[str, Tuple[str, ...]] = {  # repro: read-only
     # The pool *is* the one sanctioned DiskManager client; the manager's
     # own module exercises itself.
     "direct-disk-read": (

@@ -19,7 +19,7 @@ from repro.obs import get_registry, trace
 from repro.storage.buffer import BufferPool
 from repro.storage.heap import RID
 
-_REG = get_registry()
+_REG = get_registry()  # repro: guarded-by(MetricsRegistry._lock)
 _OBS_BULK_ENTRIES = _REG.counter("btree.bulk_load.entries")
 
 #: Default leaf/interior fill fraction.  Production B-trees leave headroom

@@ -33,7 +33,7 @@ from repro.storage.buffer import BufferPool
 from repro.storage.heap import RID
 from repro.storage.page import Page
 
-_REG = get_registry()
+_REG = get_registry()  # repro: guarded-by(MetricsRegistry._lock)
 _OBS_SEARCHES = _REG.counter("btree.searches")
 _OBS_INSERTS = _REG.counter("btree.inserts")
 
@@ -107,15 +107,22 @@ class BPlusTree:
         start_key: Tuple[int, ...] = low_key
         while page_id != -1:
             node, page = self._fetch_node(page_id)
-            node = self._expect_leaf(node, page)
-            start = bisect_left(node.keys, start_key)
-            for i in range(start, len(node.keys)):
-                if node.keys[i] > high_key:
-                    self._release(page)
-                    return
-                yield node.keys[i], node.rids[i]
-            next_id = node.next_leaf
-            self._release(page)
+            # The page stays pinned across yields, so an abandoned
+            # iterator (break / gc) must still unpin it: the finally
+            # runs when the generator is closed.
+            try:
+                if not isinstance(node, LeafNode):
+                    raise IntegrityError(
+                        f"leaf chain points at non-leaf page {page.page_id}"
+                    )
+                start = bisect_left(node.keys, start_key)
+                for i in range(start, len(node.keys)):
+                    if node.keys[i] > high_key:
+                        return
+                    yield node.keys[i], node.rids[i]
+                next_id = node.next_leaf
+            finally:
+                self._release(page)
             page_id = next_id
             start_key = ()  # every later leaf starts within range
 
@@ -124,10 +131,15 @@ class BPlusTree:
         page_id = self._leftmost_leaf()
         while page_id != -1:
             node, page = self._fetch_node(page_id)
-            node = self._expect_leaf(node, page)
-            yield from zip(node.keys, node.rids)
-            next_id = node.next_leaf
-            self._release(page)
+            try:
+                if not isinstance(node, LeafNode):
+                    raise IntegrityError(
+                        f"leaf chain points at non-leaf page {page.page_id}"
+                    )
+                yield from zip(node.keys, node.rids)
+                next_id = node.next_leaf
+            finally:
+                self._release(page)
             page_id = next_id
 
     def delete(self, key: Sequence[int], rid: Optional[RID] = None) -> None:

@@ -100,6 +100,19 @@ def build_parser() -> argparse.ArgumentParser:
         "saved database: checksum-verify the newest committed "
         "generation, reopen it, and fsck the reconstructed forest",
     )
+    chk.add_argument(
+        "--flow", action="store_true",
+        help="instead of building an engine, run the flow-aware "
+        "static analyzer (pin-balance, crash-point-coverage, "
+        "obs-isolation, shared-state) over the installed repro "
+        "sources and print the concurrency-readiness inventory",
+    )
+    chk.add_argument(
+        "--flow-baseline", default=None, metavar="JSON",
+        help="accepted-findings baseline for --flow (default: "
+        "tools/flow-baseline.json next to the source tree when "
+        "present); only NEW findings fail the check",
+    )
 
     from repro.obs.bench import SUITES
 
@@ -265,6 +278,9 @@ def cmd_check(args: argparse.Namespace) -> int:
     )
     from repro.warehouse.tpcd import TPCDGenerator
 
+    if args.flow:
+        return _check_flow(args)
+
     if args.checkpoint is not None:
         from repro.core.persistence import verify_checkpoint
 
@@ -290,6 +306,47 @@ def cmd_check(args: argparse.Namespace) -> int:
         print(refreshed.format())
         report.merge(refreshed)
     return 0 if report.ok else 1
+
+
+def _check_flow(args: argparse.Namespace) -> int:
+    """``repro check --flow``: flow-aware invariant analysis."""
+    import os
+
+    import repro
+    from repro.analysis.flowrules import (
+        analyze_paths,
+        apply_baseline,
+        format_inventory,
+        load_baseline,
+    )
+
+    package_dir = os.path.dirname(os.path.abspath(repro.__file__))
+    report = analyze_paths([package_dir])
+
+    baseline_path = args.flow_baseline
+    if baseline_path is None:
+        candidate = os.path.join(
+            os.path.dirname(os.path.dirname(package_dir)),
+            "tools",
+            "flow-baseline.json",
+        )
+        if os.path.exists(candidate):
+            baseline_path = candidate
+    suppressed = 0
+    findings = report.findings
+    if baseline_path is not None:
+        findings, suppressed = apply_baseline(
+            findings, load_baseline(baseline_path)
+        )
+
+    for finding in findings:
+        print(finding.format())
+    print(format_inventory(report.inventory))
+    print(
+        f"flow check: {len(findings)} new finding(s), "
+        f"{suppressed} baselined"
+    )
+    return 1 if findings else 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:

@@ -55,7 +55,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 Row = Tuple[object, ...]
 
-_REG = get_registry()
+_REG = get_registry()  # repro: guarded-by(MetricsRegistry._lock)
 _OBS_QUERIES = _REG.counter("query.cubetree.count")
 _OBS_QUERY_SIM_MS = _REG.histogram("query.cubetree.simulated_ms")
 _OBS_QUERY_WALL_MS = _REG.histogram("query.cubetree.wall_ms")

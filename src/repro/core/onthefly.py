@@ -44,7 +44,7 @@ from repro.warehouse.star import StarSchema
 
 Row = Tuple[object, ...]
 
-_REG = get_registry()
+_REG = get_registry()  # repro: guarded-by(MetricsRegistry._lock)
 _OBS_QUERIES = _REG.counter("query.onthefly.count")
 _OBS_QUERY_SIM_MS = _REG.histogram("query.onthefly.simulated_ms")
 _OBS_QUERY_WALL_MS = _REG.histogram("query.onthefly.wall_ms")

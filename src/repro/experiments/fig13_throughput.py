@@ -23,7 +23,7 @@ from repro.experiments.common import (
 )
 from repro.query.generator import RandomQueryGenerator
 
-PAPER = {"conventional_avg": 1.1, "cubetrees_avg": 10.1}
+PAPER = {"conventional_avg": 1.1, "cubetrees_avg": 10.1}  # repro: read-only
 
 
 def run(config: Optional[ExperimentConfig] = None, verbose: bool = True) -> Dict:

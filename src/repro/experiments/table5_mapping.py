@@ -25,13 +25,13 @@ from repro.experiments.common import (
 )
 
 #: SF-1 statistics used by the paper's selection.
-SF1_DISTINCT = {
+SF1_DISTINCT = {  # repro: read-only
     "partkey": 200_000.0,
     "suppkey": 10_000.0,
     "custkey": 150_000.0,
 }
 SF1_FACTS = 6_001_215
-SF1_CORRELATED = {frozenset({"partkey", "suppkey"}): 800_000.0}
+SF1_CORRELATED = {frozenset({"partkey", "suppkey"}): 800_000.0}  # repro: read-only
 
 
 def run(config: Optional[ExperimentConfig] = None, verbose: bool = True) -> Dict:

@@ -26,7 +26,7 @@ from repro.experiments.common import (
     print_table,
 )
 
-PAPER = {
+PAPER = {  # repro: read-only
     "conventional_views": "10h 58m 23s",
     "conventional_indexes": "51m 05s",
     "conventional_total": "11h 49m 28s",

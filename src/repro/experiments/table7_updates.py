@@ -29,7 +29,7 @@ from repro.experiments.common import (
 #: The paper's down-time window, as a multiple of its recompute time.
 WINDOW_OVER_RECOMPUTE = 24.0 / (12 + 59 / 60)
 
-PAPER = {
+PAPER = {  # repro: read-only
     "incremental": "> 24 hours",
     "recompute": "12h 59m 11s",
     "merge_pack": "8m 24s",

@@ -44,7 +44,7 @@ SUITES = ("smoke", "loading", "queries", "updates", "scalability")
 
 #: Default scale factor per suite (kept tiny: the bench guards against
 #: regressions, it does not reproduce the paper's figures).
-_DEFAULT_SCALES = {
+_DEFAULT_SCALES = {  # repro: read-only
     "smoke": 0.001,
     "loading": 0.002,
     "queries": 0.002,
@@ -56,7 +56,7 @@ _DEFAULT_SCALES = {
 #: workload (Fig. 13's shape): batches must be large enough to amortize
 #: a shared run pass, or the cost gate correctly refuses to share and
 #: the suite measures nothing but the fallback.
-_DEFAULT_QUERIES = {
+_DEFAULT_QUERIES = {  # repro: read-only
     "smoke": 5,
     "loading": 5,
     "queries": 50,

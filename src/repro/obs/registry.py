@@ -233,7 +233,7 @@ class MetricsRegistry:
 
 
 #: The process-wide registry every subsystem reports into.
-_REGISTRY = MetricsRegistry()
+_REGISTRY = MetricsRegistry()  # repro: guarded-by(MetricsRegistry._lock)
 
 
 def get_registry() -> MetricsRegistry:

@@ -31,8 +31,8 @@ from repro.obs.registry import get_registry
 #: Environment variable that switches span tracing on for a process.
 TRACE_ENV = "REPRO_TRACE"
 
-_FORCED: Optional[bool] = None
-_ENABLED: bool = False  # resolved cache; recomputed on set_tracing()
+_FORCED: Optional[bool] = None  # repro: worker-local
+_ENABLED: bool = False  # resolved cache; recomputed on set_tracing()  # repro: worker-local
 
 
 def _resolve() -> bool:
@@ -74,7 +74,7 @@ class _NoopSpan:
         return None
 
 
-_NOOP = _NoopSpan()
+_NOOP = _NoopSpan()  # repro: read-only
 
 
 class Span:

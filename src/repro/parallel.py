@@ -43,7 +43,7 @@ def worker_count(default: int = 1) -> int:
 #: Lazily-created pools, keyed by worker count and shared process-wide so
 #: repeated parallel stages amortize the fork cost instead of paying it
 #: per call.  ``concurrent.futures`` joins them at interpreter exit.
-_POOLS: dict = {}
+_POOLS: dict = {}  # repro: worker-local
 
 
 def shared_pool(workers: int) -> ProcessPoolExecutor:

@@ -47,7 +47,7 @@ def run_seek_probes(run_pages: float) -> float:
     """Leaf pages a binary seek over a run's first-keys touches."""
     return max(1.0, math.ceil(math.log2(max(2.0, run_pages))))
 
-_REG = get_registry()
+_REG = get_registry()  # repro: guarded-by(MetricsRegistry._lock)
 _OBS_DECISIONS = _REG.counter("router.decisions")
 _OBS_SCANS = _REG.counter("router.plans.scan")
 _OBS_ORDERED = _REG.counter("router.plans.ordered")

@@ -21,7 +21,7 @@ from repro.rtree.packing import PackedRun, free_tree, pack_rtree, sort_key
 from repro.rtree.tree import RTree
 from repro.storage.buffer import BufferPool
 
-_REG = get_registry()
+_REG = get_registry()  # repro: guarded-by(MetricsRegistry._lock)
 _OBS_MERGES = _REG.counter("rtree.merge_pack.count")
 _OBS_MERGED_ENTRIES = _REG.counter("rtree.merge_pack.entries")
 

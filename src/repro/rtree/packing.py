@@ -34,7 +34,7 @@ from repro.storage.buffer import BufferPool
 Point = Tuple[int, ...]
 Values = Tuple[float, ...]
 
-_REG = get_registry()
+_REG = get_registry()  # repro: guarded-by(MetricsRegistry._lock)
 _OBS_PACK_ENTRIES = _REG.counter("rtree.pack.entries")
 _OBS_PACK_LEAVES = _REG.counter("rtree.pack.leaves")
 _OBS_FREED_PAGES = _REG.counter("rtree.free_tree.pages")

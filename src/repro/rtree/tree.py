@@ -33,7 +33,7 @@ Values = Tuple[float, ...]
 #: (view_id, padded point, aggregate values) — what searches yield.
 Match = Tuple[int, Point, Values]
 
-_REG = get_registry()
+_REG = get_registry()  # repro: guarded-by(MetricsRegistry._lock)
 _OBS_SEARCHES = _REG.counter("rtree.searches")
 _OBS_INSERTS = _REG.counter("rtree.inserts")
 _OBS_RUN_SEARCHES = _REG.counter("rtree.run_searches")

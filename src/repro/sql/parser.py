@@ -15,7 +15,7 @@ from repro.sql.ast import (
 )
 from repro.sql.tokens import Token, TokenType, tokenize
 
-AGG_FUNCS = {"sum", "count", "min", "max", "avg"}
+AGG_FUNCS = {"sum", "count", "min", "max", "avg"}  # repro: read-only
 
 
 class _Parser:

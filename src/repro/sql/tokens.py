@@ -8,7 +8,7 @@ from typing import List
 
 from repro.errors import SQLError
 
-KEYWORDS = {
+KEYWORDS = {  # repro: read-only
     "select", "from", "where", "group", "by", "and", "as", "between",
     "sum", "count", "min", "max", "avg",
 }
@@ -36,7 +36,7 @@ class Token:
     position: int
 
 
-_SINGLE = {
+_SINGLE = {  # repro: read-only
     ",": TokenType.COMMA,
     ".": TokenType.DOT,
     "(": TokenType.LPAREN,

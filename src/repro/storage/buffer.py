@@ -40,7 +40,7 @@ from repro.storage.disk import DiskManager
 from repro.storage.page import Page
 
 # Process-wide observability counters (all pools in one snapshot).
-_REG = get_registry()
+_REG = get_registry()  # repro: guarded-by(MetricsRegistry._lock)
 _OBS_HITS = _REG.counter("buffer.hits")
 _OBS_MISSES = _REG.counter("buffer.misses")
 _OBS_EVICTIONS = _REG.counter("buffer.evictions")

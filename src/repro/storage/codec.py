@@ -87,7 +87,7 @@ class RecordCodec:
         self._str_indexes = tuple(str_indexes)
         # Repeated / strided struct caches: the counts seen in practice
         # are page slot counts and bulk-load tails, so these stay small.
-        self._repeated_cache: Dict[Tuple[int, int], struct.Struct] = {}
+        self._repeated_cache: Dict[Tuple[int, int], struct.Struct] = {}  # repro: worker-local
         self._strided_item: Dict[int, struct.Struct] = {}
 
     @property
@@ -285,7 +285,7 @@ class EntryCodec:
         return self.repeated(count).unpack_from(raw, offset)
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=None)  # repro: guarded-by(functools.lru_cache internal lock)
 def entry_codec(item_fmt: str) -> EntryCodec:
     """Shared :class:`EntryCodec` for a little-endian item format."""
     return EntryCodec(item_fmt)

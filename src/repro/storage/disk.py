@@ -16,7 +16,7 @@ from repro.errors import StorageError
 from repro.obs import get_registry
 from repro.storage.iomodel import IOCostModel
 
-_REG = get_registry()
+_REG = get_registry()  # repro: guarded-by(MetricsRegistry._lock)
 _OBS_ALLOCATED = _REG.counter("disk.pages_allocated")
 _OBS_FREED = _REG.counter("disk.pages_freed")
 

@@ -26,7 +26,7 @@ from repro.obs import get_registry
 # snapshot across every disk in the process).  Updated with bare attribute
 # increments so a page access costs two extra additions; the simulated
 # costing itself never reads these.
-_REG = get_registry()
+_REG = get_registry()  # repro: guarded-by(MetricsRegistry._lock)
 _OBS_SEQ_READS = _REG.counter("io.reads.sequential")
 _OBS_RND_READS = _REG.counter("io.reads.random")
 _OBS_SEQ_WRITES = _REG.counter("io.writes.sequential")

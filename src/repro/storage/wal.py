@@ -38,7 +38,7 @@ from repro.storage.iomodel import IOCostModel
 #: of a small aggregate row).
 DEFAULT_RECORD_BYTES = 64
 
-_REG = get_registry()
+_REG = get_registry()  # repro: guarded-by(MetricsRegistry._lock)
 _OBS_RECORDS = _REG.counter("wal.records")
 _OBS_PAGES = _REG.counter("wal.pages_written")
 _OBS_COMMITS = _REG.counter("wal.commits")

@@ -1,0 +1,193 @@
+"""Tests for the heuristic intra-project call graph."""
+
+import textwrap
+
+from repro.analysis.callgraph import CallGraph, module_name_for_path
+
+
+def graph_of(**sources):
+    return CallGraph.from_sources(
+        {
+            f"src/repro/{name.replace('__', '/')}.py": textwrap.dedent(src)
+            for name, src in sources.items()
+        }
+    )
+
+
+def test_module_name_for_path():
+    assert (
+        module_name_for_path("src/repro/obs/trace.py") == "repro.obs.trace"
+    )
+    assert (
+        module_name_for_path("/x/y/repro/storage/__init__.py")
+        == "repro.storage"
+    )
+    assert module_name_for_path("scratch.py") == "scratch"
+
+
+def test_local_call_resolution():
+    graph = graph_of(
+        core__a="""
+        def helper():
+            return 1
+
+        def top():
+            return helper()
+        """
+    )
+    assert graph.callees("repro.core.a:top") == {"repro.core.a:helper"}
+
+
+def test_from_import_resolution():
+    graph = graph_of(
+        core__a="""
+        def provide():
+            return 1
+        """,
+        core__b="""
+        from repro.core.a import provide
+
+        def consume():
+            return provide()
+        """,
+    )
+    assert graph.callees("repro.core.b:consume") == {
+        "repro.core.a:provide"
+    }
+
+
+def test_method_calls_resolve_receiver_agnostically_within_imports():
+    graph = graph_of(
+        core__a="""
+        class Widget:
+            def poke(self):
+                return 1
+        """,
+        core__b="""
+        from repro.core.a import Widget
+
+        def driver(w):
+            return w.poke()
+        """,
+        core__c="""
+        class Unrelated:
+            def poke(self):
+                return 2
+
+        def other(u):
+            return u.poke()
+        """,
+    )
+    # b imports from a: the bare-name edge lands on a's Widget.poke but
+    # NOT on c's Unrelated.poke (c is invisible to b)
+    assert graph.callees("repro.core.b:driver") == {
+        "repro.core.a:Widget.poke"
+    }
+    # c sees only its own module
+    assert graph.callees("repro.core.c:other") == {
+        "repro.core.c:Unrelated.poke"
+    }
+
+
+def test_stdlib_attribute_calls_are_external():
+    graph = graph_of(
+        core__a="""
+        import os
+
+        def move(a, b):
+            os.rename(a, b)
+        """
+    )
+    assert graph.callees("repro.core.a:move") == set()
+    info = graph.functions["repro.core.a:move"]
+    assert [site.target for site in info.calls] == ["ext:os.rename"]
+
+
+def test_nested_function_calls_not_attributed_to_parent():
+    graph = graph_of(
+        core__a="""
+        def inner_target():
+            return 1
+
+        def outer():
+            def closure():
+                return inner_target()
+            return closure
+        """
+    )
+    assert graph.callees("repro.core.a:outer") == set()
+    assert graph.callees("repro.core.a:outer.closure") == {
+        "repro.core.a:inner_target"
+    }
+
+
+def test_reaches_returns_call_chain():
+    graph = graph_of(
+        obs__r="""
+        from repro.storage.io import middle
+
+        def start():
+            return middle()
+        """,
+        storage__io="""
+        def record_write():
+            return 0
+
+        def middle():
+            return record_write()
+        """,
+    )
+    chain = graph.reaches(
+        "repro.obs.r:start",
+        lambda info: info.simple_name == "record_write",
+    )
+    assert chain == [
+        "repro.storage.io:middle",
+        "repro.storage.io:record_write",
+    ]
+    assert (
+        graph.reaches(
+            "repro.storage.io:record_write",
+            lambda info: info.simple_name == "start",
+        )
+        is None
+    )
+
+
+def test_callers_of_and_transitive_closure():
+    graph = graph_of(
+        core__a="""
+        def sink():
+            return 0
+
+        def direct():
+            return sink()
+
+        def indirect():
+            return direct()
+
+        def bystander():
+            return 1
+        """
+    )
+    callers = {
+        info.qualname for info in graph.callers_of("repro.core.a:sink")
+    }
+    assert callers == {"repro.core.a:direct"}
+    closed = graph.transitive_closure_matching({"repro.core.a:sink"})
+    assert closed == {
+        "repro.core.a:sink",
+        "repro.core.a:direct",
+        "repro.core.a:indirect",
+    }
+
+
+def test_syntax_error_files_are_skipped():
+    graph = CallGraph.from_sources(
+        {
+            "src/repro/core/bad.py": "def broken(:\n",
+            "src/repro/core/ok.py": "def fine():\n    return 1\n",
+        }
+    )
+    assert "repro.core.ok:fine" in graph.functions
+    assert all("bad" not in q for q in graph.functions)

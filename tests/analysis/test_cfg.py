@@ -1,0 +1,397 @@
+"""Tests for the statement-level CFG builder."""
+
+import ast
+import glob
+import os
+import textwrap
+
+import pytest
+
+from repro.analysis.cfg import (
+    build_cfg,
+    collect_statements,
+    iter_functions,
+    walk_statement,
+)
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+
+def cfg_of(source, name=None):
+    tree = ast.parse(textwrap.dedent(source))
+    funcs = dict(iter_functions(tree))
+    if name is None:
+        (name,) = [q for q in funcs if "." not in q]
+    return build_cfg(funcs[name]), funcs[name]
+
+
+def node_for(cfg, needle):
+    """The CFG node whose statement's source contains ``needle``."""
+    for node in cfg.nodes:
+        if node.stmt is not None and needle in ast.unparse(node.stmt).split(
+            "\n"
+        )[0]:
+            return node
+    raise AssertionError(f"no CFG node matching {needle!r}")
+
+
+def reachable_from(cfg, start, skip=frozenset()):
+    """Node indices reachable from ``start`` without entering ``skip``."""
+    seen = set()
+    frontier = [start]
+    while frontier:
+        idx = frontier.pop()
+        for succ in cfg.node(idx).succs:
+            if succ in seen or succ in skip:
+                continue
+            seen.add(succ)
+            frontier.append(succ)
+    return seen
+
+
+def must_pass_through(cfg, start, gate):
+    """True when every path start -> exit crosses ``gate``."""
+    return cfg.exit not in reachable_from(cfg, start, skip={gate})
+
+
+# ----------------------------------------------------------------------
+# edge semantics
+# ----------------------------------------------------------------------
+def test_straight_line_chain():
+    cfg, _ = cfg_of(
+        """
+        def f():
+            a = 1
+            b = 2
+            return a + b
+        """
+    )
+    a, b, ret = (node_for(cfg, s) for s in ("a = 1", "b = 2", "return"))
+    assert cfg.node(cfg.entry).succs == [a.index]
+    assert a.succs == [b.index]
+    assert b.succs == [ret.index]
+    assert ret.succs == [cfg.exit]
+
+
+def test_branch_rejoins_at_successor():
+    cfg, _ = cfg_of(
+        """
+        def f(x):
+            if x:
+                a = 1
+            else:
+                b = 2
+            c = 3
+        """
+    )
+    c = node_for(cfg, "c = 3")
+    assert c.index in node_for(cfg, "a = 1").succs
+    assert c.index in node_for(cfg, "b = 2").succs
+    # the If header only enters its arms, never skips to c directly
+    header = node_for(cfg, "if x")
+    assert c.index not in header.succs
+
+
+def test_early_return_leaves_later_code_unreachable():
+    cfg, _ = cfg_of(
+        """
+        def f(x):
+            if x:
+                return 1
+            y = 2
+            return y
+        """
+    )
+    ret = node_for(cfg, "return 1")
+    assert ret.succs == [cfg.exit]
+    # y = 2 is reachable only via the If fall-through, not after return 1
+    assert node_for(cfg, "y = 2").index not in reachable_from(
+        cfg, ret.index
+    )
+
+
+def test_loop_back_edge_and_exit():
+    cfg, _ = cfg_of(
+        """
+        def f(n):
+            while n:
+                n -= 1
+            return n
+        """
+    )
+    header = node_for(cfg, "while n")
+    body = node_for(cfg, "n -= 1")
+    assert header.index in body.succs  # back edge
+    assert node_for(cfg, "return n").index in header.succs
+
+
+def test_while_true_has_no_fallthrough_exit():
+    cfg, _ = cfg_of(
+        """
+        def f(n):
+            while True:
+                if n:
+                    break
+            return n
+        """
+    )
+    header = node_for(cfg, "while True")
+    ret = node_for(cfg, "return n")
+    # the loop is only left via break; the header never falls through
+    assert ret.index not in header.succs
+    assert ret.index in node_for(cfg, "break").succs
+
+
+def test_continue_targets_loop_header():
+    cfg, _ = cfg_of(
+        """
+        def f(xs):
+            for x in xs:
+                if x:
+                    continue
+                y = x
+            return 0
+        """
+    )
+    assert node_for(cfg, "for x in xs").index in node_for(
+        cfg, "continue"
+    ).succs
+
+
+def test_return_routes_through_finally():
+    cfg, _ = cfg_of(
+        """
+        def f(p):
+            try:
+                return p
+            finally:
+                release(p)
+        """
+    )
+    ret = node_for(cfg, "return p")
+    fin = node_for(cfg, "release(p)")
+    assert must_pass_through(cfg, ret.index, fin.index)
+
+
+def test_raise_reaches_handler_then_continues():
+    cfg, _ = cfg_of(
+        """
+        def f(x):
+            try:
+                raise ValueError(x)
+            except ValueError:
+                x = 0
+            return x
+        """
+    )
+    raiser = node_for(cfg, "raise ValueError")
+    handler_stmt = node_for(cfg, "x = 0")
+    assert handler_stmt.index in raiser.succs
+    assert node_for(cfg, "return x").index in handler_stmt.succs
+
+
+def test_uncaught_raise_routes_through_finally_to_exit():
+    cfg, _ = cfg_of(
+        """
+        def f(p):
+            try:
+                raise RuntimeError("boom")
+            finally:
+                release(p)
+        """
+    )
+    raiser = node_for(cfg, "raise RuntimeError")
+    fin = node_for(cfg, "release(p)")
+    assert must_pass_through(cfg, raiser.index, fin.index)
+    assert cfg.exit in reachable_from(cfg, raiser.index)
+
+
+def test_yield_abandonment_routes_through_finally():
+    cfg, _ = cfg_of(
+        """
+        def gen(p):
+            try:
+                yield p
+                after = 1
+            finally:
+                release(p)
+        """
+    )
+    yielder = node_for(cfg, "yield p")
+    fin = node_for(cfg, "release(p)")
+    # a closed generator resumes at the yield and runs the finally
+    assert must_pass_through(cfg, yielder.index, fin.index)
+
+
+def test_break_inside_try_finally_runs_finally_first():
+    cfg, _ = cfg_of(
+        """
+        def f(xs):
+            for x in xs:
+                try:
+                    break
+                finally:
+                    cleanup(x)
+            return 0
+        """
+    )
+    brk = node_for(cfg, "break")
+    fin = node_for(cfg, "cleanup(x)")
+    ret = node_for(cfg, "return 0")
+    assert brk.succs == [fin.index]
+    assert ret.index in fin.succs
+
+
+# ----------------------------------------------------------------------
+# helpers: walk_statement / collect_statements
+# ----------------------------------------------------------------------
+def test_walk_statement_stays_shallow():
+    stmt = ast.parse(
+        textwrap.dedent(
+            """
+            if cond(a):
+                body_call(b)
+            """
+        )
+    ).body[0]
+    names = {
+        n.id for n in walk_statement(stmt) if isinstance(n, ast.Name)
+    }
+    assert "a" in names  # the header's own expressions are walked
+    assert "b" not in names  # the body belongs to other CFG nodes
+
+
+def test_collect_statements_skips_nested_bodies():
+    tree = ast.parse(
+        textwrap.dedent(
+            """
+            def outer():
+                x = 1
+                def inner():
+                    y = 2
+                return x
+            """
+        )
+    )
+    funcs = dict(iter_functions(tree))
+    texts = [
+        ast.unparse(s).split("\n")[0]
+        for s in collect_statements(funcs["outer"])
+    ]
+    assert "x = 1" in texts
+    assert any(t.startswith("def inner") for t in texts)
+    assert "y = 2" not in texts  # inner's body is inner's CFG
+
+
+# ----------------------------------------------------------------------
+# the coverage property: every statement gets exactly one CFG node
+# ----------------------------------------------------------------------
+FIXTURES = [
+    """
+    def branchy(x):
+        if x > 0:
+            y = 1
+        elif x < 0:
+            y = -1
+        else:
+            y = 0
+        return y
+    """,
+    """
+    def loopy(xs):
+        total = 0
+        for x in xs:
+            if x is None:
+                continue
+            if x < 0:
+                break
+            total += x
+        else:
+            total = -total
+        while total > 10:
+            total //= 2
+        return total
+    """,
+    """
+    def guarded(path):
+        handle = acquire(path)
+        try:
+            data = handle.read()
+            if not data:
+                return None
+            return parse(data)
+        except ValueError:
+            return None
+        finally:
+            handle.close()
+    """,
+    """
+    def early(x):
+        if not x:
+            return 0
+        if x == 1:
+            raise ValueError(x)
+        return x * 2
+    """,
+    """
+    def gen(xs):
+        for x in xs:
+            try:
+                yield x
+            finally:
+                note(x)
+        yield from ()
+    """,
+    """
+    def nested(x):
+        def helper(y):
+            return y + 1
+        with open(x) as fh:
+            return helper(len(fh.read()))
+    """,
+    """
+    def matcher(cmd):
+        match cmd:
+            case "a":
+                out = 1
+            case _:
+                out = 2
+        return out
+    """,
+]
+
+
+def assert_exactly_once(func):
+    cfg = build_cfg(func)
+    expected = sorted(id(s) for s in collect_statements(func))
+    got = sorted(id(s) for s in cfg.statements())
+    assert got == expected, (
+        f"CFG of {func.name} covers {len(got)} statements, "
+        f"AST has {len(expected)}"
+    )
+    assert len(set(got)) == len(got)
+
+
+@pytest.mark.parametrize("source", FIXTURES, ids=lambda s: s.split()[1])
+def test_exactly_once_on_fixtures(source):
+    tree = ast.parse(textwrap.dedent(source))
+    for _qual, func in iter_functions(tree):
+        assert_exactly_once(func)
+
+
+def test_exactly_once_over_entire_source_tree():
+    """The property test of record: every statement of every function in
+    src/repro appears in its CFG exactly once."""
+    pattern = os.path.join(REPO_ROOT, "src", "repro", "**", "*.py")
+    paths = sorted(glob.glob(pattern, recursive=True))
+    assert len(paths) > 40
+    checked = 0
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            tree = ast.parse(handle.read(), filename=path)
+        for _qual, func in iter_functions(tree):
+            assert_exactly_once(func)
+            checked += 1
+    assert checked > 200

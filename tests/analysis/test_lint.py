@@ -1,5 +1,6 @@
 """Tests for the repo-specific AST lint rules and the tools/lint.py runner."""
 
+import json
 import os
 import subprocess
 import sys
@@ -383,3 +384,81 @@ def test_runner_rejects_missing_path(tmp_path):
     )
     assert proc.returncode == 2
     assert "no such path" in proc.stderr
+
+
+# ----------------------------------------------------------------------
+# the runner's flow-mode flags
+# ----------------------------------------------------------------------
+def test_runner_list_rules_includes_flow_rules():
+    proc = subprocess.run(
+        [sys.executable, LINT_RUNNER, "--list-rules"],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0
+    assert "pin-balance (flow):" in proc.stdout
+    assert "crash-point-coverage (flow):" in proc.stdout
+    assert "obs-isolation (flow):" in proc.stdout
+    assert "shared-state (flow):" in proc.stdout
+
+
+def test_runner_flow_is_clean_modulo_baseline():
+    proc = subprocess.run(
+        [sys.executable, LINT_RUNNER, "--flow"],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "2 baselined" in proc.stdout
+    assert "shared-state inventory" in proc.stdout
+
+
+def test_runner_json_format(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def f(pool, pid):\n"
+        "    page = pool.fetch_page(pid)\n"
+        "    return page.data\n"
+    )
+    out = tmp_path / "findings.json"
+    proc = subprocess.run(
+        [
+            sys.executable, LINT_RUNNER, str(bad),
+            "--flow", "--no-baseline", "--format", "json",
+            "--out", str(out),
+        ],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["schema_version"] == 1
+    (finding,) = payload["findings"]
+    assert finding["rule"] == "pin-balance"
+    assert set(finding) == {"rule", "path", "line", "message"}
+    assert json.loads(out.read_text()) == payload
+
+
+def test_runner_write_baseline_roundtrip(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def f(pool, pid):\n"
+        "    page = pool.fetch_page(pid)\n"
+        "    return page.data\n"
+    )
+    baseline = tmp_path / "baseline.json"
+    proc = subprocess.run(
+        [
+            sys.executable, LINT_RUNNER, str(bad),
+            "--write-baseline", str(baseline),
+        ],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0
+    assert "wrote 1 finding(s)" in proc.stdout
+    proc = subprocess.run(
+        [
+            sys.executable, LINT_RUNNER, str(bad),
+            "--flow", "--baseline", str(baseline),
+        ],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "1 baselined" in proc.stdout

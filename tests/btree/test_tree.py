@@ -196,3 +196,56 @@ def test_bulk_loaded_duplicate_runs_spanning_leaves():
     assert len(tree.search((1,))) == 600
     assert len(tree.search((2,))) == 600
     assert len(list(tree.range_scan((2,), (2,)))) == 600
+
+
+# ----------------------------------------------------------------------
+# pin balance: scans must unpin even when the iterator never finishes
+# ----------------------------------------------------------------------
+def pinned_pages(pool):
+    return [p.page_id for p in pool._all_pages() if p.pin_count > 0]
+
+
+def test_range_scan_abandoned_midway_unpins():
+    pool, tree = make_tree()
+    for i in range(2000):
+        tree.insert((i,), RID(0, i))
+    scan = tree.range_scan((0,), (1999,))
+    for _ in range(3):
+        next(scan)
+    scan.close()  # abandon with the leaf page still current
+    assert pinned_pages(pool) == []
+
+
+def test_scan_all_break_unpins():
+    pool, tree = make_tree()
+    for i in range(2000):
+        tree.insert((i,), RID(0, i))
+    for count, _entry in enumerate(tree.scan_all()):
+        if count == 5:
+            break
+    assert pinned_pages(pool) == []
+
+
+def test_exhausted_scans_unpin():
+    pool, tree = make_tree()
+    for i in range(500):
+        tree.insert((i,), RID(0, i))
+    assert len(list(tree.scan_all())) == 500
+    assert len(list(tree.range_scan((10,), (20,)))) == 11
+    assert pinned_pages(pool) == []
+
+
+def test_corrupt_leaf_chain_raises_without_leaking_pins():
+    from repro.errors import IntegrityError
+
+    pool, tree = make_tree()
+    for i in range(2000):
+        tree.insert((i,), RID(0, i))
+    # corrupt the leftmost leaf to point at the (interior) root
+    leaf_id = tree._leftmost_leaf()
+    node, page = tree._fetch_node(leaf_id)
+    node.next_leaf = tree.root_page_id
+    tree._flush_node(node, page)
+    with pytest.raises(IntegrityError):
+        list(tree.scan_all())
+    assert pinned_pages(pool) == []

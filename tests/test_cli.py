@@ -106,6 +106,21 @@ def test_check_reports_clean(capsys):
     assert "0 violation(s)" in out
 
 
+def test_check_flow_is_clean(capsys):
+    assert main(["check", "--flow"]) == 0
+    out = capsys.readouterr().out
+    assert "flow check: 0 new finding(s), 2 baselined" in out
+    assert "shared-state inventory" in out
+
+
+def test_check_flow_without_baseline_reports_accepted_findings(tmp_path, capsys):
+    empty = tmp_path / "empty-baseline.json"
+    empty.write_text('{"schema_version": 1, "findings": []}')
+    assert main(["check", "--flow", "--flow-baseline", str(empty)]) == 1
+    out = capsys.readouterr().out
+    assert "pin-balance" in out
+
+
 def test_check_with_increment(capsys):
     assert main(["check", "--scale", "0.0005", "--increment", "0.1"]) == 0
     out = capsys.readouterr().out
