@@ -136,6 +136,30 @@ def build_parser() -> argparse.ArgumentParser:
                      help="queries per lattice node in query phases "
                      "(default: per-suite, 5 except 50 for queries)")
 
+    srv = sub.add_parser(
+        "serve",
+        help="serve a generational database over HTTP with live refresh",
+    )
+    srv.add_argument("directory", help="database directory (gen-* layout)")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8642)
+    srv.add_argument("--retain", type=int, default=2,
+                     help="committed generations to keep on disk "
+                     "(pinned ones always survive; default 2)")
+    srv.add_argument("--refresh-interval", type=float, default=1.0,
+                     metavar="SECONDS",
+                     help="refresh-thread poll interval; 0 disables the "
+                     "thread (refresh only via POST /refresh)")
+    srv.add_argument("--max-depth", type=int, default=1024,
+                     help="admission queue bound; past it requests get "
+                     "HTTP 503 (default 1024)")
+    srv.add_argument("--bootstrap-scale", type=float, default=None,
+                     metavar="SCALE",
+                     help="when the directory has no committed "
+                     "generation, build one at this TPC-D scale first")
+    srv.add_argument("--seed", type=int, default=42,
+                     help="generator seed for --bootstrap-scale")
+
     sub.add_parser("info", help="print version and device parameters")
     return parser
 
@@ -395,6 +419,59 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: HTTP serving with snapshot-isolated refresh."""
+    from repro.core.persistence import newest_committed_number
+    from repro.server import (
+        CubetreeServer,
+        ServerConfig,
+        bootstrap_database,
+        make_http_server,
+    )
+
+    if newest_committed_number(args.directory) is None:
+        if args.bootstrap_scale is None:
+            print(
+                f"error: no committed generation in {args.directory!r}; "
+                f"pass --bootstrap-scale to build one",
+            )
+            return 1
+        report = bootstrap_database(
+            args.directory,
+            scale=args.bootstrap_scale,
+            seed=args.seed,
+            retain=args.retain,
+        )
+        print(
+            f"bootstrapped generation {report.generation}: "
+            f"{report.fact_rows} facts, {report.view_rows} view rows"
+        )
+
+    config = ServerConfig(
+        retain=args.retain,
+        max_admission_depth=args.max_depth,
+        refresh_interval=(
+            args.refresh_interval if args.refresh_interval > 0 else None
+        ),
+    )
+    server = CubetreeServer(args.directory, config).start()
+    httpd = make_http_server(server, host=args.host, port=args.port)
+    host, port = httpd.server_address[:2]
+    print(
+        f"serving generation {server.manager.current_number} of "
+        f"{args.directory} on http://{host}:{port} (Ctrl-C to stop)"
+    )
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        server.close()
+    return 0
+
+
 def cmd_info(_args: argparse.Namespace) -> int:
     """``repro info``: print version and device parameters."""
     print(f"repro {__version__}")
@@ -415,6 +492,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "query": cmd_query,
         "check": cmd_check,
         "bench": cmd_bench,
+        "serve": cmd_serve,
         "info": cmd_info,
     }
     return handlers[args.command](args)

@@ -27,6 +27,7 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Type,
 )
 
 from repro.constants import DEFAULT_BUFFER_PAGES
@@ -82,6 +83,7 @@ class CubetreeEngine:
         disk: Optional[DiskManager] = None,
         workers: Optional[int] = None,
         fast_scans: Optional[bool] = None,
+        pool_cls: Optional[Type[BufferPool]] = None,
     ) -> None:
         """``workers`` (default: ``REPRO_WORKERS``, i.e. 1) parallelizes
         the pure-CPU stages — cube-computation branches and merge-pack run
@@ -92,13 +94,19 @@ class CubetreeEngine:
         single queries execute through the packed-run fast path and the
         router cost plans accordingly; off, :meth:`query` keeps the
         classic interior descent and its exact simulated I/O.  Batched
-        execution (:meth:`query_batch`) always uses the run pass."""
+        execution (:meth:`query_batch`) always uses the run pass.
+
+        ``pool_cls`` picks the buffer-pool implementation (default
+        :class:`~repro.storage.buffer.BufferPool`); the serving layer
+        passes :class:`~repro.storage.buffer.SharedBufferPool` so pool
+        state stays sound under its worker threads."""
         self.schema = schema
         self.fast_scans = (
             _env_fast_scans() if fast_scans is None else fast_scans
         )
         self.disk = disk if disk is not None else DiskManager()
-        self.pool = BufferPool(self.disk, capacity=buffer_pages)
+        pool_factory = BufferPool if pool_cls is None else pool_cls
+        self.pool = pool_factory(self.disk, capacity=buffer_pages)
         self.workers = worker_count() if workers is None else max(1, workers)
         self.computation = ParallelCubeComputation(
             schema,

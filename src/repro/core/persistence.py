@@ -52,7 +52,7 @@ import os
 import re
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Collection, Dict, List, Optional, Tuple, Type
 
 from repro.constants import PAGE_SIZE
 from repro.core.engine import CubetreeEngine
@@ -235,6 +235,32 @@ def _committed(gen_path: str) -> bool:
     return os.path.exists(os.path.join(gen_path, MANIFEST_NAME))
 
 
+def list_generations(directory: str) -> List[Tuple[int, str, bool]]:
+    """Every on-disk generation: ``(number, path, committed)`` ascending.
+
+    The serving layer uses this to map generation numbers to directories
+    and to distinguish committed generations (manifest present) from the
+    crash debris recovery ignores.
+    """
+    return [
+        (number, path, _committed(path))
+        for number, path in _list_generations(directory)
+    ]
+
+
+def newest_committed_number(directory: str) -> Optional[int]:
+    """Number of the newest manifest-complete generation (None if none).
+
+    This is the database's visible version: a publish that crashed after
+    its manifest rename still moved this number forward, and the serving
+    layer's refresh recovery keys off exactly that."""
+    newest = None
+    for number, path in _list_generations(directory):
+        if _committed(path):
+            newest = number
+    return newest
+
+
 def _fsync_file(handle) -> None:
     handle.flush()
     os.fsync(handle.fileno())
@@ -312,6 +338,7 @@ def save_engine(
     directory: str,
     crash_point: Optional[CrashPoint] = None,
     retain: int = DEFAULT_RETAIN,
+    protect: Collection[int] = (),
 ) -> str:
     """Checkpoint a loaded CubetreeEngine into a new generation.
 
@@ -321,7 +348,10 @@ def save_engine(
     a merge-pack.  ``retain`` committed generations are kept; older ones
     (and any uncommitted partials) are pruned only after the new manifest
     is in place, so a crash at any point keeps the last committed
-    generation reopenable.
+    generation reopenable.  Generation numbers in ``protect`` are never
+    pruned regardless of ``retain`` — the serving layer passes the set of
+    reader-pinned generations so a snapshot someone is still reading from
+    keeps its files.
     """
     forest = engine.forest
     if forest is None:
@@ -389,12 +419,22 @@ def save_engine(
 
     # 5. only now retire older generations (and stale partials)
     _crash_hit(crash_point, "checkpoint prune")
-    _prune(directory, keep_newest=number, retain=retain)
+    _prune(directory, keep_newest=number, retain=retain, protect=protect)
     return gen_path
 
 
-def _prune(directory: str, keep_newest: int, retain: int) -> None:
-    """Remove uncommitted partials and committed gens beyond ``retain``."""
+def _prune(
+    directory: str,
+    keep_newest: int,
+    retain: int,
+    protect: Collection[int] = (),
+) -> None:
+    """Remove uncommitted partials and committed gens beyond ``retain``.
+
+    Numbers in ``protect`` (committed generations still pinned by a
+    reader) are kept no matter how old they are; uncommitted partials are
+    never protectable — nothing can pin crash debris.
+    """
     import shutil
 
     committed = [
@@ -404,10 +444,35 @@ def _prune(directory: str, keep_newest: int, retain: int) -> None:
     ]
     keep = {number for number, _ in committed[-retain:]}
     keep.add(keep_newest)
+    keep.update(number for number, _path in committed if number in set(protect))
     for number, path in _list_generations(directory):
         if number in keep:
             continue
         shutil.rmtree(path, ignore_errors=True)
+
+
+def prune_generations(
+    directory: str,
+    retain: int = DEFAULT_RETAIN,
+    protect: Collection[int] = (),
+    crash_point: Optional[CrashPoint] = None,
+) -> None:
+    """Retire prunable generations of a saved database.
+
+    The standalone companion to the prune step of :func:`save_engine`:
+    keeps the newest ``retain`` committed generations plus every number
+    in ``protect`` (reader-pinned snapshots), removes everything else —
+    including uncommitted partials left by crashes.  No-op when the
+    directory holds no committed generation (there is nothing safe to
+    judge "older than").
+    """
+    if retain < 1:
+        raise ValueError("retain must be >= 1")
+    newest = newest_committed_number(directory)
+    if newest is None:
+        return
+    _crash_hit(crash_point, "checkpoint prune")
+    _prune(directory, keep_newest=newest, retain=retain, protect=protect)
 
 
 # ----------------------------------------------------------------------
@@ -582,7 +647,9 @@ def _has_v1_layout(directory: str) -> bool:
     )
 
 
-def load_engine(directory: str) -> CubetreeEngine:
+def load_engine(
+    directory: str, pool_cls: Optional[Type] = None
+) -> CubetreeEngine:
     """Reopen a database saved by :func:`save_engine`.
 
     Recovery rule: the newest generation whose ``MANIFEST.json`` exists is
@@ -591,7 +658,9 @@ def load_engine(directory: str) -> CubetreeEngine:
     before a single page is trusted — a torn or bit-flipped checkpoint
     raises :class:`CorruptCheckpointError` instead of silently loading.
     Directories written by format v1 (flat ``meta.json`` + ``pages.bin``)
-    are still readable.
+    are still readable.  ``pool_cls`` is forwarded to the reopened
+    engine's buffer pool (the serving layer passes
+    :class:`~repro.storage.buffer.SharedBufferPool`).
     """
     newest, _partials = _newest_committed(directory)
     if newest is not None:
@@ -606,18 +675,23 @@ def load_engine(directory: str) -> CubetreeEngine:
             os.path.join(newest, META_NAME),
             os.path.join(newest, PAGES_NAME),
             expected_version=FORMAT_VERSION,
+            pool_cls=pool_cls,
         )
     if _has_v1_layout(directory):
         return _load_layout(
             os.path.join(directory, META_NAME),
             os.path.join(directory, PAGES_NAME),
             expected_version=1,
+            pool_cls=pool_cls,
         )
     raise PersistenceError(f"no saved database in {directory!r}")
 
 
 def _load_layout(
-    meta_path: str, pages_path: str, expected_version: int
+    meta_path: str,
+    pages_path: str,
+    expected_version: int,
+    pool_cls: Optional[Type] = None,
 ) -> CubetreeEngine:
     with open(meta_path) as handle:
         meta = json.load(handle)
@@ -650,6 +724,7 @@ def _load_layout(
         hierarchies=hierarchies,
         buffer_pages=int(meta.get("buffer_pages", 256)),
         disk=disk,
+        pool_cls=pool_cls,
     )
     engine.base_views = [_view_from_json(v) for v in meta["base_views"]]
     engine.replicas = {

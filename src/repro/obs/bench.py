@@ -24,7 +24,7 @@ import platform
 import sys
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from repro import __version__
 from repro.constants import (
@@ -40,7 +40,7 @@ from repro.obs.trace import tracing_override
 SCHEMA_VERSION = 1
 
 #: Suites in the order ``--suite`` lists them.
-SUITES = ("smoke", "loading", "queries", "updates", "scalability")
+SUITES = ("smoke", "loading", "queries", "updates", "scalability", "serving")
 
 #: Default scale factor per suite (kept tiny: the bench guards against
 #: regressions, it does not reproduce the paper's figures).
@@ -50,6 +50,7 @@ _DEFAULT_SCALES = {  # repro: read-only
     "queries": 0.002,
     "updates": 0.002,
     "scalability": 0.0005,
+    "serving": 0.001,
 }
 
 #: Default queries per lattice node.  The queries suite is a throughput
@@ -62,6 +63,7 @@ _DEFAULT_QUERIES = {  # repro: read-only
     "queries": 50,
     "updates": 5,
     "scalability": 5,
+    "serving": 5,
 }
 
 
@@ -418,6 +420,258 @@ def _suite_scalability(
     return run.result()
 
 
+def _empty_io() -> Dict[str, int]:
+    return {
+        "sequential_reads": 0,
+        "random_reads": 0,
+        "sequential_writes": 0,
+        "random_writes": 0,
+    }
+
+
+def _wall_only_phase(
+    name: str, wall_ms: float, serving: Dict[str, Any]
+) -> Dict[str, object]:
+    """A concurrency phase: wall-clock + serving stats, no cost model.
+
+    Concurrent schedules are timing-dependent, so these phases carry
+    ``wall_only: True`` and :func:`compare` never gates on them — the
+    deterministic phases of the same suite still guard the cost model.
+    """
+    return {
+        "name": name,
+        "wall_only": True,
+        "simulated_ms": 0.0,
+        "overhead_ms": 0.0,
+        "wall_ms": wall_ms,
+        "io": _empty_io(),
+        "buffer": {
+            "hits": 0, "misses": 0, "evictions": 0, "new_pages": 0,
+            "unpins": 0, "scan_admissions": 0, "promotions": 0,
+            "readahead_pages": 0, "accesses": 0, "hit_ratio": None,
+        },
+        "serving": serving,
+    }
+
+
+def _percentile(ordered: List[float], fraction: float) -> float:
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[rank]
+
+
+def _concurrent_load(
+    server, workload, threads: int, rounds: int, refresher=None
+) -> Dict[str, Any]:
+    """Hammer the server from ``threads`` client threads; summarize.
+
+    Each thread replays the workload ``rounds`` times, staggered by
+    thread index so concurrent arrivals hit different queries (that is
+    what exercises per-round coalescing across clients).  ``refresher``,
+    when given, runs on its own thread between a start barrier and the
+    clients draining — the "qps under refresh" configuration.
+    """
+    import threading as _threading
+
+    latencies: List[float] = []
+    generations: List[int] = []
+    errors: List[str] = []
+    lock = _threading.Lock()
+    barrier = _threading.Barrier(threads + 1 + (1 if refresher else 0))
+
+    def client(offset: int) -> None:
+        local_lat: List[float] = []
+        local_gen: List[int] = []
+        local_err: List[str] = []
+        barrier.wait()
+        for round_index in range(rounds):
+            for index in range(len(workload)):
+                query = workload[(offset + index) % len(workload)]
+                start = time.perf_counter()
+                try:
+                    served = server.query(query)
+                except Exception as exc:  # noqa: BLE001 - tallied, not raised
+                    local_err.append(str(exc))
+                    continue
+                local_lat.append((time.perf_counter() - start) * 1000.0)
+                local_gen.append(served.generation)
+        with lock:
+            latencies.extend(local_lat)
+            generations.extend(local_gen)
+            errors.extend(local_err)
+
+    workers = [
+        _threading.Thread(target=client, args=(i,), daemon=True)
+        for i in range(threads)
+    ]
+    refresh_outcomes: List[Dict[str, object]] = []
+    stop_refresh = _threading.Event()
+    if refresher is not None:
+        def run_refresher() -> None:
+            barrier.wait()
+            refresh_outcomes.extend(refresher(stop_refresh))
+
+        refresh_thread = _threading.Thread(target=run_refresher, daemon=True)
+        refresh_thread.start()
+    for worker in workers:
+        worker.start()
+    barrier.wait()
+    wall_start = time.perf_counter()
+    for worker in workers:
+        worker.join()
+    wall_s = time.perf_counter() - wall_start
+    if refresher is not None:
+        stop_refresh.set()
+        refresh_thread.join()
+    ordered = sorted(latencies)
+    total = len(latencies)
+    return {
+        "threads": threads,
+        "rounds": rounds,
+        "queries": total,
+        "errors": len(errors),
+        "error_samples": errors[:3],
+        "qps": total / wall_s if wall_s > 0 else 0.0,
+        "p50_ms": _percentile(ordered, 0.50),
+        "p95_ms": _percentile(ordered, 0.95),
+        "generations_observed": sorted(set(generations)),
+        "refreshes": refresh_outcomes,
+        "wall_s": wall_s,
+    }
+
+
+def _suite_serving(scale: float, seed: int, queries: int) -> Dict[str, object]:
+    """Concurrent serving under refresh (the PR 7 server, Sec. 5's claim).
+
+    Two deterministic phases guard the cost model — ``serve_queries``
+    (the admission path answers the workload serially) and ``refresh``
+    (builder load + merge-pack + publish, measured on the builder's own
+    pool) — then two ``wall_only`` phases measure concurrency itself:
+    ``concurrent_baseline`` (client threads, no refresh) and
+    ``concurrent_refresh`` (same load with refresh cycles publishing new
+    generations mid-flight).  The headline number is the qps ratio
+    between those two: zero-downtime refresh means it stays near 1.
+    """
+    import shutil
+    import tempfile
+
+    from repro.experiments.common import FIG12_NODES, build_warehouse
+    from repro.query.generator import RandomQueryGenerator
+    from repro.server import CubetreeServer, ServerConfig, bootstrap_database
+
+    config, run = _make_config("serving", scale, seed, queries)
+    tmpdir = tempfile.mkdtemp(prefix="repro-bench-serving-")
+    try:
+        bootstrap_database(tmpdir, scale=scale, seed=seed)
+        generator, _data = build_warehouse(config)
+        server = CubetreeServer(tmpdir, ServerConfig(retain=2)).start()
+        try:
+            qgen = RandomQueryGenerator(
+                server.schema, seed=config.query_seed
+            )
+            workload = [
+                query
+                for node in FIG12_NODES[:4]
+                for query in qgen.generate_for_node(node, queries)
+            ]
+
+            handle = server.manager.acquire()
+            try:
+                with run.phase("serve_queries", handle.engine.pool):
+                    for query in workload:
+                        server.query(query)
+            finally:
+                server.manager.release(handle)
+
+            delta = generator.generate_increment(
+                config.increment_fraction, stream="bench-refresh-0"
+            )
+            wall_start = time.perf_counter()
+            server.submit_delta(delta)
+            outcome = server.refresh_now()
+            if outcome.status != "published":
+                raise RuntimeError(
+                    f"serving bench refresh failed: {outcome.error}"
+                )
+            handle = server.manager.acquire()
+            try:
+                # The published engine IS the refresh builder, so its
+                # pool's lifetime counters are exactly the refresh cost:
+                # reload + merge-pack + checkpoint.
+                run.phases.append(
+                    _absolute_phase(
+                        "refresh", handle.engine.pool,
+                        (time.perf_counter() - wall_start) * 1000.0,
+                    )
+                )
+            finally:
+                server.manager.release(handle)
+
+            threads, rounds = 4, 4
+            wall_start = time.perf_counter()
+            baseline = _concurrent_load(server, workload, threads, rounds)
+            run.phases.append(
+                _wall_only_phase(
+                    "concurrent_baseline",
+                    (time.perf_counter() - wall_start) * 1000.0,
+                    baseline,
+                )
+            )
+
+            def refresher(stop) -> List[Dict[str, object]]:
+                # Two refresh cycles spaced across the client run: long
+                # enough to overlap real query traffic, short enough
+                # that merge-pack (pure Python, GIL-bound) does not
+                # dominate the measured window.
+                outcomes: List[Dict[str, object]] = []
+                stream = 1
+                while not stop.is_set() and stream <= 2:
+                    if stop.wait(0.05):
+                        break
+                    rows = generator.generate_increment(
+                        config.increment_fraction / 5,
+                        stream=f"bench-refresh-{stream}",
+                    )
+                    server.submit_delta(rows)
+                    outcomes.append(server.refresh_now().as_dict())
+                    stream += 1
+                return outcomes
+
+            wall_start = time.perf_counter()
+            under_refresh = _concurrent_load(
+                server, workload, threads, rounds, refresher=refresher
+            )
+            run.phases.append(
+                _wall_only_phase(
+                    "concurrent_refresh",
+                    (time.perf_counter() - wall_start) * 1000.0,
+                    under_refresh,
+                )
+            )
+
+            baseline_qps = float(baseline["qps"])
+            refresh_qps = float(under_refresh["qps"])
+            result = run.result()
+            result["serving_summary"] = {
+                "baseline_qps": baseline_qps,
+                "refresh_qps": refresh_qps,
+                "qps_ratio": (
+                    refresh_qps / baseline_qps if baseline_qps else 0.0
+                ),
+                "errors": int(baseline["errors"])
+                + int(under_refresh["errors"]),
+                "generations_observed": under_refresh[
+                    "generations_observed"
+                ],
+            }
+            return result
+        finally:
+            server.close()
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
 # ----------------------------------------------------------------------
 # comparison + reporting
 # ----------------------------------------------------------------------
@@ -444,6 +698,10 @@ def compare(
         name = phase["name"]  # type: ignore[index]
         base = old_phases.get(name)
         if base is None:
+            continue
+        # Concurrency phases measure wall-clock schedules, not the
+        # deterministic cost model; they never gate a comparison.
+        if phase.get("wall_only") or base.get("wall_only"):  # type: ignore[union-attr]
             continue
         old_ms = float(base["simulated_ms"])  # type: ignore[index, arg-type]
         new_ms = float(phase["simulated_ms"])  # type: ignore[index, arg-type]

@@ -15,6 +15,21 @@ Metrics are owned by a :class:`MetricsRegistry`; the module-level
 report into.  ``reset()`` zeroes every metric *in place* — registered
 handles held by other modules keep working across resets, which is what
 lets tests snapshot/reset around a single operation.
+
+Thread-safety contract
+----------------------
+The serving layer (:mod:`repro.server`) updates metrics from HTTP worker
+threads, the admission executor, and the refresh thread concurrently, so
+every *method* entry point — :meth:`Counter.inc`, :meth:`Gauge.set`,
+:meth:`Gauge.add`, :meth:`Histogram.observe`, and each ``reset`` /
+``snapshot`` — takes the metric's own lock and is safe under concurrent
+writers.  The bare ``counter.value += 1`` fast path deliberately stays
+lock-free: it is reserved for the single-writer simulation hot paths
+(engine execution is serialized per engine by the admission queue and the
+refresh lock), where a lock per page access would be pure overhead.
+Multi-threaded writers must use the method API.  Registry-level
+``snapshot``/``reset`` copy the metric tables under the registry lock, so
+they cannot race concurrent registration either.
 """
 
 from __future__ import annotations
@@ -32,23 +47,31 @@ DEFAULT_RESERVOIR = 8192
 class Counter:
     """A monotonically increasing total.
 
-    Hot paths may bypass :meth:`inc` and do ``counter.value += n``
-    directly; both are supported and equivalent.
+    Hot paths on single-writer simulation code may bypass :meth:`inc` and
+    do ``counter.value += n`` directly; concurrent writers (server
+    threads) must use :meth:`inc`, which is lock-guarded.
     """
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: Number = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: Number = 1) -> None:
-        """Add ``amount`` (may be fractional, e.g. milliseconds)."""
-        self.value += amount
+        """Add ``amount`` (may be fractional, e.g. milliseconds).
+
+        Safe under concurrent writers: the read-modify-write happens
+        under this metric's lock.
+        """
+        with self._lock:
+            self.value += amount
 
     def reset(self) -> None:
         """Zero the counter in place."""
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
     def snapshot(self) -> Number:
         """Current total."""
@@ -58,19 +81,32 @@ class Counter:
 class Gauge:
     """A last-written value."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: Number = 0
+        self._lock = threading.Lock()
 
     def set(self, value: Number) -> None:
         """Record the current level."""
-        self.value = value
+        with self._lock:
+            self.value = value
+
+    def add(self, delta: Number) -> None:
+        """Shift the level by ``delta`` (atomic read-modify-write).
+
+        The serving layer uses this for up/down levels — in-flight
+        queries, pinned generations, admission depth — where two threads
+        adjusting concurrently must never lose an update.
+        """
+        with self._lock:
+            self.value += delta
 
     def reset(self) -> None:
         """Zero the gauge in place."""
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
     def snapshot(self) -> Number:
         """Current level."""
@@ -83,11 +119,14 @@ class Histogram:
     Keeps at most ``reservoir`` samples: once full, every second sample is
     dropped and the keep-rate halves, so the summary stays representative
     while memory stays bounded.  ``count``/``sum``/``max`` remain exact
-    regardless of downsampling.
+    regardless of downsampling.  :meth:`observe` is a multi-step update
+    (totals plus reservoir bookkeeping), so it — and every reader of the
+    reservoir — takes the histogram's lock; interleaved lock-free calls
+    could tear the reservoir state.
     """
 
     __slots__ = ("name", "count", "total", "max", "_samples", "_keep_every",
-                 "_skip", "_reservoir")
+                 "_skip", "_reservoir", "_lock")
 
     def __init__(self, name: str, reservoir: int = DEFAULT_RESERVOIR) -> None:
         self.name = name
@@ -98,50 +137,70 @@ class Histogram:
         self._samples: List[float] = []
         self._keep_every = 1
         self._skip = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: Number) -> None:
-        """Record one sample."""
+        """Record one sample (safe under concurrent writers)."""
         v = float(value)
-        self.count += 1
-        self.total += v
-        if v > self.max:
-            self.max = v
-        self._skip += 1
-        if self._skip >= self._keep_every:
-            self._skip = 0
-            self._samples.append(v)
-            if len(self._samples) >= self._reservoir:
-                # Halve the reservoir and the keep rate.
-                self._samples = self._samples[::2]
-                self._keep_every *= 2
+        with self._lock:
+            self.count += 1
+            self.total += v
+            if v > self.max:
+                self.max = v
+            self._skip += 1
+            if self._skip >= self._keep_every:
+                self._skip = 0
+                self._samples.append(v)
+                if len(self._samples) >= self._reservoir:
+                    # Halve the reservoir and the keep rate.
+                    self._samples = self._samples[::2]
+                    self._keep_every *= 2
 
     def percentile(self, fraction: float) -> float:
         """Nearest-rank percentile over the retained samples (0 if empty)."""
-        if not self._samples:
+        with self._lock:
+            ordered = sorted(self._samples)
+        if not ordered:
             return 0.0
-        ordered = sorted(self._samples)
         rank = min(len(ordered) - 1, int(fraction * len(ordered)))
         return ordered[rank]
 
     def reset(self) -> None:
         """Zero the histogram in place."""
-        self.count = 0
-        self.total = 0.0
-        self.max = 0.0
-        self._samples.clear()
-        self._keep_every = 1
-        self._skip = 0
+        with self._lock:
+            self.count = 0
+            self.total = 0.0
+            self.max = 0.0
+            self._samples.clear()
+            self._keep_every = 1
+            self._skip = 0
 
     def snapshot(self) -> Dict[str, float]:
-        """Summary dict: count, sum, mean, p50, p95, max."""
-        mean = self.total / self.count if self.count else 0.0
+        """Summary dict: count, sum, mean, p50, p95, max.
+
+        Taken under the lock so a concurrent :meth:`observe` cannot be
+        seen half-applied (count moved, sum not yet).
+        """
+        with self._lock:
+            count = self.count
+            total = self.total
+            maximum = self.max
+            ordered = sorted(self._samples)
+
+        def _pct(fraction: float) -> float:
+            if not ordered:
+                return 0.0
+            rank = min(len(ordered) - 1, int(fraction * len(ordered)))
+            return ordered[rank]
+
+        mean = total / count if count else 0.0
         return {
-            "count": self.count,
-            "sum": self.total,
+            "count": count,
+            "sum": total,
             "mean": mean,
-            "p50": self.percentile(0.50),
-            "p95": self.percentile(0.95),
-            "max": self.max,
+            "p50": _pct(0.50),
+            "p95": _pct(0.95),
+            "max": maximum,
         }
 
 
@@ -149,9 +208,11 @@ class MetricsRegistry:
     """Owns every metric; hands out (and deduplicates) handles by name.
 
     Registration is locked (modules register at import time from any
-    thread); the update paths are deliberately lock-free — CPython
-    attribute increments are atomic enough for monitoring counters, and
-    the repo's engines are single-threaded per simulation anyway.
+    thread).  Update paths go through each metric's own lock (method API)
+    or stay lock-free on single-writer hot paths (bare ``value += 1``;
+    see the module docstring for the contract).  ``snapshot``/``reset``
+    copy the metric tables under the registry lock so concurrent
+    registration cannot invalidate the iteration.
     """
 
     def __init__(self) -> None:
@@ -201,27 +262,33 @@ class MetricsRegistry:
         a bench consumer can rely on a metric existing once the code
         path that registers it has been imported.
         """
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
         return {
             "counters": {
-                name: metric.snapshot()
-                for name, metric in sorted(self._counters.items())
+                name: metric.snapshot() for name, metric in counters
             },
             "gauges": {
-                name: metric.snapshot()
-                for name, metric in sorted(self._gauges.items())
+                name: metric.snapshot() for name, metric in gauges
             },
             "histograms": {
-                name: metric.snapshot()
-                for name, metric in sorted(self._histograms.items())
+                name: metric.snapshot() for name, metric in histograms
             },
         }
 
     def reset(self) -> None:
         """Zero every metric in place (handles stay valid)."""
         with self._lock:
-            for group in (self._counters, self._gauges, self._histograms):
-                for metric in group.values():
-                    metric.reset()
+            groups = [
+                list(self._counters.values()),
+                list(self._gauges.values()),
+                list(self._histograms.values()),
+            ]
+        for group in groups:
+            for metric in group:
+                metric.reset()
 
     def get(self, name: str) -> Optional[Union[Counter, Gauge, Histogram]]:
         """Look up a metric of any kind by name (None when unregistered)."""

@@ -1,0 +1,52 @@
+"""Concurrent OLAP serving over a generational Cubetree database.
+
+The paper's operational claim (Sec. 5) is that merge-pack rebuilds the
+aggregate views into a *new* storage generation and swaps it in
+atomically, so queries never block on bulk incremental updates.  The
+generational checkpoints of :mod:`repro.core.persistence` are that
+substrate; this package puts a long-lived, thread-safe serving layer on
+top of it:
+
+* :mod:`repro.server.generations` — refcounted
+  :class:`~repro.server.generations.GenerationHandle` snapshots over the
+  checkpoint manifests; readers pin a generation, publishes swap the
+  current one, files are pruned only when a generation's pin count is
+  zero.
+* :mod:`repro.server.admission` — an admission queue that coalesces
+  concurrent slice queries into shared
+  :meth:`~repro.core.engine.CubetreeEngine.query_batch` passes and
+  serializes execution per engine.
+* :mod:`repro.server.service` — :class:`~repro.server.service.CubetreeServer`,
+  the long-lived service object: snapshot-isolated queries, a background
+  refresh thread running merge-pack + atomic publish, metrics.
+* :mod:`repro.server.http` — the stdlib ``ThreadingHTTPServer`` JSON API
+  behind ``repro serve``.
+
+See ``docs/SERVING.md`` for the API and the snapshot-isolation model.
+"""
+
+from repro.server.admission import AdmissionError, AdmissionQueue
+from repro.server.generations import GenerationHandle, GenerationManager
+from repro.server.http import make_http_server
+from repro.server.service import (
+    CubetreeServer,
+    RefreshOutcome,
+    ServedResult,
+    ServerConfig,
+    ServerError,
+    bootstrap_database,
+)
+
+__all__ = [
+    "AdmissionError",
+    "AdmissionQueue",
+    "CubetreeServer",
+    "GenerationHandle",
+    "GenerationManager",
+    "RefreshOutcome",
+    "ServedResult",
+    "ServerConfig",
+    "ServerError",
+    "bootstrap_database",
+    "make_http_server",
+]

@@ -29,6 +29,7 @@ simulated-I/O baselines cannot drift.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Sequence, Set
@@ -376,3 +377,71 @@ class BufferPool:
             (v for v in victims if v.dirty), key=lambda p: p.page_id
         ):
             self.disk.write_page(victim.page_id, bytes(victim.data))
+
+
+class SharedBufferPool(BufferPool):
+    """A :class:`BufferPool` whose public surface is guarded by one lock.
+
+    The serving layer (:mod:`repro.server`) keeps several engines alive at
+    once — one per pinned generation plus the refresh builder — and while
+    the admission queue serializes *query execution* per engine, defence
+    in depth demands the pool itself stay structurally sound if two
+    threads ever reach it concurrently (an HTTP stats probe racing the
+    executor, a future sharded executor).  Every mutating entry point
+    takes the pool's re-entrant lock; the wrapped operations are exactly
+    the single-threaded ones, so simulated I/O is byte-identical to a
+    plain :class:`BufferPool` under any serial schedule.
+
+    The lock is re-entrant because flush/eviction paths call back into
+    sibling public methods (``flush_all`` -> ``flush_page``).
+    """
+
+    def __init__(
+        self,
+        disk: DiskManager,
+        capacity: int = DEFAULT_BUFFER_PAGES,
+        eviction_batch: int = 64,
+    ) -> None:
+        super().__init__(disk, capacity=capacity, eviction_batch=eviction_batch)
+        # Guards _frames/_probation/_sticky/stats across server threads.
+        self._lock = threading.RLock()  # repro: guarded-by(self._lock)
+
+    def fetch_page(self, page_id: int, scan: bool = False) -> Page:
+        with self._lock:
+            return super().fetch_page(page_id, scan=scan)
+
+    def new_page(self) -> Page:
+        with self._lock:
+            return super().new_page()
+
+    def unpin_page(self, page_id: int, dirty: bool = False) -> None:
+        with self._lock:
+            super().unpin_page(page_id, dirty=dirty)
+
+    def prefetch_run(self, page_ids: Sequence[int]) -> int:
+        with self._lock:
+            return super().prefetch_run(page_ids)
+
+    def protect_page(self, page_id: int) -> None:
+        with self._lock:
+            super().protect_page(page_id)
+
+    def unprotect_page(self, page_id: int) -> None:
+        with self._lock:
+            super().unprotect_page(page_id)
+
+    def flush_page(self, page_id: int) -> None:
+        with self._lock:
+            super().flush_page(page_id)
+
+    def flush_all(self) -> None:
+        with self._lock:
+            super().flush_all()
+
+    def clear(self) -> None:
+        with self._lock:
+            super().clear()
+
+    def discard_page(self, page_id: int) -> None:
+        with self._lock:
+            super().discard_page(page_id)

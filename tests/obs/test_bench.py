@@ -79,6 +79,7 @@ class TestRunSuite:
     def test_suite_names(self):
         assert SUITES == (
             "smoke", "loading", "queries", "updates", "scalability",
+            "serving",
         )
 
 
@@ -108,6 +109,21 @@ class TestCompare:
         old = self._doc([("load", 100.0)])
         new = self._doc([("load", 119.0)])
         assert compare(old, new, threshold=0.2) == []
+
+    def test_wall_only_phases_never_gate(self):
+        # Concurrency phases (serving suite) are timing-dependent; even
+        # a huge simulated_ms delta on them must not fail a comparison.
+        old = self._doc([("serve_queries", 100.0)])
+        new = self._doc([("serve_queries", 100.0)])
+        old["phases"].append(
+            {"name": "concurrent_refresh", "simulated_ms": 10.0,
+             "wall_only": True}
+        )
+        new["phases"].append(
+            {"name": "concurrent_refresh", "simulated_ms": 500.0,
+             "wall_only": True}
+        )
+        assert compare(old, new) == []
 
     def test_improvement_passes(self):
         old = self._doc([("load", 100.0)])

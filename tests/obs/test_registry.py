@@ -146,3 +146,117 @@ class TestRegistry:
         ):
             assert name in snap["counters"], name
         assert "query.cubetree.simulated_ms" in snap["histograms"]
+
+
+class TestThreadSafety:
+    """The method API must not lose updates under concurrent writers.
+
+    The serving layer updates metrics from HTTP workers, the admission
+    executor, and the refresh thread at once; lost increments here would
+    silently corrupt the pin/in-flight gauges the tests key on.
+    """
+
+    THREADS = 8
+    PER_THREAD = 2000
+
+    def _hammer(self, work):
+        import threading
+
+        barrier = threading.Barrier(self.THREADS)
+
+        def body(index):
+            barrier.wait()
+            for step in range(self.PER_THREAD):
+                work(index, step)
+
+        threads = [
+            threading.Thread(target=body, args=(i,), daemon=True)
+            for i in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        assert not any(t.is_alive() for t in threads)
+
+    def test_counter_inc_loses_nothing(self):
+        counter = MetricsRegistry().counter("c")
+        self._hammer(lambda i, s: counter.inc())
+        assert counter.snapshot() == self.THREADS * self.PER_THREAD
+
+    def test_gauge_add_balances_to_zero(self):
+        gauge = MetricsRegistry().gauge("g")
+
+        def work(index, step):
+            gauge.add(1)
+            gauge.add(-1)
+
+        self._hammer(work)
+        assert gauge.snapshot() == 0
+
+    def test_histogram_observe_exact_count_and_sum(self):
+        histogram = MetricsRegistry().histogram("h")
+        self._hammer(lambda i, s: histogram.observe(1.0))
+        snap = histogram.snapshot()
+        expected = self.THREADS * self.PER_THREAD
+        assert snap["count"] == expected
+        assert snap["sum"] == pytest.approx(float(expected))
+        assert snap["p50"] == 1.0 and snap["max"] == 1.0
+
+    def test_snapshot_during_concurrent_writes_is_coherent(self):
+        """Registry snapshots taken mid-storm never tear a histogram
+        (count moved but sum not) or crash on a mutating reservoir."""
+        import threading
+
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        counter = registry.counter("c")
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                histogram.observe(2.0)
+                counter.inc()
+
+        threads = [
+            threading.Thread(target=writer, daemon=True) for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(200):
+                snap = registry.snapshot()
+                h = snap["histograms"]["h"]
+                # sum must equal count * 2.0 exactly: a torn read would
+                # break the identity.
+                assert h["sum"] == pytest.approx(h["count"] * 2.0)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=30.0)
+
+    def test_reset_during_concurrent_writes_is_safe(self):
+        import threading
+
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                histogram.observe(1.0)
+
+        threads = [
+            threading.Thread(target=writer, daemon=True) for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(50):
+                registry.reset()
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=30.0)
+        histogram.reset()
+        assert histogram.snapshot()["count"] == 0

@@ -1,0 +1,41 @@
+"""Shared serving-layer fixtures: one tiny committed database per module."""
+
+import pytest
+
+from repro.server import CubetreeServer, ServerConfig
+
+from tests.server.kit import build_database, reference_queries
+
+
+@pytest.fixture(scope="module")
+def database(tmp_path_factory):
+    """``(directory, generator, data)`` with generation 1 committed."""
+    directory = tmp_path_factory.mktemp("serving-db")
+    generator, data = build_database(directory)
+    return str(directory), generator, data
+
+
+@pytest.fixture()
+def server(database):
+    """A started server over a *fresh copy* of the shared database.
+
+    Refresh mutates the directory (new generations, prunes), so each
+    test gets its own copy and its own server.
+    """
+    import shutil
+    import tempfile
+
+    directory, _generator, _data = database
+    scratch = tempfile.mkdtemp(prefix="serving-test-")
+    copy_dir = f"{scratch}/db"
+    shutil.copytree(directory, copy_dir)
+    srv = CubetreeServer(copy_dir, ServerConfig(retain=2)).start()
+    yield srv
+    srv.close()
+    shutil.rmtree(scratch, ignore_errors=True)
+
+
+@pytest.fixture(scope="module")
+def workload(database):
+    _directory, _generator, data = database
+    return reference_queries(data.schema)

@@ -1,0 +1,152 @@
+"""Admission-queue behaviour: coalescing, bounding, error relay, shutdown.
+
+Coalesced answers must be bit-identical to serial ones (PR 5's
+``query_batch`` invariant carries through the executor), rejection must
+kick in exactly at ``max_depth``, and engine errors must reach the
+waiter that asked — not the executor's stderr.
+"""
+
+import threading
+
+import pytest
+
+from repro.server import AdmissionError, AdmissionQueue
+
+from tests.server.kit import reference_queries
+
+
+@pytest.fixture()
+def pinned(server):
+    handle = server.manager.acquire()
+    yield handle
+    server.manager.release(handle)
+
+
+class TestExecution:
+    def test_single_query_matches_serial(self, server, pinned, workload):
+        queue = server.admission
+        for query in workload[:4]:
+            got = queue.submit(pinned, query, timeout=30.0)
+            assert got.rows == pinned.engine.query(query).rows
+
+    def test_concurrent_queries_coalesce_and_match_serial(
+        self, server, pinned, workload
+    ):
+        """Pile a burst onto the queue from many threads at once; every
+        answer must equal the serial answer, and at least one executor
+        round must have batched (the coalescing counter moves)."""
+        from repro.obs import get_registry
+
+        queue = server.admission
+        coalesced = get_registry().counter("server.queries_coalesced")
+        before = coalesced.value
+        expected = [pinned.engine.query(q).rows for q in workload]
+        results = [None] * len(workload)
+        errors = []
+        barrier = threading.Barrier(len(workload))
+
+        def client(index):
+            barrier.wait()
+            try:
+                results[index] = queue.submit(
+                    pinned, workload[index], timeout=30.0
+                ).rows
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(i,), daemon=True)
+            for i in range(len(workload))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        assert not errors
+        assert results == expected
+        assert coalesced.value > before, "burst never coalesced"
+
+    def test_engine_error_reaches_the_waiter(self, server, pinned):
+        from repro.query.slice import SliceQuery
+
+        bogus = SliceQuery(group_by=("nonexistent_attr",))
+        with pytest.raises(Exception, match="nonexistent_attr"):
+            server.admission.submit(pinned, bogus, timeout=30.0)
+        # The executor survives a poisoned query.
+        query = reference_queries(server.schema, per_node=1)[0]
+        assert server.admission.submit(pinned, query, timeout=30.0).rows
+
+
+class TestBounds:
+    def test_rejects_past_max_depth(self, server, pinned, workload):
+        queue = AdmissionQueue(max_depth=2)
+        # Not started: enqueue alone must fail cleanly too.
+        with pytest.raises(AdmissionError, match="not running"):
+            queue.submit_nowait(pinned, workload[0])
+        queue.start()
+        try:
+            # Overfill synchronously while holding the executor's lock
+            # so it cannot drain between the stuffing and the assert.
+            from repro.server.admission import _Pending
+
+            with queue._lock:
+                queue._pending.extend(
+                    _Pending(pinned, workload[0]) for _ in range(2)
+                )
+            with pytest.raises(AdmissionError, match="full"):
+                queue.submit_nowait(pinned, workload[0])
+        finally:
+            queue.close()
+
+    def test_max_depth_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(max_depth=0)
+
+    def test_close_fails_waiters(self, server, pinned, workload):
+        queue = AdmissionQueue(max_depth=8)
+        queue.start()
+        release = threading.Event()
+        outcome = {}
+
+        class SlowHandle:
+            number = pinned.number
+
+            class engine:  # noqa: N801 - stub namespace
+                @staticmethod
+                def query(_q):
+                    release.wait(30.0)
+                    return pinned.engine.query(workload[0])
+
+        def waiter():
+            try:
+                queue.submit(SlowHandle(), workload[1], timeout=30.0)
+            except AdmissionError as exc:
+                outcome["error"] = exc
+
+        # First submission occupies the executor; the second sits in the
+        # queue and must be failed by close().
+        blocker = threading.Thread(
+            target=lambda: queue.submit(SlowHandle(), workload[0], 30.0),
+            daemon=True,
+        )
+        blocker.start()
+        import time
+
+        time.sleep(0.05)
+        pending = threading.Thread(target=waiter, daemon=True)
+        pending.start()
+        time.sleep(0.05)
+        # Unblock the in-flight query shortly after close() starts so
+        # its executor join returns promptly.
+        threading.Timer(0.1, release.set).start()
+        queue.close()
+        pending.join(timeout=30.0)
+        blocker.join(timeout=30.0)
+        assert "error" in outcome
+        assert "shutting down" in str(outcome["error"])
+
+    def test_peak_depth_is_tracked(self, server, pinned, workload):
+        queue = server.admission
+        queue.submit(pinned, workload[0], timeout=30.0)
+        assert queue.peak_depth >= 1
+        assert queue.peak_depth <= server.config.max_admission_depth

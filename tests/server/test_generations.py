@@ -1,0 +1,161 @@
+"""Pin/publish/prune semantics of the generation manager.
+
+The MVCC contract under test: pinned generations keep their engine and
+their files no matter how many publishes supersede them; unpinned
+retired generations are pruned down to ``retain``; pin bookkeeping is
+exact (double release is an error, not a shrug).
+"""
+
+import os
+
+import pytest
+
+from repro.core.persistence import list_generations
+from repro.server import CubetreeServer, GenerationManager, ServerConfig
+from repro.server.generations import GenerationError
+
+from tests.server.kit import build_database, reference_queries
+
+
+@pytest.fixture()
+def fresh_db(tmp_path):
+    generator, data = build_database(tmp_path / "db", scale=0.0003)
+    return str(tmp_path / "db"), generator, data
+
+
+def _publish_increment(server, generator, fraction=0.2, stream="g1"):
+    server.submit_delta(generator.generate_increment(fraction, stream=stream))
+    outcome = server.refresh_now()
+    assert outcome.status == "published"
+    return outcome.generation
+
+
+class TestPinning:
+    def test_acquire_release_balance(self, fresh_db):
+        directory, _generator, _data = fresh_db
+        manager = GenerationManager(directory)
+        manager.open()
+        first = manager.acquire()
+        second = manager.acquire()
+        assert first is second
+        assert manager.pin_counts() == {first.number: 2}
+        manager.release(first)
+        assert manager.pin_counts() == {first.number: 1}
+        manager.release(second)
+        assert manager.pin_counts() == {first.number: 0}
+
+    def test_double_release_raises(self, fresh_db):
+        directory, _generator, _data = fresh_db
+        manager = GenerationManager(directory)
+        manager.open()
+        handle = manager.acquire()
+        manager.release(handle)
+        with pytest.raises(GenerationError, match="not pinned"):
+            manager.release(handle)
+
+    def test_acquire_after_close_raises(self, fresh_db):
+        directory, _generator, _data = fresh_db
+        manager = GenerationManager(directory)
+        manager.open()
+        manager.close()
+        with pytest.raises(GenerationError, match="not serving"):
+            manager.acquire()
+
+    def test_open_empty_directory_raises(self, tmp_path):
+        manager = GenerationManager(str(tmp_path / "nothing"))
+        with pytest.raises(GenerationError, match="no committed generation"):
+            manager.open()
+
+
+class TestPublish:
+    def test_publish_supersedes_and_retires(self, fresh_db):
+        directory, generator, _data = fresh_db
+        server = CubetreeServer(directory, ServerConfig(retain=2)).start()
+        try:
+            old = server.manager.acquire()
+            new_number = _publish_increment(server, generator)
+            assert new_number > old.number
+            assert old.retired
+            # The pinned old generation still answers; new pins get the
+            # new generation.
+            fresh = server.manager.acquire()
+            assert fresh.number == new_number
+            server.manager.release(fresh)
+            server.manager.release(old)
+        finally:
+            server.close()
+
+    def test_install_non_superseding_rejected(self, fresh_db):
+        directory, _generator, _data = fresh_db
+        manager = GenerationManager(directory)
+        opened = manager.open()
+        with pytest.raises(GenerationError, match="does not supersede"):
+            manager.install(opened.number)
+
+    def test_install_uncommitted_rejected(self, fresh_db):
+        directory, _generator, data = fresh_db
+        manager = GenerationManager(directory)
+        manager.open()
+        from repro.core.engine import CubetreeEngine
+
+        stray = CubetreeEngine(data.schema, buffer_pages=32)
+        with pytest.raises(GenerationError, match="uncommitted"):
+            manager.install(999, engine=stray)
+
+
+class TestPrune:
+    def test_pinned_generation_files_survive_publishes(self, fresh_db):
+        """retain=1 plus three publishes: only the pin keeps gen 1 alive."""
+        directory, generator, data = fresh_db
+        server = CubetreeServer(directory, ServerConfig(retain=1)).start()
+        try:
+            pinned = server.manager.acquire()
+            queries = reference_queries(data.schema, per_node=1)
+            before = [pinned.engine.query(q).rows for q in queries]
+            for stream in ("a", "b", "c"):
+                _publish_increment(server, generator, stream=stream)
+            on_disk = {n for n, _p, _c in list_generations(directory)}
+            assert pinned.number in on_disk, "pinned generation pruned"
+            assert os.path.exists(os.path.join(pinned.path, "MANIFEST.json"))
+            # ...and it still answers exactly its own snapshot.
+            after = [pinned.engine.query(q).rows for q in queries]
+            assert after == before
+            server.manager.release(pinned)
+            # With the pin gone the retired generation becomes prunable
+            # on the next prune trigger (a further publish).
+            _publish_increment(server, generator, stream="d")
+            on_disk = {n for n, _p, _c in list_generations(directory)}
+            assert pinned.number not in on_disk
+        finally:
+            server.close()
+
+    def test_unpinned_generations_prune_to_retain(self, fresh_db):
+        directory, generator, _data = fresh_db
+        server = CubetreeServer(directory, ServerConfig(retain=2)).start()
+        try:
+            for stream in ("a", "b", "c", "d"):
+                _publish_increment(server, generator, stream=stream)
+            committed = [
+                n for n, _p, c in list_generations(directory) if c
+            ]
+            assert len(committed) == 2
+            assert server.manager.current_number == max(committed)
+        finally:
+            server.close()
+
+    def test_describe_reports_pins_and_current(self, fresh_db):
+        directory, generator, _data = fresh_db
+        server = CubetreeServer(directory, ServerConfig(retain=2)).start()
+        try:
+            pinned = server.manager.acquire()
+            _publish_increment(server, generator)
+            listing = {
+                entry["generation"]: entry
+                for entry in server.manager.describe()
+            }
+            assert listing[pinned.number]["pins"] == 1
+            assert not listing[pinned.number]["current"]
+            assert listing[server.manager.current_number]["current"]
+            server.manager.release(pinned)
+        finally:
+            server.close()

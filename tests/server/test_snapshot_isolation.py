@@ -1,0 +1,239 @@
+"""Snapshot isolation under refresh: the tentpole's proof obligations.
+
+Two attacks on the same invariant:
+
+* a *concurrent* harness test — real client threads, a barrier-aligned
+  refresh injector, and the differential oracle — asserting every
+  response equals the pre- or post-refresh snapshot of the generation it
+  was tagged with, never a mix;
+* a Hypothesis *stateful machine* interleaving queries, pins, delta
+  submission, refresh/publish, and release/prune in one thread,
+  asserting pin-count balance, that no pinned generation's files are
+  ever deleted, that generations only move forward, and that a pinned
+  old snapshot keeps answering exactly what it answered at publish time.
+"""
+
+import collections
+import os
+import shutil
+import tempfile
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core.persistence import list_generations
+from repro.server import CubetreeServer, ServerConfig
+
+from tests.server.kit import (
+    ClientPool,
+    ReferenceOracle,
+    RefreshInjector,
+    build_database,
+    check_snapshots,
+    reference_queries,
+)
+
+
+def test_concurrent_clients_never_see_torn_snapshots(tmp_path):
+    """Clients hammer the server while two refreshes publish mid-flight.
+
+    The differential oracle replays the same increments on a private
+    engine; every client observation must match the oracle's answer for
+    the generation the response was tagged with.  Both the pre- and the
+    post-refresh generation must actually appear in the observations
+    (the refresh really did overlap the load), with zero errors.
+    """
+    directory = str(tmp_path / "db")
+    generator, data = build_database(directory)
+    queries = reference_queries(data.schema)
+    oracle = ReferenceOracle(data, queries)
+    server = CubetreeServer(directory, ServerConfig(retain=2)).start()
+    try:
+        pool = ClientPool(server, queries, threads=4, extra_parties=1)
+        deltas = [
+            generator.generate_increment(0.15, stream=f"iso-{i}")
+            for i in range(2)
+        ]
+        injector = RefreshInjector(server, pause=0.02).attach(
+            pool, deltas, oracle
+        )
+        # Clients keep cycling until both refreshes have published, so
+        # the load provably spans the generation changes.
+        observations, errors = pool.run(rounds=3, until=injector.done)
+        outcomes = injector.join()
+
+        assert errors == []
+        assert [o.status for o in outcomes] == ["published", "published"]
+        seen = check_snapshots(observations, oracle)
+        assert len(seen) >= 2, (
+            f"refresh never overlapped the client load (saw only "
+            f"generations {sorted(seen)}); widen the workload"
+        )
+        # Pins are balanced once the dust settles; nothing leaks.
+        assert all(
+            count == 0 for count in server.manager.pin_counts().values()
+        )
+    finally:
+        server.close()
+
+
+class ServerMachine(RuleBasedStateMachine):
+    """Single-threaded interleavings of every serving-layer operation.
+
+    Correctness of *answers* is part A's differential job; this machine
+    chases lifecycle bugs — pin accounting, premature prunes, stale
+    engines after publish — through operation orders no unit test lists
+    by hand.  The per-generation truth is recorded at publish time, so a
+    pinned generation answering anything different later means its
+    snapshot was disturbed.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.scratch = tempfile.mkdtemp(prefix="server-machine-")
+        self.server = None
+
+    @initialize()
+    def setup(self):
+        directory = os.path.join(self.scratch, "db")
+        self.generator, data = build_database(
+            directory, scale=0.0002, seed=53
+        )
+        self.queries = reference_queries(data.schema, per_node=1)
+        self.server = CubetreeServer(
+            directory, ServerConfig(retain=1)
+        ).start()
+        self.held = []
+        self.stream = 0
+        self.pending_batches = []  # mirrors server's unpublished deltas
+        self.expected = {}
+        self._record_truth(self.server.manager.current_number)
+
+    def _record_truth(self, generation):
+        handle = self.server.manager.acquire()
+        try:
+            assert handle.number == generation
+            self.expected[generation] = [
+                handle.engine.query(q).rows for q in self.queries
+            ]
+        finally:
+            self.server.manager.release(handle)
+
+    # ------------------------------------------------------------------
+    # rules
+    # ------------------------------------------------------------------
+    @rule(index=st.integers(0, 7))
+    def query(self, index):
+        index %= len(self.queries)
+        served = self.server.query(self.queries[index])
+        assert served.rows == self.expected[served.generation][index]
+
+    @rule()
+    def pin(self):
+        if len(self.held) < 4:
+            self.held.append(self.server.manager.acquire())
+
+    @rule(which=st.integers(0, 3))
+    def unpin(self, which):
+        if self.held:
+            self.server.manager.release(
+                self.held.pop(which % len(self.held))
+            )
+
+    @rule(index=st.integers(0, 7))
+    def query_pinned(self, index):
+        """A pinned old generation still answers its publish-time truth."""
+        if not self.held:
+            return
+        handle = self.held[0]
+        index %= len(self.queries)
+        rows = handle.engine.query(self.queries[index]).rows
+        assert rows == self.expected[handle.number][index], (
+            f"pinned generation {handle.number} drifted from its "
+            f"publish-time snapshot"
+        )
+
+    @rule(fraction=st.sampled_from([0.05, 0.1, 0.2]))
+    def submit(self, fraction):
+        rows = self.generator.generate_increment(
+            fraction, stream=f"machine-{self.stream}"
+        )
+        self.stream += 1
+        self.server.submit_delta(rows)
+        self.pending_batches.append(rows)
+
+    @rule()
+    def refresh(self):
+        before = self.server.manager.current_number
+        outcome = self.server.refresh_now()
+        if not self.pending_batches:
+            assert outcome.status == "idle"
+            return
+        assert outcome.status == "published"
+        assert outcome.generation > before, "generations must move forward"
+        assert outcome.rows_applied == sum(
+            len(b) for b in self.pending_batches
+        )
+        self.pending_batches = []
+        assert self.server.pending_delta_rows == 0
+        self._record_truth(outcome.generation)
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    @invariant()
+    def pins_balance(self):
+        if self.server is None:
+            return
+        want = collections.Counter(h.number for h in self.held)
+        got = {
+            number: pins
+            for number, pins in self.server.manager.pin_counts().items()
+            if pins > 0
+        }
+        assert got == dict(want), f"pin ledger drifted: {got} != {want}"
+
+    @invariant()
+    def pinned_files_survive(self):
+        if self.server is None:
+            return
+        on_disk = {
+            number
+            for number, _path, committed in list_generations(
+                self.server.directory
+            )
+            if committed
+        }
+        for handle in self.held:
+            assert handle.number in on_disk, (
+                f"generation {handle.number} pruned while pinned"
+            )
+            assert os.path.exists(
+                os.path.join(handle.path, "MANIFEST.json")
+            )
+
+    @invariant()
+    def current_is_committed_and_newest_known(self):
+        if self.server is None:
+            return
+        current = self.server.manager.current_number
+        assert current == max(self.expected)
+
+    def teardown(self):
+        if self.server is not None:
+            for handle in self.held:
+                self.server.manager.release(handle)
+            self.server.close()
+        shutil.rmtree(self.scratch, ignore_errors=True)
+
+
+TestServerMachine = ServerMachine.TestCase
+TestServerMachine.settings = settings(
+    max_examples=8, stateful_step_count=15, deadline=None
+)

@@ -1,0 +1,97 @@
+"""Sustained concurrent load with continuous refresh (the soak).
+
+The short variant always runs in CI: a few seconds of real threads and
+two publishes.  The full soak — ``REPRO_SOAK=1`` — runs more clients
+through many refresh cycles for long enough to surface leaks the short
+run cannot (pin-ledger drift, admission-queue growth, generation
+runaway).  Both assert the same contract:
+
+* zero client errors;
+* every observation matches its generation's oracle snapshot;
+* per-client generation sequences are monotonic (time never runs
+  backwards for a single client);
+* admission depth stays bounded and pins balance out to zero.
+"""
+
+import os
+
+import pytest
+
+from repro.server import CubetreeServer, ServerConfig
+
+from tests.server.kit import (
+    ClientPool,
+    ReferenceOracle,
+    RefreshInjector,
+    build_database,
+    check_snapshots,
+    reference_queries,
+)
+
+SOAK = os.environ.get("REPRO_SOAK") == "1"
+
+
+def _soak(tmp_path, threads, refreshes, pause, rounds):
+    directory = str(tmp_path / "db")
+    generator, data = build_database(directory)
+    queries = reference_queries(data.schema)
+    oracle = ReferenceOracle(data, queries)
+    server = CubetreeServer(directory, ServerConfig(retain=2)).start()
+    try:
+        pool = ClientPool(server, queries, threads=threads, extra_parties=1)
+        deltas = [
+            generator.generate_increment(0.05, stream=f"soak-{i}")
+            for i in range(refreshes)
+        ]
+        injector = RefreshInjector(server, pause=pause).attach(
+            pool, deltas, oracle
+        )
+        observations, errors = pool.run(rounds=rounds, until=injector.done)
+        outcomes = injector.join()
+
+        # Zero errors, every refresh published, generations ran forward.
+        assert errors == []
+        statuses = [o.status for o in outcomes]
+        assert statuses == ["published"] * refreshes, statuses
+        published = [o.generation for o in outcomes]
+        assert published == sorted(published)
+        assert len(set(published)) == refreshes
+
+        # Every answer is a clean snapshot of its tagged generation.
+        seen = check_snapshots(observations, oracle)
+        assert len(seen) >= 2, f"load never spanned a refresh: {seen}"
+
+        # Per-client monotonicity: a client can see an old generation
+        # right after a publish (its pin predates it) but never travel
+        # backwards.
+        for client in range(threads):
+            gens = [
+                o.generation for o in observations if o.client == client
+            ]
+            assert gens == sorted(gens), f"client {client} went backwards"
+
+        # Bounded admission, balanced pins, nothing left in flight.
+        assert server.admission.peak_depth <= (
+            server.config.max_admission_depth
+        )
+        assert server.admission.depth == 0
+        assert all(
+            pins == 0 for pins in server.manager.pin_counts().values()
+        )
+        assert server.pending_delta_rows == 0
+        return len(observations)
+    finally:
+        server.close()
+
+
+def test_soak_short_ci(tmp_path):
+    """The always-on variant: enough load to cross two publishes."""
+    count = _soak(tmp_path, threads=4, refreshes=2, pause=0.02, rounds=2)
+    assert count > 0
+
+
+@pytest.mark.skipif(not SOAK, reason="set REPRO_SOAK=1 for the full soak")
+def test_soak_full(tmp_path):
+    """The opt-in endurance run: 8 clients across 10 publish cycles."""
+    count = _soak(tmp_path, threads=8, refreshes=10, pause=0.1, rounds=4)
+    assert count > 1000, f"soak produced suspiciously little load ({count})"
