@@ -55,6 +55,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.cubetree import Cubetree
     from repro.core.engine import CubetreeEngine
     from repro.core.forest import CubetreeForest
+    from repro.core.sharded import ShardedCubetreeEngine
 
 # ----------------------------------------------------------------------
 # violation codes
@@ -73,6 +74,7 @@ PAGE_CORRUPT = "page-corrupt"
 STRUCTURE_CYCLE = "structure-cycle"
 CHECKPOINT_CORRUPT = "checkpoint-corrupt"
 RUN_EXTENT_MISMATCH = "run-extent-mismatch"
+SHARD_RESIDUE = "shard-residue"
 
 #: view_id -> (expected arity, expected aggregate-value count)
 ExpectedViews = Mapping[int, Tuple[int, int]]
@@ -219,19 +221,97 @@ def check_engine(engine: "CubetreeEngine") -> FsckReport:
     return check_forest(engine.forest)
 
 
+def check_sharded_engine(engine: "ShardedCubetreeEngine") -> FsckReport:
+    """Verify every shard of a sharded engine, plus residue disjointness.
+
+    Each shard's forest gets the full structural fsck (labels like
+    ``shard0/R1``), and on top of it the sharding contract is enforced:
+    a leaf entry of an arity-``k >= 1`` view must live on the shard its
+    leading group coordinate hashes to (``coord % num_shards``), and the
+    apex (arity-0) row may only appear on shard 0.  A misplaced entry
+    would silently vanish from pruned scatter-gather queries, so it is
+    its own violation code (``shard-residue``).
+    """
+    report = FsckReport()
+    num_shards = len(engine.shards)
+    for shard in engine.shards:
+        forest = shard.forest
+        if forest is None:
+            raise ReproError(
+                f"shard {shard.index} has no materialized forest to check"
+            )
+        for i, cubetree in enumerate(forest.cubetrees, start=1):
+            label = f"shard{shard.index}/R{i}"
+            report.merge(check_cubetree(cubetree, label=label))
+            _check_shard_residues(
+                cubetree, shard.index, num_shards, label, report
+            )
+    return report
+
+
+def _check_shard_residues(
+    cubetree: "Cubetree",
+    shard_index: int,
+    num_shards: int,
+    label: str,
+    report: FsckReport,
+) -> None:
+    """Flag leaf entries whose leading coordinate maps to another shard."""
+    if num_shards <= 1:
+        return
+    for leaf in cubetree.tree.scan_leaf_chain():
+        if leaf.arity == 0:
+            if shard_index != 0 and leaf.points:
+                report.violations.append(
+                    Violation(
+                        SHARD_RESIDUE,
+                        f"apex (arity-0) entries live on shard "
+                        f"{shard_index}; the apex belongs to shard 0",
+                        view_id=leaf.view_id,
+                        tree_label=label,
+                    )
+                )
+            continue
+        for point in leaf.points:
+            residue = int(point[0]) % num_shards
+            if residue != shard_index:
+                report.violations.append(
+                    Violation(
+                        SHARD_RESIDUE,
+                        f"entry {point} has leading coordinate "
+                        f"{point[0]} (residue {residue} mod "
+                        f"{num_shards}) but lives on shard "
+                        f"{shard_index}",
+                        view_id=leaf.view_id,
+                        tree_label=label,
+                    )
+                )
+                break  # one misplaced entry per leaf is enough signal
+
+
+def check_database(engine: object) -> FsckReport:
+    """Verify a loaded engine, sharded or not (layout dispatch)."""
+    if hasattr(engine, "shards"):
+        return check_sharded_engine(engine)  # type: ignore[arg-type]
+    return check_engine(engine)  # type: ignore[arg-type]
+
+
 def check_checkpoint(directory: str) -> FsckReport:
     """Verify a *saved* database: checksums first, then structural fsck.
 
     Runs :func:`repro.core.persistence.verify_checkpoint` over the newest
     committed generation (manifest/size/CRC32 validation, per-page
-    checksums), and — when that passes — reopens the database and fscks
-    the reconstructed forest, so ``repro check --checkpoint`` covers both
-    the bytes on disk and the structure they encode.  Checksum problems
-    and load failures surface as ``checkpoint-corrupt`` violations.
+    checksums — per shard for sharded layouts, including manifest
+    completeness across every shard directory), and — when that passes —
+    reopens the database and fscks the reconstructed forest(s), so
+    ``repro check --checkpoint`` covers both the bytes on disk and the
+    structure they encode.  Sharded checkpoints additionally get the
+    cross-shard residue-disjointness walk.  Checksum problems and load
+    failures surface as ``checkpoint-corrupt`` violations.
     """
     from repro.core.persistence import (
         PersistenceError,
-        load_engine,
+        load_any_engine,
         verify_checkpoint,
     )
 
@@ -246,13 +326,13 @@ def check_checkpoint(directory: str) -> FsckReport:
     if not checkpoint.ok:
         return report
     try:
-        engine = load_engine(directory)
+        engine = load_any_engine(directory)
     except PersistenceError as exc:
         report.violations.append(
             Violation(CHECKPOINT_CORRUPT, str(exc), tree_label=label)
         )
         return report
-    report.merge(check_engine(engine))
+    report.merge(check_database(engine))
     return report
 
 

@@ -82,6 +82,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="split the SQL on ';' and answer all queries "
                      "as one batch over shared leaf-run passes "
                      "(cubetree engine only)")
+    qry.add_argument("--shards", type=int, default=1,
+                     help="partition the forest into N residue shards "
+                     "and answer scatter-gather (cubetree engine only; "
+                     "default 1 = unsharded)")
 
     chk = sub.add_parser(
         "check",
@@ -93,6 +97,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--increment", type=float, default=None,
         help="also merge-pack an increment of this fraction, then "
         "re-verify the refreshed forest",
+    )
+    chk.add_argument(
+        "--shards", type=int, default=1,
+        help="build the configuration sharded into N residue "
+        "partitions and additionally verify cross-shard residue "
+        "disjointness (default 1 = unsharded)",
     )
     chk.add_argument(
         "--checkpoint", default=None, metavar="DIR",
@@ -159,6 +169,10 @@ def build_parser() -> argparse.ArgumentParser:
                      "generation, build one at this TPC-D scale first")
     srv.add_argument("--seed", type=int, default=42,
                      help="generator seed for --bootstrap-scale")
+    srv.add_argument("--shards", type=int, default=1,
+                     help="with --bootstrap-scale, build the database "
+                     "sharded into N residue partitions (an existing "
+                     "database keeps its on-disk layout; default 1)")
 
     sub.add_parser("info", help="print version and device parameters")
     return parser
@@ -248,18 +262,29 @@ def cmd_query(args: argparse.Namespace) -> int:
     from repro.experiments.common import (
         build_conventional_engine,
         build_cubetree_engine,
+        build_sharded_engine,
         ExperimentConfig,
     )
     from repro.sql import parse_query
     from repro.warehouse.tpcd import TPCDGenerator
 
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.shards > 1 and args.engine != "cubetree":
+        print("error: --shards requires --engine cubetree",
+              file=sys.stderr)
+        return 2
+
     generator = TPCDGenerator(scale_factor=args.scale, seed=args.seed)
     data = generator.generate()
     config = ExperimentConfig(scale_factor=args.scale, seed=args.seed)
-    if args.engine == "cubetree":
-        engine, _ = build_cubetree_engine(config, data)
-    else:
+    if args.engine != "cubetree":
         engine, _ = build_conventional_engine(config, data)
+    elif args.shards > 1:
+        engine, _ = build_sharded_engine(config, data, shards=args.shards)
+    else:
+        engine, _ = build_cubetree_engine(config, data)
 
     if args.batch:
         if args.engine != "cubetree":
@@ -279,6 +304,7 @@ def cmd_query(args: argparse.Namespace) -> int:
               f"passes ({batch.groups} group(s))")
         print(f"simulated I/O: {batch.io.total_ms:.1f} ms "
               f"({batch.io.total_ios} page accesses)")
+        _print_shard_routing(engine, args.shards)
         return 0
 
     query = parse_query(args.sql, data.schema)
@@ -290,15 +316,27 @@ def cmd_query(args: argparse.Namespace) -> int:
         print("  " + "\t".join(str(v) for v in row))
     if len(result.rows) > args.limit:
         print(f"  ... {len(result.rows) - args.limit} more rows")
+    _print_shard_routing(engine, args.shards)
     return 0
+
+
+def _print_shard_routing(engine: object, shards: int) -> None:
+    """After a sharded query, show which shards the router targeted."""
+    if shards <= 1 or not hasattr(engine, "shard_stats"):
+        return
+    routed = [s["routed_queries"] for s in engine.shard_stats()]
+    touched = [i for i, count in enumerate(routed) if count]
+    print(f"shards touched: {touched} of {shards} "
+          f"(per-shard routed counts {routed})")
 
 
 def cmd_check(args: argparse.Namespace) -> int:
     """``repro check``: fsck the paper configuration's Cubetree forest."""
-    from repro.analysis.fsck import check_checkpoint, check_engine
+    from repro.analysis.fsck import check_checkpoint, check_database
     from repro.experiments.common import (
         ExperimentConfig,
         build_cubetree_engine,
+        build_sharded_engine,
     )
     from repro.warehouse.tpcd import TPCDGenerator
 
@@ -316,17 +354,23 @@ def cmd_check(args: argparse.Namespace) -> int:
     generator = TPCDGenerator(scale_factor=args.scale, seed=args.seed)
     data = generator.generate()
     config = ExperimentConfig(scale_factor=args.scale, seed=args.seed)
-    engine, _ = build_cubetree_engine(config, data)
-    print(f"loaded {len(data.facts)} fact rows into "
-          f"{engine.forest.num_trees if engine.forest else 0} cubetree(s)")
-    report = check_engine(engine)
+    if args.shards > 1:
+        engine, _ = build_sharded_engine(config, data, shards=args.shards)
+        print(f"loaded {len(data.facts)} fact rows into "
+              f"{args.shards} shard(s)")
+    else:
+        engine, _ = build_cubetree_engine(config, data)
+        print(f"loaded {len(data.facts)} fact rows into "
+              f"{engine.forest.num_trees if engine.forest else 0} "
+              f"cubetree(s)")
+    report = check_database(engine)
     print(report.format())
 
     if args.increment is not None:
         delta = generator.generate_increment(args.increment)
         engine.update(delta)
         print(f"merge-packed {len(delta)} increment rows")
-        refreshed = check_engine(engine)
+        refreshed = check_database(engine)
         print(refreshed.format())
         report.merge(refreshed)
     return 0 if report.ok else 1
@@ -441,10 +485,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
             scale=args.bootstrap_scale,
             seed=args.seed,
             retain=args.retain,
+            shards=args.shards,
         )
         print(
             f"bootstrapped generation {report.generation}: "
             f"{report.fact_rows} facts, {report.view_rows} view rows"
+            + (f", {args.shards} shards" if args.shards > 1 else "")
         )
 
     config = ServerConfig(
@@ -461,6 +507,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"serving generation {server.manager.current_number} of "
         f"{args.directory} on http://{host}:{port} (Ctrl-C to stop)"
     )
+    shard_stats = server.shard_stats()
+    if shard_stats:
+        print(f"sharded layout: {len(shard_stats)} shard(s)")
+        for entry in shard_stats:
+            print(
+                f"  shard {entry['shard']}: {entry['pages']} pages, "
+                f"{entry['rows']} rows"
+            )
     try:
         httpd.serve_forever()
     except KeyboardInterrupt:

@@ -56,6 +56,14 @@ class CubetreeForest:
                 return view
         raise QueryError(f"unknown view {view_name!r}")  # pragma: no cover
 
+    def tree_dims(self, view_name: str) -> int:
+        """Dimensionality of the Cubetree holding a view (its sort width)."""
+        return self._tree_for(view_name).dims
+
+    def run_leaf_count(self, view_name: str) -> int | None:
+        """Leaves in the view's packed run (None when no extent exists)."""
+        return self._tree_for(view_name).run_leaf_count(view_name)
+
     def build(
         self, data: Mapping[str, Sequence[Row]], workers: int = 1
     ) -> None:
@@ -174,6 +182,22 @@ class CubetreeForest:
                     "view_extents", {}
                 ).items()
             }
+        self._paths = None
+
+    def adopt_sizes(self, data: Mapping[str, Sequence[Row]]) -> None:
+        """Record tuple counts after an externally driven bulk build.
+
+        The sharded engine packs trees via :meth:`Cubetree.build` /
+        ``build_from_runs`` directly (one worker fan-out across every
+        shard's trees), then adopts the row counts here — the same
+        bookkeeping :meth:`build` does for its own trees.
+        """
+        self._sizes = {name: len(rows) for name, rows in data.items()}
+        self._paths = None
+
+    def invalidate_stats(self) -> None:
+        """Drop cached sizes/paths after an externally driven merge-pack."""
+        self._sizes = None
         self._paths = None
 
     def set_view_sizes(self, sizes: Mapping[str, int]) -> None:

@@ -70,12 +70,34 @@ META_NAME = "meta.json"
 PAGES_NAME = "pages.bin"
 CHECKSUMS_NAME = "pages.crc"
 MANIFEST_NAME = "MANIFEST.json"
+#: Per-shard catalog inside a sharded generation's ``shard-XX/``.
+SHARD_META_NAME = "shard.json"
 GENERATION_PREFIX = "gen-"
+SHARD_DIR_PREFIX = "shard-"
 FORMAT_VERSION = 2
+#: ``layout`` value in a sharded generation's manifest and catalog;
+#: single-tree checkpoints simply omit the key (format v2 unchanged).
+LAYOUT_SHARDED = "sharded"
 #: Committed generations kept after a successful save (>= 1).
 DEFAULT_RETAIN = 2
 
 _GENERATION_RE = re.compile(r"^gen-(\d{6,})$")
+
+
+def _shard_dir_name(index: int) -> str:
+    return f"{SHARD_DIR_PREFIX}{index:02d}"
+
+
+class _ShardCrashPoint:
+    """Prefixes crash contexts with the shard, so recovery tests can
+    target (and reports can attribute) a specific shard's write sites."""
+
+    def __init__(self, inner: CrashPoint, index: int) -> None:
+        self._inner = inner
+        self._prefix = f"shard {index} "
+
+    def hit(self, context: str = "") -> None:
+        self._inner.hit(self._prefix + context)
 
 
 class PersistenceError(ReproError):
@@ -546,10 +568,70 @@ def _read_manifest(gen_path: str) -> dict:
     return manifest
 
 
+def _validate_pages(
+    gen_path: str,
+    rel_dir: str,
+    expected_pages: Optional[int],
+    report: CheckpointReport,
+) -> None:
+    """Per-page CRC pass: every page of a dump against its sidecar.
+
+    ``rel_dir`` is ``""`` for the single-tree layout or ``shard-XX`` for
+    one shard of a sharded generation; problem messages carry the
+    relative path so a sharded report names the failing shard.
+    """
+    base = os.path.join(gen_path, rel_dir) if rel_dir else gen_path
+    prefix = f"{rel_dir}/" if rel_dir else ""
+    pages_path = os.path.join(base, PAGES_NAME)
+    crc_path = os.path.join(base, CHECKSUMS_NAME)
+    if not (os.path.exists(pages_path) and os.path.exists(crc_path)):
+        return
+    with open(crc_path, "rb") as handle:
+        raw = handle.read()
+    recorded = [
+        int.from_bytes(raw[i : i + 4], "little")
+        for i in range(0, len(raw), 4)
+    ]
+    if expected_pages is None:
+        expected_pages = len(recorded)
+    expected_pages = int(expected_pages)
+    if len(recorded) != expected_pages:
+        report.problems.append(
+            f"{prefix}{CHECKSUMS_NAME}: {len(recorded)} page checksums, "
+            f"manifest records {expected_pages} pages"
+        )
+    with open(pages_path, "rb") as handle:
+        page_id = 0
+        while True:
+            page = handle.read(PAGE_SIZE)
+            if not page:
+                break
+            if len(page) < PAGE_SIZE:
+                report.problems.append(
+                    f"{prefix}{PAGES_NAME}: ends mid-page after page "
+                    f"{page_id}"
+                )
+                break
+            report.pages_checked += 1
+            if page_id < len(recorded) and (
+                zlib.crc32(page) != recorded[page_id]
+            ):
+                report.problems.append(
+                    f"{prefix}{PAGES_NAME}: page {page_id} fails its CRC32"
+                )
+            page_id += 1
+    if page_id != expected_pages:
+        report.problems.append(
+            f"{prefix}{PAGES_NAME}: holds {page_id} pages, manifest "
+            f"records {expected_pages}"
+        )
+
+
 def _validate_generation(gen_path: str, report: CheckpointReport) -> dict:
     """Verify a committed generation against its manifest; return it."""
     manifest = _read_manifest(gen_path)
-    for name, expected in sorted(manifest.get("files", {}).items()):
+    files = manifest.get("files", {})
+    for name, expected in sorted(files.items()):
         path = os.path.join(gen_path, name)
         if not os.path.exists(path):
             report.problems.append(f"{name}: listed in manifest but missing")
@@ -567,46 +649,35 @@ def _validate_generation(gen_path: str, report: CheckpointReport) -> dict:
                 f"{name}: CRC32 mismatch against the manifest"
             )
 
-    # Per-page checksums: every page of pages.bin against pages.crc.
-    pages_path = os.path.join(gen_path, PAGES_NAME)
-    crc_path = os.path.join(gen_path, CHECKSUMS_NAME)
-    if os.path.exists(pages_path) and os.path.exists(crc_path):
-        with open(crc_path, "rb") as handle:
-            raw = handle.read()
-        recorded = [
-            int.from_bytes(raw[i : i + 4], "little")
-            for i in range(0, len(raw), 4)
-        ]
-        expected_pages = int(manifest.get("page_count", len(recorded)))
-        if len(recorded) != expected_pages:
-            report.problems.append(
-                f"{CHECKSUMS_NAME}: {len(recorded)} page checksums, "
-                f"manifest records {expected_pages} pages"
-            )
-        with open(pages_path, "rb") as handle:
-            page_id = 0
-            while True:
-                page = handle.read(PAGE_SIZE)
-                if not page:
-                    break
-                if len(page) < PAGE_SIZE:
+    if manifest.get("layout") == LAYOUT_SHARDED:
+        # Manifest completeness: every shard directory 0..N-1 must be
+        # listed, and each must contribute its full file triple — one
+        # missing shard means the commit would resurrect a torn forest.
+        shard_entries = manifest.get("shards", [])
+        num_shards = int(manifest.get("num_shards", len(shard_entries)))
+        listed = {str(entry.get("dir")) for entry in shard_entries}
+        for index in range(num_shards):
+            expected_dir = _shard_dir_name(index)
+            if expected_dir not in listed:
+                report.problems.append(
+                    f"{expected_dir}: shard directory missing from the "
+                    f"manifest"
+                )
+        for entry in shard_entries:
+            sub = str(entry.get("dir"))
+            for name in (PAGES_NAME, CHECKSUMS_NAME, SHARD_META_NAME):
+                if f"{sub}/{name}" not in files:
                     report.problems.append(
-                        f"{PAGES_NAME}: ends mid-page after page {page_id}"
+                        f"{sub}/{name}: not covered by the manifest"
                     )
-                    break
-                report.pages_checked += 1
-                if page_id < len(recorded) and (
-                    zlib.crc32(page) != recorded[page_id]
-                ):
-                    report.problems.append(
-                        f"{PAGES_NAME}: page {page_id} fails its CRC32"
-                    )
-                page_id += 1
-        if page_id != expected_pages:
+            _validate_pages(gen_path, sub, entry.get("page_count"), report)
+        if META_NAME not in files:
             report.problems.append(
-                f"{PAGES_NAME}: holds {page_id} pages, manifest records "
-                f"{expected_pages}"
+                f"{META_NAME}: not covered by the manifest"
             )
+    else:
+        # Per-page checksums: every page of pages.bin against pages.crc.
+        _validate_pages(gen_path, "", manifest.get("page_count"), report)
     return manifest
 
 
@@ -665,7 +736,12 @@ def load_engine(
     newest, _partials = _newest_committed(directory)
     if newest is not None:
         report = CheckpointReport(directory=directory)
-        _validate_generation(newest, report)
+        manifest = _validate_generation(newest, report)
+        if manifest.get("layout") == LAYOUT_SHARDED:
+            raise PersistenceError(
+                f"{newest!r} is a sharded checkpoint; open it with "
+                f"load_sharded_engine or load_any_engine"
+            )
         if not report.ok:
             raise CorruptCheckpointError(
                 f"checkpoint {newest!r} failed validation:\n"
@@ -685,6 +761,18 @@ def load_engine(
             pool_cls=pool_cls,
         )
     raise PersistenceError(f"no saved database in {directory!r}")
+
+
+def _allocation_from_json(assignments: List[dict]) -> CubetreeAllocation:
+    trees: List[TreeAssignment] = []
+    for assignment in assignments:
+        trees.append(
+            TreeAssignment(
+                int(assignment["dims"]),
+                tuple(_view_from_json(v) for v in assignment["views"]),
+            )
+        )
+    return CubetreeAllocation(trees=trees)
 
 
 def _load_layout(
@@ -739,15 +827,7 @@ def _load_layout(
             f"catalog mismatch: {len(assignments)} tree assignment(s) in "
             f"the allocation but {len(tree_states)} saved tree state(s)"
         )
-    trees: List[TreeAssignment] = []
-    for assignment in assignments:
-        trees.append(
-            TreeAssignment(
-                int(assignment["dims"]),
-                tuple(_view_from_json(v) for v in assignment["views"]),
-            )
-        )
-    allocation = CubetreeAllocation(trees=trees)
+    allocation = _allocation_from_json(assignments)
     forest = CubetreeForest(engine.pool, allocation)
     try:
         forest.restore_tree_states(tree_states)
@@ -758,3 +838,330 @@ def _load_layout(
         raise PersistenceError(f"catalog mismatch: {exc}") from exc
     engine.forest = forest
     return engine
+
+
+# ----------------------------------------------------------------------
+# sharded databases (one manifest commits all shards atomically)
+# ----------------------------------------------------------------------
+def _build_sharded_meta(engine) -> dict:
+    """The global catalog of a sharded checkpoint (shared across shards)."""
+    forest = engine.forest
+    return {
+        "format_version": FORMAT_VERSION,
+        "layout": LAYOUT_SHARDED,
+        "num_shards": int(engine.num_shards),
+        "schema": _schema_to_json(engine.schema),
+        "hierarchies": sorted(
+            (
+                {
+                    "attribute": str(attr),
+                    "fact_key": str(source),
+                    "dim_attribute": str(hierarchy.attribute),
+                }
+                for attr, (hierarchy, source) in engine.hierarchies.items()
+            ),
+            key=lambda item: item["attribute"],
+        ),
+        "base_views": [_view_to_json(v) for v in engine.base_views],
+        "replicas": {
+            str(replica): str(base)
+            for replica, base in engine.replicas.items()
+        },
+        "allocation": [
+            {
+                "dims": int(assignment.dims),
+                "views": [_view_to_json(v) for v in assignment.views],
+            }
+            for assignment in forest.shards[0].forest.allocation.trees
+        ],
+        "sizes": {
+            str(name): int(size)
+            for name, size in forest.view_sizes().items()
+        },
+        "buffer_pages": int(engine.shards[0].pool.capacity),
+    }
+
+
+def _shard_meta(shard) -> dict:
+    """One shard's private catalog: tree states, sizes, allocator."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "shard": int(shard.index),
+        "trees": [_tree_state(tree) for tree in shard.forest.cubetrees],
+        "sizes": {
+            str(name): int(size)
+            for name, size in shard.forest.view_sizes().items()
+        },
+        "disk": {
+            "next_page_id": int(
+                shard.disk.allocation_state()["next_page_id"]
+            ),
+            "freed": [
+                int(p) for p in shard.disk.allocation_state()["freed"]
+            ],
+        },
+    }
+
+
+def save_sharded_engine(
+    engine,
+    directory: str,
+    crash_point: Optional[CrashPoint] = None,
+    retain: int = DEFAULT_RETAIN,
+    protect: Collection[int] = (),
+) -> str:
+    """Checkpoint a :class:`~repro.core.sharded.ShardedCubetreeEngine`.
+
+    Layout: ``gen-<n>/shard-XX/{pages.bin,pages.crc,shard.json}`` per
+    shard plus one top-level ``meta.json`` (global catalog) and ONE
+    ``MANIFEST.json`` listing every shard file — the single atomic
+    manifest rename commits all shards together, so a crash anywhere
+    mid-checkpoint leaves *every* shard on the previous generation (the
+    all-or-nothing property the serving layer's publish depends on).
+
+    ``crash_point`` defaults to the first armed per-shard disk hook (or
+    shard 0's); per-shard write sites hit it with contexts prefixed
+    ``shard <i> ``, while the commit-level sites keep the unsharded
+    context names, so the same crash matrix drives both layouts.
+    """
+    forest = engine.forest
+    if forest is None:
+        raise PersistenceError("engine has no materialized views to save")
+    if retain < 1:
+        raise ValueError("retain must be >= 1")
+    if crash_point is None:
+        for shard in engine.shards:
+            candidate = getattr(shard.disk, "crash_point", None)
+            if candidate is not None and getattr(candidate, "armed", False):
+                crash_point = candidate
+                break
+        else:
+            crash_point = getattr(engine.shards[0].disk, "crash_point", None)
+
+    os.makedirs(directory, exist_ok=True)
+    for shard in engine.shards:
+        shard.pool.flush_all()
+
+    generations = _list_generations(directory)
+    number = (generations[-1][0] + 1) if generations else 1
+    gen_path = os.path.join(directory, _generation_name(number))
+    os.makedirs(gen_path)
+
+    files: Dict[str, dict] = {}
+    shard_entries: List[dict] = []
+    total_pages = 0
+    for shard in engine.shards:
+        sub = _shard_dir_name(shard.index)
+        shard_path = os.path.join(gen_path, sub)
+        os.makedirs(shard_path)
+        shard_hook = (
+            _ShardCrashPoint(crash_point, shard.index)
+            if crash_point is not None
+            else None
+        )
+
+        # 1. the shard's page dump (one crash site per page)
+        pages_path = os.path.join(shard_path, PAGES_NAME)
+        shard.disk.dump_pages(pages_path, crash_point=shard_hook)
+
+        # 2. per-page checksums, read back from the dump just written
+        page_crcs = _page_checksums(pages_path)
+        crc_payload = b"".join(
+            crc.to_bytes(4, "little") for crc in page_crcs
+        )
+        _write_file(
+            os.path.join(shard_path, CHECKSUMS_NAME),
+            crc_payload,
+            shard_hook,
+            "checkpoint page checksums",
+        )
+
+        # 3. the shard catalog
+        shard_payload = _meta_bytes(_shard_meta(shard))
+        _write_file(
+            os.path.join(shard_path, SHARD_META_NAME),
+            shard_payload,
+            shard_hook,
+            "checkpoint catalog",
+        )
+
+        files[f"{sub}/{PAGES_NAME}"] = {
+            "bytes": os.path.getsize(pages_path),
+            "crc32": _file_crc(pages_path),
+        }
+        files[f"{sub}/{CHECKSUMS_NAME}"] = {
+            "bytes": len(crc_payload),
+            "crc32": zlib.crc32(crc_payload),
+        }
+        files[f"{sub}/{SHARD_META_NAME}"] = {
+            "bytes": len(shard_payload),
+            "crc32": zlib.crc32(shard_payload),
+        }
+        shard_entries.append({"dir": sub, "page_count": len(page_crcs)})
+        total_pages += len(page_crcs)
+
+    # 4. the global catalog
+    meta_payload = _meta_bytes(_build_sharded_meta(engine))
+    _write_file(
+        os.path.join(gen_path, META_NAME),
+        meta_payload,
+        crash_point,
+        "checkpoint catalog",
+    )
+    files[META_NAME] = {
+        "bytes": len(meta_payload),
+        "crc32": zlib.crc32(meta_payload),
+    }
+
+    # 5. the commit record: ONE manifest rename commits every shard
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "layout": LAYOUT_SHARDED,
+        "generation": number,
+        "num_shards": int(engine.num_shards),
+        "page_count": total_pages,
+        "shards": shard_entries,
+        "files": files,
+    }
+    manifest_tmp = os.path.join(gen_path, MANIFEST_NAME + ".tmp")
+    manifest_path = os.path.join(gen_path, MANIFEST_NAME)
+    _write_file(
+        manifest_tmp,
+        _meta_bytes(manifest),
+        crash_point,
+        "checkpoint manifest write",
+    )
+    _crash_hit(crash_point, "checkpoint manifest commit")
+    os.rename(manifest_tmp, manifest_path)
+    _fsync_dir(gen_path)
+    _fsync_dir(directory)
+
+    # 6. only now retire older generations (and stale partials)
+    _crash_hit(crash_point, "checkpoint prune")
+    _prune(directory, keep_newest=number, retain=retain, protect=protect)
+    return gen_path
+
+
+def save_database(
+    engine,
+    directory: str,
+    crash_point: Optional[CrashPoint] = None,
+    retain: int = DEFAULT_RETAIN,
+    protect: Collection[int] = (),
+) -> str:
+    """Checkpoint either engine flavor (layout picked by engine type)."""
+    from repro.core.sharded import ShardedCubetreeEngine
+
+    if isinstance(engine, ShardedCubetreeEngine):
+        return save_sharded_engine(
+            engine, directory,
+            crash_point=crash_point, retain=retain, protect=protect,
+        )
+    return save_engine(
+        engine, directory,
+        crash_point=crash_point, retain=retain, protect=protect,
+    )
+
+
+def load_sharded_engine(directory: str, pool_cls: Optional[Type] = None):
+    """Reopen a database saved by :func:`save_sharded_engine`.
+
+    Same recovery rule as :func:`load_engine` — newest manifest-complete
+    generation, every file checksum-verified first — then each shard's
+    disk, forest, and sizes are restored from its ``shard-XX/`` files.
+    """
+    from repro.core.sharded import ShardedCubetreeEngine, ShardedForest
+
+    newest, _partials = _newest_committed(directory)
+    if newest is None:
+        raise PersistenceError(f"no saved sharded database in {directory!r}")
+    report = CheckpointReport(directory=directory)
+    manifest = _validate_generation(newest, report)
+    if manifest.get("layout") != LAYOUT_SHARDED:
+        raise PersistenceError(
+            f"{newest!r} is not a sharded checkpoint; use load_engine"
+        )
+    if not report.ok:
+        raise CorruptCheckpointError(
+            f"checkpoint {newest!r} failed validation:\n"
+            + "\n".join(f"  {problem}" for problem in report.problems)
+        )
+
+    with open(os.path.join(newest, META_NAME)) as handle:
+        meta = json.load(handle)
+    if meta.get("format_version") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported format version {meta.get('format_version')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+
+    schema = _schema_from_json(meta["schema"])
+    hierarchies: Dict[str, Hierarchy] = {}
+    for item in meta["hierarchies"]:
+        dim = schema.dimension_of(item["fact_key"])
+        hierarchies[item["attribute"]] = Hierarchy.from_dimension(
+            dim, item["dim_attribute"]
+        )
+
+    num_shards = int(meta["num_shards"])
+    disks: List[DiskManager] = []
+    shard_metas: List[dict] = []
+    for index in range(num_shards):
+        shard_path = os.path.join(newest, _shard_dir_name(index))
+        with open(os.path.join(shard_path, SHARD_META_NAME)) as handle:
+            smeta = json.load(handle)
+        pages_path = os.path.join(shard_path, PAGES_NAME)
+        expected_pages = int(smeta["disk"]["next_page_id"])
+        actual_bytes = os.path.getsize(pages_path)
+        if actual_bytes != expected_pages * PAGE_SIZE:
+            raise PersistenceError(
+                f"page dump {pages_path!r} holds {actual_bytes} bytes; "
+                f"the shard catalog's allocator state needs exactly "
+                f"{expected_pages} pages — the checkpoint is torn"
+            )
+        disks.append(DiskManager.restore(pages_path, smeta["disk"]))
+        shard_metas.append(smeta)
+
+    engine = ShardedCubetreeEngine(
+        schema,
+        hierarchies=hierarchies,
+        buffer_pages=int(meta.get("buffer_pages", 256)),
+        shards=num_shards,
+        disks=disks,
+        pool_cls=pool_cls,
+    )
+    engine.base_views = [_view_from_json(v) for v in meta["base_views"]]
+    engine.replicas = {
+        str(replica): str(base)
+        for replica, base in meta["replicas"].items()
+    }
+    allocation = _allocation_from_json(meta["allocation"])
+    for shard, smeta in zip(engine.shards, shard_metas):
+        forest = CubetreeForest(shard.pool, allocation)
+        try:
+            forest.restore_tree_states(smeta["trees"])
+            forest.set_view_sizes(
+                {name: int(size) for name, size in smeta["sizes"].items()}
+            )
+        except ValueError as exc:
+            raise PersistenceError(f"catalog mismatch: {exc}") from exc
+        shard.forest = forest
+    engine.forest = ShardedForest(engine.shards)
+    return engine
+
+
+def load_any_engine(directory: str, pool_cls: Optional[Type] = None):
+    """Reopen a saved database of either layout.
+
+    Dispatches on the newest committed generation's manifest ``layout``
+    key: sharded checkpoints come back as
+    :class:`~repro.core.sharded.ShardedCubetreeEngine`, everything else
+    (v2 single-tree and v1 flat) as the classic
+    :class:`~repro.core.engine.CubetreeEngine`.  The serving layer opens
+    databases through this, so a sharded database serves transparently.
+    """
+    newest, _partials = _newest_committed(directory)
+    if newest is not None:
+        if _read_manifest(newest).get("layout") == LAYOUT_SHARDED:
+            return load_sharded_engine(directory, pool_cls=pool_cls)
+    return load_engine(directory, pool_cls=pool_cls)

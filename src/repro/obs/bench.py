@@ -40,7 +40,10 @@ from repro.obs.trace import tracing_override
 SCHEMA_VERSION = 1
 
 #: Suites in the order ``--suite`` lists them.
-SUITES = ("smoke", "loading", "queries", "updates", "scalability", "serving")
+SUITES = (
+    "smoke", "loading", "queries", "updates", "scalability", "serving",
+    "sharding",
+)
 
 #: Default scale factor per suite (kept tiny: the bench guards against
 #: regressions, it does not reproduce the paper's figures).
@@ -51,6 +54,7 @@ _DEFAULT_SCALES = {  # repro: read-only
     "updates": 0.002,
     "scalability": 0.0005,
     "serving": 0.001,
+    "sharding": 0.002,
 }
 
 #: Default queries per lattice node.  The queries suite is a throughput
@@ -64,6 +68,7 @@ _DEFAULT_QUERIES = {  # repro: read-only
     "updates": 5,
     "scalability": 5,
     "serving": 5,
+    "sharding": 5,
 }
 
 
@@ -255,8 +260,13 @@ def _suite_smoke(scale: float, seed: int, queries: int) -> Dict[str, object]:
 def _absolute_phase(name: str, pool, wall_ms: float = 0.0) -> Dict[str, object]:
     """A phase record built from a pool's lifetime counters (used when
     the work happened inside a constructor we could not wrap)."""
-    io = pool.disk.cost_model.stats
-    buf = pool.stats
+    return _stats_phase(name, pool.disk.cost_model.stats, pool.stats, wall_ms)
+
+
+def _stats_phase(name: str, io, buf, wall_ms: float = 0.0) -> Dict[str, object]:
+    """A phase record from explicit IOStats/BufferStats (absolute or
+    delta) — the sharded engine reports critical-path combined stats
+    rather than a single pool's counters."""
     return {
         "name": name,
         "simulated_ms": io.simulated_ms,
@@ -670,6 +680,111 @@ def _suite_serving(scale: float, seed: int, queries: int) -> Dict[str, object]:
             server.close()
     finally:
         shutil.rmtree(tmpdir, ignore_errors=True)
+
+
+def _suite_sharding(scale: float, seed: int, queries: int) -> Dict[str, object]:
+    """Sharded forest vs. unsharded: load, merge-pack, point queries.
+
+    The same warehouse is loaded at N=1 and N=4 shards.  Sharded phases
+    charge the *critical-path* shard (max over per-shard deltas), so the
+    n4/n1 simulated-ms ratio is the modeled parallel speedup — the
+    acceptance bar is <= 0.5x for both bulk load and merge-pack.  Point
+    queries restrict the leading group coordinate of the view they route
+    to (``V_c``, ``V_s``, ``V_ps``), so the scatter-gather router must
+    touch exactly one shard each; the summary records the worst case.
+    All phases are deterministic simulated I/O and gate comparisons;
+    wall-clock rides along report-only as everywhere else.
+    """
+    from repro.experiments.common import (
+        build_sharded_engine,
+        build_warehouse,
+    )
+    from repro.query.slice import SliceQuery
+
+    config, run = _make_config("sharding", scale, seed, queries)
+    generator, data = build_warehouse(config)
+    delta = generator.generate_increment(config.increment_fraction)
+
+    #: (view routed to, bound attribute) — each binds the leading group
+    #: coordinate of its target view, the single-shard case.
+    point_shapes = (
+        ((), "custkey"),           # -> V_c
+        ((), "suppkey"),           # -> V_s
+        (("suppkey",), "partkey"),  # -> V_ps
+    )
+    sim_ms: Dict[str, float] = {}
+    max_touched = 0
+
+    for num_shards in (1, 4):
+        tag = f"n{num_shards}"
+        wall_start = time.perf_counter()
+        engine, _ = build_sharded_engine(config, data, shards=num_shards)
+        load_io = engine.io_totals()
+        run.phases.append(
+            _stats_phase(
+                f"load_{tag}", load_io, engine.buffer_totals(),
+                (time.perf_counter() - wall_start) * 1000.0,
+            )
+        )
+        sim_ms[f"load_{tag}"] = load_io.simulated_ms
+
+        point_queries = [
+            SliceQuery(
+                group_by=tuple(group_by),
+                bindings=((attr, 1 + (repeat * len(point_shapes) + i) % 7),),
+            )
+            for repeat in range(max(1, queries))
+            for i, (group_by, attr) in enumerate(point_shapes)
+        ]
+        snapshots = engine.io_snapshot()
+        buf_before = engine.buffer_totals()
+        wall_start = time.perf_counter()
+        for query in point_queries:
+            routed_before = [s.routed_queries for s in engine.shards]
+            engine.query(query, fast=True)
+            touched = sum(
+                1
+                for before, shard in zip(routed_before, engine.shards)
+                if shard.routed_queries > before
+            )
+            max_touched = max(max_touched, touched)
+        query_io = engine.io_delta(snapshots)
+        run.phases.append(
+            _stats_phase(
+                f"point_queries_{tag}", query_io,
+                engine.buffer_totals() - buf_before,
+                (time.perf_counter() - wall_start) * 1000.0,
+            )
+        )
+        sim_ms[f"point_queries_{tag}"] = query_io.simulated_ms
+
+        snapshots = engine.io_snapshot()
+        buf_before = engine.buffer_totals()
+        wall_start = time.perf_counter()
+        engine.update(delta)
+        merge_io = engine.io_delta(snapshots)
+        run.phases.append(
+            _stats_phase(
+                f"merge_pack_{tag}", merge_io,
+                engine.buffer_totals() - buf_before,
+                (time.perf_counter() - wall_start) * 1000.0,
+            )
+        )
+        sim_ms[f"merge_pack_{tag}"] = merge_io.simulated_ms
+
+    result = run.result()
+    result["sharding_summary"] = {
+        "load_ratio_n4_vs_n1": (
+            sim_ms["load_n4"] / sim_ms["load_n1"]
+            if sim_ms["load_n1"] else 0.0
+        ),
+        "merge_pack_ratio_n4_vs_n1": (
+            sim_ms["merge_pack_n4"] / sim_ms["merge_pack_n1"]
+            if sim_ms["merge_pack_n1"] else 0.0
+        ),
+        "point_query_max_shards_touched": max_touched,
+    }
+    return result
 
 
 # ----------------------------------------------------------------------

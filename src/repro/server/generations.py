@@ -2,8 +2,10 @@
 
 The MVCC heart of the server.  A :class:`GenerationHandle` wraps one
 *committed* checkpoint generation — its number, its ``gen-<n>/``
-directory, and a :class:`~repro.core.engine.CubetreeEngine` reopened
-from it that is never mutated again — plus a pin count.  Readers pin the
+directory, and an engine (:class:`~repro.core.engine.CubetreeEngine` or
+:class:`~repro.core.sharded.ShardedCubetreeEngine`, whichever the
+checkpoint's layout names) reopened from it that is never mutated again
+— plus a pin count.  Readers pin the
 current handle for the duration of a query; a publish installs a new
 handle without touching pinned ones; a generation's files are pruned
 only once its pin count has dropped to zero *and* it has been
@@ -18,13 +20,12 @@ execution itself never holds it.
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, List, Optional, Type
+from typing import Any, Callable, Dict, List, Optional, Type
 
-from repro.core.engine import CubetreeEngine
 from repro.core.persistence import (
     DEFAULT_RETAIN,
     list_generations,
-    load_engine,
+    load_any_engine,
     newest_committed_number,
     prune_generations,
 )
@@ -55,7 +56,7 @@ class GenerationHandle:
 
     __slots__ = ("number", "path", "engine", "pins", "retired")
 
-    def __init__(self, number: int, path: str, engine: CubetreeEngine) -> None:
+    def __init__(self, number: int, path: str, engine: Any) -> None:
         self.number = number
         self.path = path
         self.engine = engine
@@ -115,7 +116,7 @@ class GenerationManager:
             raise GenerationError(
                 f"generation {number} is not committed in {self.directory!r}"
             )
-        engine = load_engine(self.directory, pool_cls=self.pool_cls)
+        engine = load_any_engine(self.directory, pool_cls=self.pool_cls)
         newest = newest_committed_number(self.directory)
         if newest != number:
             raise GenerationError(
@@ -162,7 +163,7 @@ class GenerationManager:
     # publishing
     # ------------------------------------------------------------------
     def install(
-        self, number: int, engine: Optional[CubetreeEngine] = None
+        self, number: int, engine: Optional[Any] = None
     ) -> GenerationHandle:
         """Make committed generation ``number`` the current snapshot.
 
@@ -174,7 +175,7 @@ class GenerationManager:
         return self._install(number, engine)
 
     def _install(
-        self, number: int, engine: Optional[CubetreeEngine] = None
+        self, number: int, engine: Optional[Any] = None
     ) -> GenerationHandle:
         if engine is None:
             handle = self._load_handle(number)

@@ -35,9 +35,9 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.core.persistence import (
     DEFAULT_RETAIN,
-    load_engine,
+    load_any_engine,
     newest_committed_number,
-    save_engine,
+    save_database,
 )
 from repro.errors import ReproError
 from repro.obs import get_registry
@@ -313,11 +313,11 @@ class CubetreeServer:
         rows: List[Row] = [row for batch in batches for row in batch]
         before = newest_committed_number(self.directory)
         try:
-            builder = load_engine(
+            builder = load_any_engine(
                 self.directory, pool_cls=self.config.pool_cls
             )
             builder.update(rows)
-            gen_path = save_engine(
+            gen_path = save_database(
                 builder,
                 self.directory,
                 crash_point=self.crash_point,
@@ -407,11 +407,30 @@ class CubetreeServer:
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+    def shard_stats(self) -> Optional[List[Dict[str, object]]]:
+        """Per-shard statistics of the serving generation's engine.
+
+        ``None`` when the database is unsharded (or not serving); the
+        sharded engine reports pages, rows, simulated I/O, buffer hit
+        rates, and routed-query counts per shard so scatter-gather skew
+        is observable at ``GET /stats``.
+        """
+        try:
+            stats = self.manager.run_pinned(
+                lambda handle: handle.engine.shard_stats()
+                if hasattr(handle.engine, "shard_stats")
+                else None
+            )
+        except ReproError:
+            return None
+        return stats  # type: ignore[return-value]
+
     def stats(self) -> Dict[str, object]:
         """JSON-ready serving statistics (generation, admission, metrics)."""
         reg = get_registry()
         return {
             "directory": self.directory,
+            "shards": self.shard_stats(),
             "generation": self.manager.current_number,
             "generations": self.manager.describe(),
             "admission": {
@@ -453,13 +472,16 @@ def bootstrap_database(
     seed: int = 42,
     retain: int = DEFAULT_RETAIN,
     replicate: bool = True,
+    shards: int = 1,
 ) -> BootstrapReport:
     """Ensure ``directory`` holds a committed generation to serve.
 
     When the directory already has one, it is left untouched.  Otherwise
     the paper's configuration (views + replicas) is built at ``scale``
     from the deterministic TPC-D generator and checkpointed as
-    generation 1.
+    generation 1.  With ``shards > 1`` the database is built sharded
+    (residue mod N on the leading group coordinate); refresh cycles
+    keep the layout they find on disk.
     """
     existing = newest_committed_number(directory)
     if existing is not None:
@@ -467,13 +489,21 @@ def bootstrap_database(
     from repro.experiments.common import (
         ExperimentConfig,
         build_cubetree_engine,
+        build_sharded_engine,
         build_warehouse,
     )
 
     config = ExperimentConfig(scale_factor=scale, seed=seed)
     _generator, data = build_warehouse(config)
-    engine, report = build_cubetree_engine(config, data, replicate=replicate)
-    gen_path = save_engine(engine, directory, retain=retain)
+    if shards > 1:
+        engine, report = build_sharded_engine(
+            config, data, shards=shards, replicate=replicate
+        )
+    else:
+        engine, report = build_cubetree_engine(
+            config, data, replicate=replicate
+        )
+    gen_path = save_database(engine, directory, retain=retain)
     number = CubetreeServer._generation_number(gen_path)
     return BootstrapReport(
         generation=number,
