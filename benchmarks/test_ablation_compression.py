@@ -17,3 +17,7 @@ def test_leaf_compression(benchmark):
     assert result["saving"] > 0.2, (
         f"compression saving too small: {result['saving']:.0%}"
     )
+    assert result["columnar_pages"] < result["compressed_pages"]
+    assert result["columnar_ratio"] > 2.0, (
+        f"columnar ratio too small: {result['columnar_ratio']:.2f}:1"
+    )

@@ -38,18 +38,22 @@ import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
 
+from repro.constants import PAGE_SIZE
 from repro.errors import IntegrityError, ReproError
 from repro.rtree.geometry import Rect
 from repro.rtree.node import (
     INTERIOR_TYPE,
-    LEAF_TYPE,
+    LEAF_TYPES,
+    MAX_LEAF_ENTRIES,
     RInteriorNode,
     RLeafNode,
+    columnar_entry_cost,
+    columnar_leaf_size,
     leaf_capacity,
     node_type_of,
 )
 from repro.rtree.packing import sort_key
-from repro.rtree.tree import RTree
+from repro.rtree.tree import EMPTY_EXTENT, RTree
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.cubetree import Cubetree
@@ -391,7 +395,7 @@ class _TreeChecker:
         try:
             raw = bytes(page.data)
             kind = node_type_of(raw)
-            if kind == LEAF_TYPE:
+            if kind in LEAF_TYPES:
                 return RLeafNode.from_bytes(raw)
             if kind == INTERIOR_TYPE:
                 return RInteriorNode.from_bytes(raw)
@@ -515,7 +519,7 @@ class _TreeChecker:
         page_id = tree.leaf_page_ids[0]
         prev_key: Optional[Tuple[int, ...]] = None
         prev_view: Optional[int] = None
-        prev_leaf_fill: Optional[Tuple[int, int, int]] = None
+        prev_leaf: Optional[Tuple[int, RLeafNode]] = None
         #: view_id -> arity of each completed run, in chain order
         runs: List[Tuple[int, int]] = []
         #: (view_id, first page id, last page id) per run, in chain order
@@ -559,26 +563,31 @@ class _TreeChecker:
                 run_extents[-1] = (view_id, first, page_id)
                 # The *previous* leaf was not the last of its run, so it
                 # must have been full.
-                if self.packed and prev_leaf_fill is not None:
-                    fill_page, fill, cap = prev_leaf_fill
-                    if fill < cap:
-                        self._flag(
-                            LEAF_UNDERFILLED,
-                            f"non-final leaf of a view run holds {fill} "
-                            f"entries, capacity is {cap}",
-                            page_id=fill_page,
-                            view_id=node.view_id,
-                        )
+                if self.packed and prev_leaf is not None:
+                    self._check_full(prev_leaf, node)
 
             self._check_leaf(node, page_id)
-            cap = leaf_capacity(node.arity, node.n_aggs)
-            if len(node) > cap:
-                self._flag(
-                    LEAF_OVERFILLED,
-                    f"leaf holds {len(node)} entries, capacity is {cap}",
-                    page_id=page_id,
-                    view_id=node.view_id,
+            if node.columnar:
+                size = columnar_leaf_size(
+                    node.points, node.arity, node.n_aggs
                 )
+                if size > PAGE_SIZE or len(node) > MAX_LEAF_ENTRIES:
+                    self._flag(
+                        LEAF_OVERFILLED,
+                        f"columnar leaf encodes {len(node)} entries to "
+                        f"{size} bytes, page size is {PAGE_SIZE}",
+                        page_id=page_id,
+                        view_id=node.view_id,
+                    )
+            else:
+                cap = leaf_capacity(node.arity, node.n_aggs)
+                if len(node) > cap:
+                    self._flag(
+                        LEAF_OVERFILLED,
+                        f"leaf holds {len(node)} entries, capacity is {cap}",
+                        page_id=page_id,
+                        view_id=node.view_id,
+                    )
             if self.packed and len(node) == 0:
                 self._flag(
                     LEAF_UNDERFILLED,
@@ -586,7 +595,7 @@ class _TreeChecker:
                     page_id=page_id,
                     view_id=node.view_id,
                 )
-            prev_leaf_fill = (page_id, len(node), cap)
+            prev_leaf = (page_id, node)
 
             if self.packed:
                 prev_key = self._check_sorted(node, page_id, prev_key)
@@ -614,6 +623,48 @@ class _TreeChecker:
                 f"{tree.count}",
             )
         return chain
+
+    def _check_full(
+        self, prev_leaf: Tuple[int, RLeafNode], successor: RLeafNode
+    ) -> None:
+        """Flag a non-final run leaf that was closed before it was full.
+
+        Row-major leaves are slot-filled: full means ``leaf_capacity``
+        entries.  Columnar leaves are byte-filled: full means the
+        successor leaf's first entry would no longer have fit.
+        """
+        fill_page, prev = prev_leaf
+        if prev.columnar:
+            if not prev.points or not successor.points:
+                return
+            size = columnar_leaf_size(prev.points, prev.arity, prev.n_aggs)
+            next_cost = columnar_entry_cost(
+                prev.points[-1], successor.points[0], prev.n_aggs
+            )
+            if (
+                next_cost > 0
+                and size + next_cost <= PAGE_SIZE
+                and len(prev) < MAX_LEAF_ENTRIES
+            ):
+                self._flag(
+                    LEAF_UNDERFILLED,
+                    f"non-final columnar leaf of a view run holds {size} "
+                    f"encoded bytes; the next run entry ({next_cost} "
+                    f"bytes) would still have fit in the {PAGE_SIZE}-byte "
+                    f"page",
+                    page_id=fill_page,
+                    view_id=prev.view_id,
+                )
+            return
+        cap = leaf_capacity(prev.arity, prev.n_aggs)
+        if len(prev) < cap:
+            self._flag(
+                LEAF_UNDERFILLED,
+                f"non-final leaf of a view run holds {len(prev)} "
+                f"entries, capacity is {cap}",
+                page_id=fill_page,
+                view_id=prev.view_id,
+            )
 
     def _check_leaf(self, node: RLeafNode, page_id: int) -> None:
         """Per-leaf shape checks: arity, padding elision, value width."""
@@ -703,6 +754,18 @@ class _TreeChecker:
         for view_id in sorted(recorded):
             extent = tuple(recorded[view_id])
             found = actual.get(view_id)
+            if extent == EMPTY_EXTENT:
+                # Explicit zero-row sentinel: valid exactly when the
+                # chain really holds no leaves for the view.
+                if found is not None:
+                    self._flag(
+                        RUN_EXTENT_MISMATCH,
+                        f"catalog records an empty run, but the leaf "
+                        f"chain holds leaves [{found[0]}, {found[1]}] "
+                        f"for this view",
+                        view_id=view_id,
+                    )
+                continue
             if found is None:
                 self._flag(
                     RUN_EXTENT_MISMATCH,
@@ -734,6 +797,8 @@ class _TreeChecker:
         prev_end: Optional[int] = None
         for view_id in sorted(recorded):
             first, last = recorded[view_id]
+            if (first, last) == EMPTY_EXTENT:
+                continue  # zero-row runs occupy no chain positions
             lo = positions.get(first)
             hi = positions.get(last)
             if lo is None or hi is None or lo > hi:

@@ -46,6 +46,26 @@ EXPERIMENTS = (
 )
 
 
+def _positive_int(raw: str) -> int:
+    """argparse type for counts that must be whole numbers >= 1.
+
+    Rejects ``0``, negatives and non-integers (``2.5``, ``two``) at
+    parse time, so every subcommand taking ``--shards`` fails fast with
+    a clear usage error (exit status 2) instead of misbehaving later.
+    """
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer >= 1, got {raw!r}"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command-line parser."""
     parser = argparse.ArgumentParser(
@@ -82,7 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="split the SQL on ';' and answer all queries "
                      "as one batch over shared leaf-run passes "
                      "(cubetree engine only)")
-    qry.add_argument("--shards", type=int, default=1,
+    qry.add_argument("--shards", type=_positive_int, default=1,
                      help="partition the forest into N residue shards "
                      "and answer scatter-gather (cubetree engine only; "
                      "default 1 = unsharded)")
@@ -99,7 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
         "re-verify the refreshed forest",
     )
     chk.add_argument(
-        "--shards", type=int, default=1,
+        "--shards", type=_positive_int, default=1,
         help="build the configuration sharded into N residue "
         "partitions and additionally verify cross-shard residue "
         "disjointness (default 1 = unsharded)",
@@ -169,7 +189,7 @@ def build_parser() -> argparse.ArgumentParser:
                      "generation, build one at this TPC-D scale first")
     srv.add_argument("--seed", type=int, default=42,
                      help="generator seed for --bootstrap-scale")
-    srv.add_argument("--shards", type=int, default=1,
+    srv.add_argument("--shards", type=_positive_int, default=1,
                      help="with --bootstrap-scale, build the database "
                      "sharded into N residue partitions (an existing "
                      "database keeps its on-disk layout; default 1)")

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
 
 from repro.core.cubetree import Cubetree, prepare_packed_runs
+from repro.core.extsort import build_memory_budget
 from repro.core.mapping import CubetreeAllocation
 from repro.errors import QueryError
 from repro.parallel import MIN_PARALLEL_ROWS, run_tasks
@@ -75,6 +76,11 @@ class CubetreeForest:
         packs themselves — everything that touches the buffer pool and
         charges simulated I/O — still run serially in tree order, so the
         I/O trace is identical to the serial build.
+
+        A configured build-memory budget (``REPRO_BUILD_MEMORY``) takes
+        precedence over the worker fan-out: materializing whole sorted
+        runs in workers would defeat the bound, so each tree streams
+        through its bounded external sort serially instead.
         """
         missing = set(self._view_tree) - set(data)
         if missing:
@@ -83,6 +89,7 @@ class CubetreeForest:
             workers > 1
             and len(self.cubetrees) > 1
             and self._total_rows(data) >= MIN_PARALLEL_ROWS
+            and build_memory_budget() is None
         ):
             runs_per_tree = run_tasks(
                 _prepare_tree_runs,

@@ -37,7 +37,12 @@ Format history
   checksums, overwritten in place on every save (a crash mid-checkpoint
   destroyed the only copy).  Still readable: :func:`load_engine` falls
   back to the flat layout when no generation directories exist.
-* **v2** — the generational layout above.  New saves always write v2.
+* **v2** — the generational layout above.
+* **v3** — identical catalog layout; ``pages.bin`` may additionally
+  contain columnar (type-3) R-tree leaf pages, produced when the
+  ``REPRO_LEAF_FORMAT=columnar`` gate is on.  New saves always write
+  v3; v2 checkpoints (row-major leaves only) load unchanged because
+  the page decoder dispatches on the per-page node-type byte.
 
 Every file operation of a checkpoint passes through a
 :class:`~repro.storage.wal.CrashPoint` (the engine disk's hook by
@@ -74,7 +79,13 @@ MANIFEST_NAME = "MANIFEST.json"
 SHARD_META_NAME = "shard.json"
 GENERATION_PREFIX = "gen-"
 SHARD_DIR_PREFIX = "shard-"
-FORMAT_VERSION = 2
+#: Current checkpoint format.  v3 (2026) admits columnar (type-3) leaf
+#: pages in the stored image; the catalog layout is unchanged from v2,
+#: so v2 checkpoints load as-is (see SUPPORTED_FORMAT_VERSIONS).
+FORMAT_VERSION = 3
+#: Checkpoint format versions this build can load.  v2 images contain
+#: only row-major leaves, which every reader still decodes.
+SUPPORTED_FORMAT_VERSIONS = (2, 3)
 #: ``layout`` value in a sharded generation's manifest and catalog;
 #: single-tree checkpoints simply omit the key (format v2 unchanged).
 LAYOUT_SHARDED = "sharded"
@@ -560,7 +571,7 @@ def _read_manifest(gen_path: str) -> dict:
         raise CorruptCheckpointError(
             f"unreadable manifest in {gen_path!r}: {exc}"
         ) from exc
-    if manifest.get("format_version") != FORMAT_VERSION:
+    if manifest.get("format_version") not in SUPPORTED_FORMAT_VERSIONS:
         raise PersistenceError(
             f"unsupported checkpoint format version "
             f"{manifest.get('format_version')!r} in {gen_path!r}"
@@ -750,14 +761,14 @@ def load_engine(
         return _load_layout(
             os.path.join(newest, META_NAME),
             os.path.join(newest, PAGES_NAME),
-            expected_version=FORMAT_VERSION,
+            expected_versions=SUPPORTED_FORMAT_VERSIONS,
             pool_cls=pool_cls,
         )
     if _has_v1_layout(directory):
         return _load_layout(
             os.path.join(directory, META_NAME),
             os.path.join(directory, PAGES_NAME),
-            expected_version=1,
+            expected_versions=(1,),
             pool_cls=pool_cls,
         )
     raise PersistenceError(f"no saved database in {directory!r}")
@@ -778,15 +789,15 @@ def _allocation_from_json(assignments: List[dict]) -> CubetreeAllocation:
 def _load_layout(
     meta_path: str,
     pages_path: str,
-    expected_version: int,
+    expected_versions: Tuple[int, ...],
     pool_cls: Optional[Type] = None,
 ) -> CubetreeEngine:
     with open(meta_path) as handle:
         meta = json.load(handle)
-    if meta.get("format_version") != expected_version:
+    if meta.get("format_version") not in expected_versions:
         raise PersistenceError(
             f"unsupported format version {meta.get('format_version')!r} "
-            f"(expected {expected_version})"
+            f"(expected one of {expected_versions})"
         )
 
     schema = _schema_from_json(meta["schema"])
@@ -1089,10 +1100,10 @@ def load_sharded_engine(directory: str, pool_cls: Optional[Type] = None):
 
     with open(os.path.join(newest, META_NAME)) as handle:
         meta = json.load(handle)
-    if meta.get("format_version") != FORMAT_VERSION:
+    if meta.get("format_version") not in SUPPORTED_FORMAT_VERSIONS:
         raise PersistenceError(
             f"unsupported format version {meta.get('format_version')!r} "
-            f"(expected {FORMAT_VERSION})"
+            f"(expected one of {SUPPORTED_FORMAT_VERSIONS})"
         )
 
     schema = _schema_from_json(meta["schema"])

@@ -47,6 +47,7 @@ from typing import (
 from repro.constants import DEFAULT_BUFFER_PAGES
 from repro.core.answer import finalize_matches, split_bindings
 from repro.core.engine import _env_fast_scans
+from repro.core.extsort import build_memory_budget
 from repro.core.forest import CubetreeForest, _prepare_tree_runs
 from repro.core.mapping import select_mapping
 from repro.core.replication import permute_state_rows, replica_definition
@@ -618,6 +619,9 @@ class ShardedCubetreeEngine:
             self.workers > 1
             and len(tasks) > 1
             and total_rows >= MIN_PARALLEL_ROWS
+            # A build-memory budget forces the serial streaming path:
+            # worker-side run prep would materialize full sorted runs.
+            and build_memory_budget() is None
         ):
             runs_per_tree = run_tasks(
                 _prepare_tree_runs,

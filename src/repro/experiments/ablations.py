@@ -34,6 +34,7 @@ from repro.experiments.common import (
     print_table,
 )
 from repro.query.generator import RandomQueryGenerator
+from repro.rtree.node import set_leaf_format
 from repro.rtree.packing import PackedRun, hilbert_sort_key, pack_rtree, sort_key
 from repro.rtree.tree import RTree
 from repro.storage.buffer import BufferPool
@@ -91,7 +92,8 @@ def run_sort_order(verbose: bool = True) -> Dict:
 
 # ----------------------------------------------------------------------
 def run_compression(verbose: bool = True) -> Dict:
-    """Compressed (arity-wide) vs uncompressed (dims-wide) leaves."""
+    """Compressed (arity-wide) vs uncompressed (dims-wide) leaves,
+    plus the v3 columnar (delta+varint) leaf format on top."""
     one_d, two_d = _two_view_points()
     dims = 3
 
@@ -100,6 +102,18 @@ def run_compression(verbose: bool = True) -> Dict:
         PackedRun(1, 1, 1, sorted(one_d, key=lambda e: sort_key(e[0], dims))),
         PackedRun(2, 2, 1, sorted(two_d, key=lambda e: sort_key(e[0], dims))),
     ])
+
+    _d3, pool3 = _pool()
+    set_leaf_format("columnar")
+    try:
+        columnar = pack_rtree(pool3, dims, [
+            PackedRun(1, 1, 1,
+                      sorted(one_d, key=lambda e: sort_key(e[0], dims))),
+            PackedRun(2, 2, 1,
+                      sorted(two_d, key=lambda e: sort_key(e[0], dims))),
+        ])
+    finally:
+        set_leaf_format(None)
 
     def pad(entries, arity):
         return [
@@ -115,19 +129,25 @@ def run_compression(verbose: bool = True) -> Dict:
     ], validate=False)
 
     saving = 1.0 - compressed.num_pages / uncompressed.num_pages
+    columnar_ratio = uncompressed.num_pages / columnar.num_pages
     print_table(
         "Ablation: leaf compression",
         ["variant", "pages", "leaf pages"],
         [["compressed (paper)", compressed.num_pages,
           len(compressed.leaf_page_ids)],
+         ["columnar (v3)", columnar.num_pages,
+          len(columnar.leaf_page_ids)],
          ["uncompressed", uncompressed.num_pages,
           len(uncompressed.leaf_page_ids)],
-         ["saving", f"{saving:.0%}", ""]],
+         ["saving", f"{saving:.0%}", ""],
+         ["columnar ratio", f"{columnar_ratio:.1f}:1", ""]],
         verbose,
     )
     return {
         "compressed_pages": compressed.num_pages,
         "uncompressed_pages": uncompressed.num_pages,
+        "columnar_pages": columnar.num_pages,
+        "columnar_ratio": columnar_ratio,
         "saving": saving,
     }
 

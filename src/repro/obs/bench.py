@@ -42,7 +42,7 @@ SCHEMA_VERSION = 1
 #: Suites in the order ``--suite`` lists them.
 SUITES = (
     "smoke", "loading", "queries", "updates", "scalability", "serving",
-    "sharding",
+    "sharding", "columnar",
 )
 
 #: Default scale factor per suite (kept tiny: the bench guards against
@@ -55,6 +55,7 @@ _DEFAULT_SCALES = {  # repro: read-only
     "scalability": 0.0005,
     "serving": 0.001,
     "sharding": 0.002,
+    "columnar": 0.002,
 }
 
 #: Default queries per lattice node.  The queries suite is a throughput
@@ -69,6 +70,7 @@ _DEFAULT_QUERIES = {  # repro: read-only
     "scalability": 5,
     "serving": 5,
     "sharding": 5,
+    "columnar": 5,
 }
 
 
@@ -785,6 +787,110 @@ def _suite_sharding(scale: float, seed: int, queries: int) -> Dict[str, object]:
         "point_query_max_shards_touched": max_touched,
     }
     return result
+
+
+def _suite_columnar(scale: float, seed: int, queries: int) -> Dict[str, object]:
+    """Row vs. columnar (v3) leaf format, plus the streaming build path.
+
+    Five phases over the same warehouse: ``load_row`` / ``queries_row``
+    with the classic row-major leaves, ``load_columnar`` /
+    ``queries_columnar`` with delta+varint columnar leaves, and
+    ``load_stream`` — a columnar load through the bounded-memory
+    external sort.  The two query phases answer the identical workload
+    (row equality is asserted), so their page counts and simulated-ms
+    ratio *are* the columnar win.  ``columnar_summary`` carries the
+    storage ratio and the streaming sorter's spill/peak counters.
+    """
+    from repro.core.extsort import set_build_memory
+    from repro.experiments.common import (
+        FIG12_NODES,
+        build_cubetree_engine,
+        build_warehouse,
+    )
+    from repro.query.generator import RandomQueryGenerator
+    from repro.rtree.node import set_leaf_format
+
+    #: Streaming-build sort buffer (entries) — small enough that the
+    #: bench corpus spills several runs.
+    stream_budget = 1024
+
+    config, run = _make_config("columnar", scale, seed, queries)
+    _generator, data = build_warehouse(config)
+    qgen = RandomQueryGenerator(data.schema, seed=config.query_seed)
+    workload = [
+        query
+        for node in FIG12_NODES[:4]
+        for query in qgen.generate_for_node(node, queries)
+    ]
+
+    try:
+        results: Dict[str, object] = {}
+        pages: Dict[str, int] = {}
+        for mode in ("row", "columnar"):
+            set_leaf_format(mode)
+            wall_start = time.perf_counter()
+            engine, _ = build_cubetree_engine(config, data)
+            run.phases.append(
+                _absolute_phase(
+                    f"load_{mode}", engine.pool,
+                    (time.perf_counter() - wall_start) * 1000.0,
+                )
+            )
+            pages[mode] = engine.forest.num_pages
+            engine.pool.clear()
+            with run.phase(f"queries_{mode}", engine.pool):
+                answers = [
+                    tuple(sorted(engine.query(query, fast=True).rows))
+                    for query in workload
+                ]
+            results[mode] = answers
+
+        if results["row"] != results["columnar"]:
+            raise RuntimeError(
+                "columnar bench: row and columnar formats answered the "
+                "same workload differently"
+            )
+
+        set_leaf_format("columnar")
+        set_build_memory(stream_budget)
+        wall_start = time.perf_counter()
+        stream_engine, _ = build_cubetree_engine(config, data)
+        run.phases.append(
+            _absolute_phase(
+                "load_stream", stream_engine.pool,
+                (time.perf_counter() - wall_start) * 1000.0,
+            )
+        )
+        if stream_engine.forest.num_pages != pages["columnar"]:
+            raise RuntimeError(
+                "columnar bench: streaming build produced a different "
+                "page count than the in-memory columnar build"
+            )
+
+        metrics = get_registry().snapshot()
+        counters = metrics.get("counters", {})
+        result = run.result()
+        result["columnar_summary"] = {
+            "row_pages": pages["row"],
+            "columnar_pages": pages["columnar"],
+            "storage_ratio_row_vs_columnar": (
+                pages["row"] / pages["columnar"]
+                if pages["columnar"] else 0.0
+            ),
+            "queries_match": True,
+            "stream_budget_entries": stream_budget,
+            "stream_peak_buffered": counters.get(
+                "extsort.peak_buffered", 0
+            ),
+            "stream_spilled_runs": counters.get("extsort.spilled_runs", 0),
+            "stream_spilled_entries": counters.get(
+                "extsort.spilled_entries", 0
+            ),
+        }
+        return result
+    finally:
+        set_leaf_format(None)
+        set_build_memory(None)
 
 
 # ----------------------------------------------------------------------

@@ -18,7 +18,7 @@ from typing import Callable, Iterator, List, Sequence, Tuple
 from repro.errors import MappingError
 from repro.obs import get_registry, trace
 from repro.rtree.packing import PackedRun, free_tree, pack_rtree, sort_key
-from repro.rtree.tree import RTree
+from repro.rtree.tree import EMPTY_EXTENT, RTree
 from repro.storage.buffer import BufferPool
 
 _REG = get_registry()  # repro: guarded-by(MetricsRegistry._lock)
@@ -158,6 +158,13 @@ def _merge_pack(
         runs.append(PackedRun(*current_meta, current))
 
     new_tree = pack_rtree(pool, dims, runs, validate=False)
+    # A view that is still empty after the merge produces no stream
+    # entries and hence no run above; carry its explicit empty extent
+    # forward so the zero-row view keeps an (empty) run on the new tree.
+    for view_id in old_tree.view_extents:
+        new_tree.view_extents.setdefault(view_id, EMPTY_EXTENT)
+    for run in delta_runs:
+        new_tree.view_extents.setdefault(run.view_id, EMPTY_EXTENT)
     _OBS_MERGED_ENTRIES.value += new_tree.count
     # Debug post-condition: merge-pack must hand back a freshly packed
     # tree (full leaves, contiguous sorted view runs).  Checked before

@@ -16,6 +16,25 @@ zeros of the valid mapping are implicit (Sec. 2.4).  The arity-0 super
 aggregate stores no coordinates at all — just its aggregate vector at the
 origin.
 
+Columnar leaf page layout (type 3, format v3) shares the 17-byte header
+(with type byte 3) and stores the same entries column-major::
+
+    offset 0   uint8          node type (3 = columnar leaf)
+    offset 1   uint16         entry count
+    offset 3   int32          view id
+    offset 7   uint8          stored arity k
+    offset 8   uint8          number of aggregate values per entry
+    offset 9   int64          next-leaf page id (-1 for none)
+    offset 17  uint16 * k     byte length of each coordinate column
+    ...        k columns      zigzag-varint delta streams (sorted runs)
+    ...        n_aggs columns each: count * float64, packed
+
+Packed runs are sorted, so coordinate deltas are tiny and most varints
+take one byte — the source of the beyond-2:1 storage ratio.  Which
+format the packer writes is selected by :func:`set_leaf_format` /
+``REPRO_LEAF_FORMAT=columnar``; row-major (type 1) remains the default
+and both decode transparently.
+
 Interior page layout::
 
     offset 0  uint8    node type (2 = interior)
@@ -26,22 +45,61 @@ Interior page layout::
 
 from __future__ import annotations
 
+import os
 import struct
-from typing import List, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.constants import PAGE_SIZE
-from repro.errors import StorageError
+from repro.errors import InvalidRecordError, StorageError
 from repro.rtree.geometry import Rect
-from repro.storage.codec import entry_codec
+from repro.storage.codec import (
+    decode_delta_column,
+    encode_delta_column,
+    entry_codec,
+    varint_size,
+    zigzag_encode,
+)
 
 LEAF_TYPE = 1
 INTERIOR_TYPE = 2
+LEAF_COLUMNAR_TYPE = 3
+
+#: Node-type bytes that deserialize as :class:`RLeafNode`.
+LEAF_TYPES = (LEAF_TYPE, LEAF_COLUMNAR_TYPE)
 
 _LEAF_HEADER = struct.Struct("<BHiBBq")
 _INTERIOR_HEADER = struct.Struct("<BHB")
 
+# The count field is a uint16; columnar leaves can otherwise hold
+# thousands of one-byte entries, so guard the header bound explicitly.
+MAX_LEAF_ENTRIES = 0xFFFF
+
 Point = Tuple[int, ...]
 Values = Tuple[float, ...]
+
+_LEAF_FORMAT: Optional[str] = None  # repro: worker-local
+
+
+def set_leaf_format(fmt: Optional[str]) -> None:
+    """Override the packer's leaf format: ``"row"``, ``"columnar"``, or
+    ``None`` to fall back to the ``REPRO_LEAF_FORMAT`` environment gate."""
+    global _LEAF_FORMAT
+    if fmt not in (None, "row", "columnar"):
+        raise ValueError(f"unknown leaf format {fmt!r}")
+    _LEAF_FORMAT = fmt
+
+
+def leaf_format() -> str:
+    """The leaf format newly packed trees use (``"row"`` unless gated)."""
+    if _LEAF_FORMAT is not None:
+        return _LEAF_FORMAT
+    env = os.environ.get("REPRO_LEAF_FORMAT", "").strip().lower()
+    return "columnar" if env == "columnar" else "row"
+
+
+def columnar_enabled() -> bool:
+    """True when the packer should emit type-3 columnar leaves."""
+    return leaf_format() == "columnar"
 
 
 def leaf_capacity(arity: int, n_aggs: int) -> int:
@@ -52,6 +110,41 @@ def leaf_capacity(arity: int, n_aggs: int) -> int:
     return (PAGE_SIZE - _LEAF_HEADER.size) // entry
 
 
+def columnar_header_size(arity: int) -> int:
+    """Fixed bytes of a columnar leaf: header + per-column length table."""
+    return _LEAF_HEADER.size + 2 * arity
+
+
+def columnar_entry_cost(
+    prev_point: Optional[Point], point: Point, n_aggs: int
+) -> int:
+    """Encoded bytes one entry adds to a columnar leaf.
+
+    ``prev_point`` is the preceding entry in the same leaf (``None`` for
+    the first entry, whose coordinates are delta-coded against 0).
+    """
+    cost = 8 * n_aggs
+    if prev_point is None:
+        for coord in point:
+            cost += varint_size(zigzag_encode(coord))
+    else:
+        for coord, prev in zip(point, prev_point):
+            cost += varint_size(zigzag_encode(coord - prev))
+    return cost
+
+
+def columnar_leaf_size(
+    points: Sequence[Point], arity: int, n_aggs: int
+) -> int:
+    """Total encoded byte size of a columnar leaf holding ``points``."""
+    size = columnar_header_size(arity)
+    prev: Optional[Point] = None
+    for point in points:
+        size += columnar_entry_cost(prev, point, n_aggs)
+        prev = point
+    return size
+
+
 def interior_capacity(dims: int) -> int:
     """Max entries an interior node of the given dimensionality holds."""
     entry = 8 + 2 * dims * 8
@@ -59,17 +152,28 @@ def interior_capacity(dims: int) -> int:
 
 
 class RLeafNode:
-    """A deserialized leaf: points of one view plus aggregate vectors."""
+    """A deserialized leaf: points of one view plus aggregate vectors.
 
-    __slots__ = ("view_id", "arity", "n_aggs", "points", "values", "next_leaf")
+    ``columnar`` selects the on-page encoding (type 1 row-major vs type 3
+    delta-varint columns); the in-memory representation is identical, so
+    every traversal works on both formats unchanged.
+    """
 
-    def __init__(self, view_id: int, arity: int, n_aggs: int) -> None:
+    __slots__ = (
+        "view_id", "arity", "n_aggs", "points", "values", "next_leaf",
+        "columnar",
+    )
+
+    def __init__(
+        self, view_id: int, arity: int, n_aggs: int, columnar: bool = False
+    ) -> None:
         self.view_id = view_id
         self.arity = arity
         self.n_aggs = n_aggs
         self.points: List[Point] = []
         self.values: List[Values] = []
         self.next_leaf = -1
+        self.columnar = columnar
 
     def __len__(self) -> int:
         return len(self.points)
@@ -84,7 +188,9 @@ class RLeafNode:
         return tuple(point) + (0,) * (dims - len(point))
 
     def to_bytes(self) -> bytes:
-        """Serialize into a full page buffer."""
+        """Serialize into a full page buffer (row or columnar layout)."""
+        if self.columnar:
+            return self._to_bytes_columnar()
         codec = entry_codec(f"{self.arity}q{self.n_aggs}d")
         count = len(self.points)
         out = bytearray(PAGE_SIZE)
@@ -101,12 +207,54 @@ class RLeafNode:
         codec.pack_into(out, _LEAF_HEADER.size, flat, count)
         return bytes(out)
 
+    def _to_bytes_columnar(self) -> bytes:
+        count = len(self.points)
+        if count > MAX_LEAF_ENTRIES:
+            raise StorageError("R-tree columnar leaf entry count overflow")
+        columns = [
+            encode_delta_column([point[c] for point in self.points])
+            for c in range(self.arity)
+        ]
+        total = (
+            columnar_header_size(self.arity)
+            + sum(len(col) for col in columns)
+            + count * 8 * self.n_aggs
+        )
+        if total > PAGE_SIZE:
+            raise StorageError("R-tree columnar leaf overflow")
+        out = bytearray(PAGE_SIZE)
+        _LEAF_HEADER.pack_into(
+            out, 0, LEAF_COLUMNAR_TYPE, count, self.view_id,
+            self.arity, self.n_aggs, self.next_leaf,
+        )
+        struct.pack_into(
+            f"<{self.arity}H", out, _LEAF_HEADER.size,
+            *[len(col) for col in columns],
+        )
+        offset = columnar_header_size(self.arity)
+        for col in columns:
+            out[offset : offset + len(col)] = col
+            offset += len(col)
+        if self.n_aggs:
+            measure = struct.Struct(f"<{count}d")
+            for m in range(self.n_aggs):
+                # One batched pack per measure *column*, not per record.
+                measure.pack_into(  # lint: ignore[struct-in-loop]
+                    out, offset, *[vals[m] for vals in self.values]
+                )
+                offset += measure.size
+        return bytes(out)
+
     @classmethod
     def from_bytes(cls, raw: bytes) -> "RLeafNode":
-        """Deserialize from a page buffer."""
+        """Deserialize from a page buffer (either leaf layout)."""
         node_type, count, view_id, arity, n_aggs, next_leaf = (
             _LEAF_HEADER.unpack_from(raw, 0)
         )
+        if node_type == LEAF_COLUMNAR_TYPE:
+            return cls._from_bytes_columnar(
+                raw, count, view_id, arity, n_aggs, next_leaf
+            )
         if node_type != LEAF_TYPE:
             raise StorageError(f"expected R-tree leaf, found type {node_type}")
         node = cls(view_id, arity, n_aggs)
@@ -117,6 +265,54 @@ class RLeafNode:
         for fields in codec.iter_unpack_from(raw, _LEAF_HEADER.size, count):
             points.append(fields[:arity])
             values.append(fields[arity:])
+        return node
+
+    @classmethod
+    def _from_bytes_columnar(
+        cls,
+        raw: bytes,
+        count: int,
+        view_id: int,
+        arity: int,
+        n_aggs: int,
+        next_leaf: int,
+    ) -> "RLeafNode":
+        header = columnar_header_size(arity)
+        if header > len(raw):
+            raise InvalidRecordError(
+                f"columnar leaf column table overruns the page "
+                f"(arity {arity})"
+            )
+        lengths = struct.unpack_from(f"<{arity}H", raw, _LEAF_HEADER.size)
+        measures_size = count * 8 * n_aggs
+        if header + sum(lengths) + measures_size > len(raw):
+            raise InvalidRecordError(
+                f"columnar leaf columns overrun the page "
+                f"(count {count}, column bytes {sum(lengths)})"
+            )
+        node = cls(view_id, arity, n_aggs, columnar=True)
+        node.next_leaf = next_leaf
+        offset = header
+        coord_cols = []
+        for length in lengths:
+            coord_cols.append(decode_delta_column(raw, offset, length, count))
+            offset += length
+        if arity:
+            node.points = list(zip(*coord_cols))
+        else:
+            node.points = [()] * count
+        if n_aggs:
+            measure = struct.Struct(f"<{count}d")
+            measure_cols = []
+            for _ in range(n_aggs):
+                # One batched unpack per measure *column*, not per record.
+                measure_cols.append(
+                    measure.unpack_from(raw, offset)  # lint: ignore[struct-in-loop]
+                )
+                offset += measure.size
+            node.values = list(zip(*measure_cols))
+        else:
+            node.values = [()] * count
         return node
 
 

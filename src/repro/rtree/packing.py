@@ -17,22 +17,31 @@ the ablation bench that demonstrates this.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
+from repro.constants import PAGE_SIZE
 from repro.errors import InvalidCoordinateError, MappingError
 from repro.obs import get_registry, trace
 from repro.rtree.geometry import Rect
 from repro.rtree.node import (
+    MAX_LEAF_ENTRIES,
     RInteriorNode,
     RLeafNode,
+    columnar_enabled,
+    columnar_entry_cost,
+    columnar_header_size,
     interior_capacity,
     leaf_capacity,
 )
-from repro.rtree.tree import RTree
+from repro.rtree.tree import EMPTY_EXTENT, RTree
 from repro.storage.buffer import BufferPool
 
 Point = Tuple[int, ...]
 Values = Tuple[float, ...]
+Entry = Tuple[Point, Values]
+#: A run heading into :func:`pack_rtree_stream`: view id, arity, number
+#: of aggregate values, and the (lazily consumed) sorted entry stream.
+RunStream = Tuple[int, int, int, Iterable[Entry]]
 
 _REG = get_registry()  # repro: guarded-by(MetricsRegistry._lock)
 _OBS_PACK_ENTRIES = _REG.counter("rtree.pack.entries")
@@ -119,77 +128,170 @@ def pack_rtree(
     most one view per arity per tree), which makes the concatenated stream
     globally sorted.  Leaves are filled to capacity, never mix views, and
     are written in strictly increasing page order — i.e. sequentially.
+    A run with no entries records the :data:`EMPTY_EXTENT` sentinel so the
+    zero-row view still has an explicit (empty) run.
     """
     with trace("rtree.pack", runs=len(runs)):
-        return _pack_rtree(pool, dims, runs, validate)
+        if validate:
+            seen_arity = set()
+            prev_last = None
+            for run in runs:
+                run.validate(dims)
+                if run.entries:
+                    if run.arity in seen_arity:
+                        raise MappingError(
+                            f"two views of arity {run.arity} in one Cubetree"
+                        )
+                    seen_arity.add(run.arity)
+                    first = sort_key(run.entries[0][0], dims)
+                    if prev_last is not None and first < prev_last:
+                        raise MappingError(
+                            "runs are not ordered by the global packing order"
+                        )
+                    prev_last = sort_key(run.entries[-1][0], dims)
+        streams: List[RunStream] = [
+            (run.view_id, run.arity, run.n_aggs, run.entries) for run in runs
+        ]
+        return _pack_streams(pool, dims, streams, validate=False)
 
 
-def _pack_rtree(
+def pack_rtree_stream(
     pool: BufferPool,
     dims: int,
-    runs: Sequence[PackedRun],
+    run_streams: Sequence[RunStream],
+    validate: bool = True,
+) -> RTree:
+    """Build a packed R-tree from per-view sorted entry *iterators*.
+
+    The out-of-core twin of :func:`pack_rtree`: each run's entries are
+    consumed lazily (one entry buffered beyond the open leaf), so the
+    peak memory of a bulk load is bounded by whatever produces the
+    streams — e.g. :class:`repro.core.extsort.ExternalRunSorter` — not by
+    the dataset.  With ``validate`` the same arity / coordinate / sort
+    order invariants as :func:`pack_rtree` are enforced inline as the
+    streams drain.
+    """
+    with trace("rtree.pack_stream", runs=len(run_streams)):
+        return _pack_streams(pool, dims, run_streams, validate)
+
+
+def _pack_streams(
+    pool: BufferPool,
+    dims: int,
+    streams: Sequence[RunStream],
     validate: bool,
 ) -> RTree:
-    if validate:
-        seen_arity = set()
-        prev_last = None
-        for run in runs:
-            run.validate(dims)
-            if run.entries:
-                if run.arity in seen_arity:
+    columnar = columnar_enabled()
+    tree = RTree(pool, dims)
+    level: List[Tuple[Rect, int]] = []  # (mbr, page id) per node
+    open_leaf: Optional[RLeafNode] = None
+    open_page = None
+    open_bytes = 0
+    count = 0
+    seen_arity = set()
+    prev_key: Optional[Tuple[int, ...]] = None
+
+    for view_id, arity, n_aggs, entries in streams:
+        if validate and not 0 <= arity <= dims:
+            raise MappingError(
+                f"view {view_id}: arity {arity} does not fit in "
+                f"a {dims}-dimensional Cubetree"
+            )
+        cap = leaf_capacity(arity, n_aggs)
+        run_first: Optional[int] = None
+        run_count = 0
+        for point, values in entries:
+            if validate:
+                if len(point) != arity:
                     raise MappingError(
-                        f"two views of arity {run.arity} in one Cubetree"
+                        f"view {view_id}: point {point} has "
+                        f"{len(point)} coords, expected {arity}"
                     )
-                seen_arity.add(run.arity)
-                first = sort_key(run.entries[0][0], dims)
-                if prev_last is not None and first < prev_last:
+                if any(c <= 0 for c in point):
+                    raise InvalidCoordinateError(
+                        f"view {view_id}: non-positive coordinate in "
+                        f"{point}; the valid mapping requires "
+                        f"coordinates > 0"
+                    )
+                if len(values) != n_aggs:
+                    raise MappingError(
+                        f"view {view_id}: expected {n_aggs} "
+                        f"aggregate values, got {len(values)}"
+                    )
+                key = sort_key(point, dims)
+                if prev_key is not None and key < prev_key:
+                    if run_count:
+                        raise MappingError(
+                            f"view {view_id}: entries are not in packing "
+                            f"sort order"
+                        )
                     raise MappingError(
                         "runs are not ordered by the global packing order"
                     )
-                prev_last = sort_key(run.entries[-1][0], dims)
-
-    tree = RTree(pool, dims)
-    level: List[Tuple[Rect, int]] = []  # (mbr, page id) per node
-    prev_leaf: RLeafNode | None = None
-    prev_page = None
-    count = 0
-
-    for run in runs:
-        if not run.entries:
-            continue
-        cap = leaf_capacity(run.arity, run.n_aggs)
-        run_first: int | None = None
-        i = 0
-        while i < len(run.entries):
-            take = min(cap, len(run.entries) - i)
-            leaf = RLeafNode(run.view_id, run.arity, run.n_aggs)
-            chunk = run.entries[i : i + take]
-            leaf.points = [point for point, _ in chunk]
-            leaf.values = [values for _, values in chunk]
-            page = pool.new_page()
-            if prev_leaf is not None:
-                prev_leaf.next_leaf = page.page_id
-                tree._flush_node(prev_leaf, prev_page)
-            prev_leaf, prev_page = leaf, page
-            level.append((leaf.mbr(dims), page.page_id))
-            tree.leaf_page_ids.append(page.page_id)
-            tree.owned_page_ids.append(page.page_id)
-            if run_first is None:
-                run_first = page.page_id
-            count += take
-            i += take
-            _OBS_PACK_ENTRIES.value += take
-            _OBS_PACK_LEAVES.value += 1
-        if run_first is not None:
-            tree.view_extents[run.view_id] = (
+                prev_key = key
+                if run_count == 0:
+                    if arity in seen_arity:
+                        raise MappingError(
+                            f"two views of arity {arity} in one Cubetree"
+                        )
+                    seen_arity.add(arity)
+            inc = 0
+            if open_leaf is not None and open_leaf.view_id == view_id:
+                if columnar:
+                    inc = columnar_entry_cost(
+                        open_leaf.points[-1] if open_leaf.points else None,
+                        point,
+                        n_aggs,
+                    )
+                    fits = (
+                        inc > 0
+                        and open_bytes + inc <= PAGE_SIZE
+                        and len(open_leaf.points) < MAX_LEAF_ENTRIES
+                    )
+                else:
+                    fits = len(open_leaf.points) < cap
+            else:
+                fits = False
+            if not fits:
+                page = pool.new_page()
+                if open_leaf is not None:
+                    open_leaf.next_leaf = page.page_id
+                    level.append((open_leaf.mbr(dims), open_page.page_id))
+                    tree._flush_node(open_leaf, open_page)
+                open_leaf = RLeafNode(
+                    view_id, arity, n_aggs, columnar=columnar
+                )
+                open_page = page
+                open_bytes = columnar_header_size(arity)
+                tree.leaf_page_ids.append(page.page_id)
+                tree.owned_page_ids.append(page.page_id)
+                _OBS_PACK_LEAVES.value += 1
+                if run_first is None:
+                    run_first = page.page_id
+                if columnar:
+                    inc = columnar_entry_cost(None, point, n_aggs)
+            open_leaf.points.append(point)
+            open_leaf.values.append(values)
+            open_bytes += inc
+            run_count += 1
+        count += run_count
+        _OBS_PACK_ENTRIES.value += run_count
+        if run_first is None:
+            # Zero-row view: record the explicit empty-run sentinel so
+            # fsck and run seeks see "no leaves" instead of a degenerate
+            # (first, last) pair.
+            tree.view_extents[view_id] = EMPTY_EXTENT
+        else:
+            tree.view_extents[view_id] = (
                 run_first,
                 tree.leaf_page_ids[-1],
             )
 
-    if prev_leaf is None:
-        return tree  # no data: empty tree
-    prev_leaf.next_leaf = -1
-    tree._flush_node(prev_leaf, prev_page)
+    if open_leaf is None:
+        return tree  # no data: empty tree (extents may hold sentinels)
+    open_leaf.next_leaf = -1
+    level.append((open_leaf.mbr(dims), open_page.page_id))
+    tree._flush_node(open_leaf, open_page)
 
     cap = interior_capacity(dims)
     height = 1

@@ -15,12 +15,15 @@ from __future__ import annotations
 from contextlib import closing
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.constants import PAGE_SIZE
 from repro.errors import InvalidCoordinateError, StorageError
 from repro.obs import get_registry
 from repro.rtree.geometry import Rect
 from repro.rtree.node import (
+    LEAF_TYPES,
     RInteriorNode,
     RLeafNode,
+    columnar_leaf_size,
     interior_capacity,
     leaf_capacity,
     node_type_of,
@@ -32,6 +35,13 @@ Point = Tuple[int, ...]
 Values = Tuple[float, ...]
 #: (view_id, padded point, aggregate values) — what searches yield.
 Match = Tuple[int, Point, Values]
+
+#: Sentinel extent the packer records for a view that materialized zero
+#: rows.  A real extent is a pair of leaf page ids (both >= 0), so the
+#: pair (-1, -1) is unambiguous; ``run_bounds`` maps it to the empty
+#: position range and run seeks/scans yield nothing instead of
+#: misfiring on a degenerate ``(first, last)`` pair.
+EMPTY_EXTENT: Tuple[int, int] = (-1, -1)
 
 _REG = get_registry()  # repro: guarded-by(MetricsRegistry._lock)
 _OBS_SEARCHES = _REG.counter("rtree.searches")
@@ -165,6 +175,11 @@ class RTree:
         extent = self.view_extents.get(view_id)
         if extent is None:
             return None
+        if extent == EMPTY_EXTENT:
+            # Zero-row view: an empty position range (hi < lo), so every
+            # run scan/seek degenerates to yielding nothing.
+            self._run_index[view_id] = (0, -1)
+            return (0, -1)
         first, last = extent
         try:
             lo = self.leaf_page_ids.index(first)
@@ -442,8 +457,15 @@ class RTree:
         total = 0.0
         leaves = 0
         for leaf in self.scan_leaf_chain():
-            cap = leaf_capacity(leaf.arity, leaf.n_aggs)
-            total += len(leaf) / cap
+            if leaf.columnar:
+                # Columnar leaves are byte-filled, not slot-filled.
+                total += (
+                    columnar_leaf_size(leaf.points, leaf.arity, leaf.n_aggs)
+                    / PAGE_SIZE
+                )
+            else:
+                cap = leaf_capacity(leaf.arity, leaf.n_aggs)
+                total += len(leaf) / cap
             leaves += 1
         return total / leaves if leaves else 0.0
 
@@ -466,7 +488,7 @@ class RTree:
         page = self.pool.fetch_page(page_id, scan=scan)
         if page.cached_obj is None:
             raw = bytes(page.data)
-            if node_type_of(raw) == 1:
+            if node_type_of(raw) in LEAF_TYPES:
                 page.cached_obj = RLeafNode.from_bytes(raw)
             else:
                 page.cached_obj = RInteriorNode.from_bytes(raw)

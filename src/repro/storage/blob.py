@@ -54,6 +54,12 @@ class BlobFile:
         """
         if handle.num_pages < 1:
             raise StorageError("empty blob handle")
+        if handle.length < 0 or handle.length > handle.num_pages * PAGE_SIZE:
+            raise StorageError(
+                f"blob handle claims {handle.length} bytes but spans only "
+                f"{handle.num_pages} pages ({handle.num_pages * PAGE_SIZE} "
+                f"bytes)"
+            )
         page_ids = range(
             handle.first_page, handle.first_page + handle.num_pages
         )

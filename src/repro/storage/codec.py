@@ -7,6 +7,12 @@ storage-size experiments rely on.  Supported column types:
 * ``INT64`` — signed 8-byte integer (dimension keys, counts);
 * ``FLOAT64`` — 8-byte IEEE double (aggregate values);
 * ``STRING(n)`` — UTF-8, zero-padded to ``n`` bytes (dimension attributes).
+
+The module also hosts the delta + varint column codec used by the
+columnar Cubetree leaf format (v3): a sorted run of int64 coordinates is
+stored as its first value followed by successive differences, each
+zigzag-mapped to an unsigned value and LEB128-varint encoded.  Sorted
+runs have tiny deltas, so most entries take one byte instead of eight.
 """
 
 from __future__ import annotations
@@ -178,7 +184,13 @@ class RecordCodec:
             pad = f"{pad_before}x" if pad_before else ""
             item = struct.Struct("<" + pad + self._body)
             self._strided_item[pad_before] = item
-        region = memoryview(buf)[offset : offset + count * item.size]
+        end = offset + count * item.size
+        if offset < 0 or end > len(buf):
+            raise InvalidRecordError(
+                f"{count} strided record(s) of {item.size} bytes at offset "
+                f"{offset} overrun the {len(buf)}-byte buffer"
+            )
+        region = memoryview(buf)[offset:end]
         fields_iter = item.iter_unpack(region)
         if not self._str_indexes:
             return list(fields_iter)
@@ -213,6 +225,114 @@ class RecordCodec:
             cached = struct.Struct("<" + (pad + self._body) * count)
             self._repeated_cache[key] = cached
         return cached
+
+
+# ----------------------------------------------------------------------
+# delta + varint column codec (columnar leaf format v3)
+# ----------------------------------------------------------------------
+
+# LEB128 varints for zigzagged int64 deltas never exceed 10 bytes; a
+# longer continuation chain can only come from corruption.
+_MAX_VARINT_BYTES = 10
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+
+def zigzag_encode(value: int) -> int:
+    """Map a signed int to an unsigned one with small absolute values first."""
+    return (value << 1) if value >= 0 else ((-value << 1) - 1)
+
+
+def zigzag_decode(encoded: int) -> int:
+    """Inverse of :func:`zigzag_encode`."""
+    if encoded & 1:
+        return -((encoded + 1) >> 1)
+    return encoded >> 1
+
+
+def varint_size(encoded: int) -> int:
+    """Bytes a LEB128 varint of the (unsigned) value occupies."""
+    size = 1
+    while encoded >= 0x80:
+        encoded >>= 7
+        size += 1
+    return size
+
+
+def encode_delta_column(values: Sequence[int]) -> bytes:
+    """Encode a column of int64s as zigzag-varint deltas.
+
+    The first value is delta-coded against an implicit 0, so the stream
+    is self-contained: ``decode_delta_column`` needs only the bytes and
+    the element count.
+    """
+    out = bytearray()
+    prev = 0
+    for value in values:
+        if not _INT64_MIN <= value <= _INT64_MAX:
+            raise InvalidRecordError(
+                f"column value {value} exceeds int64 range"
+            )
+        encoded = zigzag_encode(value - prev)
+        prev = value
+        while encoded >= 0x80:
+            out.append((encoded & 0x7F) | 0x80)
+            encoded >>= 7
+        out.append(encoded)
+    return bytes(out)
+
+
+def decode_delta_column(
+    raw: "bytes | bytearray | memoryview",
+    offset: int,
+    length: int,
+    count: int,
+) -> Tuple[int, ...]:
+    """Decode ``count`` int64s from a delta-varint stream of ``length`` bytes.
+
+    Raises :class:`InvalidRecordError` if the stream is truncated, has
+    trailing bytes, or contains an overlong varint — all symptoms of a
+    corrupt columnar leaf.
+    """
+    end = offset + length
+    if length < 0 or end > len(raw):
+        raise InvalidRecordError(
+            f"delta column claims {length} bytes at offset {offset}, "
+            f"buffer holds {len(raw)}"
+        )
+    values: List[int] = []
+    prev = 0
+    pos = offset
+    for _ in range(count):
+        encoded = 0
+        shift = 0
+        while True:
+            if pos >= end:
+                raise InvalidRecordError(
+                    f"truncated varint in delta column "
+                    f"(value {len(values)} of {count})"
+                )
+            byte = raw[pos]
+            pos += 1
+            encoded |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+            if shift >= 7 * _MAX_VARINT_BYTES:
+                raise InvalidRecordError(
+                    "varint exceeds the 10-byte int64 bound"
+                )
+        prev += zigzag_decode(encoded)
+        if not _INT64_MIN <= prev <= _INT64_MAX:
+            raise InvalidRecordError(
+                f"delta column decodes outside int64 range ({prev})"
+            )
+        values.append(prev)
+    if pos != end:
+        raise InvalidRecordError(
+            f"delta column has {end - pos} trailing byte(s)"
+        )
+    return tuple(values)
 
 
 def _string_converter(width: int) -> Callable[[object], bytes]:
@@ -273,7 +393,13 @@ class EntryCodec:
             return iter(())
         if self._item is None:  # zero-width entries (degenerate apex leaf)
             return iter([()] * count)
-        region = memoryview(raw)[offset : offset + count * self.item_size]
+        end = offset + count * self.item_size
+        if offset < 0 or end > len(raw):
+            raise InvalidRecordError(
+                f"{count} entries of {self.item_size} bytes at offset "
+                f"{offset} overrun the {len(raw)}-byte buffer"
+            )
+        region = memoryview(raw)[offset:end]
         return self._item.iter_unpack(region)
 
     def unpack_flat_from(
@@ -282,6 +408,11 @@ class EntryCodec:
         """Unpack ``count`` items as one flat field tuple."""
         if count <= 0 or self._item is None:
             return ()
+        if offset < 0 or offset + count * self.item_size > len(raw):
+            raise InvalidRecordError(
+                f"{count} entries of {self.item_size} bytes at offset "
+                f"{offset} overrun the {len(raw)}-byte buffer"
+            )
         return self.repeated(count).unpack_from(raw, offset)
 
 

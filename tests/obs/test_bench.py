@@ -79,7 +79,7 @@ class TestRunSuite:
     def test_suite_names(self):
         assert SUITES == (
             "smoke", "loading", "queries", "updates", "scalability",
-            "serving", "sharding",
+            "serving", "sharding", "columnar",
         )
 
 

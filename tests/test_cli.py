@@ -180,3 +180,18 @@ def test_unknown_command_rejected():
 def test_unknown_experiment_rejected():
     with pytest.raises(SystemExit):
         main(["experiment", "nope"])
+
+
+@pytest.mark.parametrize("command", [
+    ["query", "select partkey, sum(quantity) from F group by partkey"],
+    ["check"],
+    ["serve", "some_db"],
+])
+@pytest.mark.parametrize("bad", ["0", "-2", "2.5", "two"])
+def test_bad_shards_rejected_at_parse_time(command, bad, capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(command + ["--shards", bad])
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert "--shards" in err
+    assert "positive integer" in err

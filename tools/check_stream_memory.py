@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""CI gate: the streaming bulk load stays within its sort-buffer budget.
+
+Builds the paper configuration twice over the same warehouse — once
+through the classic in-memory pack, once through the bounded-memory
+streaming path (``REPRO_BUILD_MEMORY``-style budget, forced via
+:func:`repro.core.extsort.set_build_memory`) — and requires:
+
+* identical storage (page count) and simulated load cost,
+* the external sorter's peak buffer at or below the budget,
+* at least one spilled run (otherwise the cap was not exercised).
+
+Exits non-zero with a diagnostic when any bound is violated.
+"""
+
+from __future__ import annotations
+
+import sys
+
+#: Sort-buffer budget in entries — far below the scale-0.002 view rows,
+#: so every non-trivial view spills.
+BUDGET = 1024
+SCALE = 0.002
+SEED = 42
+
+
+def main() -> int:
+    from repro.core.extsort import set_build_memory
+    from repro.experiments.common import (
+        ExperimentConfig,
+        build_cubetree_engine,
+        build_warehouse,
+    )
+    from repro.obs import get_registry
+
+    config = ExperimentConfig(scale_factor=SCALE, seed=SEED)
+    _generator, data = build_warehouse(config)
+
+    classic, _ = build_cubetree_engine(config, data)
+    classic_pages = classic.forest.num_pages
+    classic_ms = classic.disk.cost_model.stats.simulated_ms
+
+    registry = get_registry()
+    registry.reset()
+    set_build_memory(BUDGET)
+    try:
+        streamed, _ = build_cubetree_engine(config, data)
+    finally:
+        set_build_memory(None)
+    streamed_pages = streamed.forest.num_pages
+    streamed_ms = streamed.disk.cost_model.stats.simulated_ms
+
+    counters = registry.snapshot()["counters"]
+    peak = int(counters.get("extsort.peak_buffered", 0))
+    spilled_runs = int(counters.get("extsort.spilled_runs", 0))
+    spilled_entries = int(counters.get("extsort.spilled_entries", 0))
+
+    print(f"budget:          {BUDGET} entries")
+    print(f"peak buffered:   {peak} entries")
+    print(f"spilled runs:    {spilled_runs} ({spilled_entries} entries)")
+    print(f"pages:           classic={classic_pages} streamed={streamed_pages}")
+    print(f"simulated load:  classic={classic_ms:.1f}ms "
+          f"streamed={streamed_ms:.1f}ms")
+
+    problems = []
+    if peak > BUDGET:
+        problems.append(
+            f"sorter buffered {peak} entries, over the {BUDGET}-entry budget"
+        )
+    if peak == 0:
+        problems.append("streaming path did not run (peak buffer is zero)")
+    if spilled_runs == 0:
+        problems.append("no spilled runs — the budget was never exercised")
+    if streamed_pages != classic_pages:
+        problems.append(
+            f"streamed build wrote {streamed_pages} pages, classic wrote "
+            f"{classic_pages}"
+        )
+    if streamed_ms != classic_ms:
+        problems.append(
+            f"streamed build cost {streamed_ms}ms simulated, classic "
+            f"{classic_ms}ms — the paths must charge identical I/O"
+        )
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print("OK: streaming load is byte- and cost-identical under the budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
