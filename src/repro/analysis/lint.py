@@ -29,6 +29,16 @@ linter knows about:
     (:meth:`RecordCodec.encode_many`, :meth:`RecordCodec.decode_many`,
     ``EntryCodec``) replaced; whole-page batches are one call.
     ``iter_unpack`` is exempt — it *is* the batched form.
+``leaf-entry-loop``
+    No per-entry loops over ``leaf.points`` / ``leaf.values`` in the
+    query path (``repro/query/`` and ``repro/rtree/tree.py``; see
+    ``PATH_RESTRICTIONS``).  Leaf consumption belongs in the column
+    kernels (:mod:`repro.rtree.kernels`) or one of the sanctioned
+    scalar-fallback helpers, so columnar leaves keep their vectorized
+    fast path.  The intentional scalar fallbacks are recorded in
+    ``tools/lint-baseline.json``; new sites must justify themselves or
+    go through the kernels.  Attribute loops only — ``dict.values()``
+    method calls never match.
 
 Findings can be suppressed per line with ``# lint: ignore[rule-id]``.
 The runner for CI and pre-commit use is ``tools/lint.py``.
@@ -40,7 +50,16 @@ import ast
 import os
 import re
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 #: rule id -> short description (the registry ``tools/lint.py`` prints).
 RULES: Dict[str, str] = {  # repro: read-only
@@ -72,6 +91,11 @@ RULES: Dict[str, str] = {  # repro: read-only
         "the run-scan helpers (RTree._scan_leaves / pool.prefetch_run) "
         "so sequential reads go through scan admission and read-ahead"
     ),
+    "leaf-entry-loop": (
+        "per-entry loop over leaf.points/leaf.values in the query path; "
+        "go through the column kernels (repro.rtree.kernels) or a "
+        "baselined scalar-fallback helper"
+    ),
 }
 
 #: Per-rule path suffixes (POSIX-style) that are exempt by design.
@@ -87,6 +111,16 @@ PATH_EXEMPTIONS: Dict[str, Tuple[str, ...]] = {  # repro: read-only
     # The pool owns the sanctioned sequential-read helper (prefetch_run),
     # which necessarily iterates a page range itself.
     "sequential-fetch-loop": ("repro/storage/buffer.py",),
+}
+
+#: Per-rule path markers the rule is *restricted to*: a file matches the
+#: rule only when its normalized path contains one of the markers.
+#: (The inverse of PATH_EXEMPTIONS — opt-in rather than opt-out.)
+PATH_RESTRICTIONS: Dict[str, Tuple[str, ...]] = {  # repro: read-only
+    # Leaf consumption is only policed where queries read leaves: the
+    # query layer and the tree's search machinery.  Packers, codecs,
+    # mergers, and checkers legitimately walk entries row by row.
+    "leaf-entry-loop": ("repro/query/", "repro/rtree/tree.py"),
 }
 
 _PAGE_SIZE_LITERAL = 4096  # lint: ignore[magic-page-size]
@@ -196,6 +230,9 @@ def _exempt_rules(path: str) -> Set[str]:
         for rule, suffixes in PATH_EXEMPTIONS.items()
         if any(normalized.endswith(suffix) for suffix in suffixes)
     }
+    for rule, markers in PATH_RESTRICTIONS.items():
+        if not any(marker in normalized for marker in markers):
+            exempt.add(rule)
     if is_test_path(path):
         exempt.add("runtime-assert")
     return exempt
@@ -237,6 +274,33 @@ def _is_range_iter(node: ast.expr) -> bool:
         and isinstance(node.func, ast.Name)
         and node.func.id == "range"
     )
+
+
+#: Leaf entry sequences the query path must consume through the kernels.
+_LEAF_ENTRY_ATTRS = frozenset({"points", "values"})
+
+
+def _leaf_entry_attr(node: ast.expr) -> Optional[str]:
+    """The ``.points``/``.values`` attribute a loop iterable reads, if any.
+
+    Walks the whole iterable expression so wrappers like
+    ``zip(leaf.points, leaf.values)`` and ``enumerate(leaf.points)``
+    still match.  Attributes used as a call's function (``d.values()``)
+    are method calls on something else entirely and never match.
+    """
+    called = {
+        id(child.func)
+        for child in ast.walk(node)
+        if isinstance(child, ast.Call)
+    }
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Attribute)
+            and child.attr in _LEAF_ENTRY_ATTRS
+            and id(child) not in called
+        ):
+            return child.attr
+    return None
 
 
 def _is_mutable_default(node: ast.expr) -> bool:
@@ -326,6 +390,7 @@ class _LintVisitor(ast.NodeVisitor):
     # -- struct-in-loop loop tracking ----------------------------------
     def _visit_loop(self, node: ast.AST) -> None:
         ranged = isinstance(node, ast.For) and _is_range_iter(node.iter)
+        self._check_leaf_entry_loop(node)
         self._loop_depth += 1
         if ranged:
             self._range_loop_depth += 1
@@ -333,6 +398,29 @@ class _LintVisitor(ast.NodeVisitor):
         if ranged:
             self._range_loop_depth -= 1
         self._loop_depth -= 1
+
+    # -- leaf-entry-loop ------------------------------------------------
+    def _check_leaf_entry_loop(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters = [node.iter]
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                   ast.GeneratorExp)
+        ):
+            iters = [gen.iter for gen in node.generators]
+        else:  # while loops have no iterable to inspect
+            return
+        for iterable in iters:
+            attr = _leaf_entry_attr(iterable)
+            if attr is not None:
+                self._flag(
+                    "leaf-entry-loop",
+                    node,
+                    f"per-entry loop over leaf .{attr}; go through the "
+                    f"column kernels (repro.rtree.kernels) or a "
+                    f"scalar-fallback helper",
+                )
+                return
 
     visit_For = _visit_loop
     visit_AsyncFor = _visit_loop

@@ -535,6 +535,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 f"  shard {entry['shard']}: {entry['pages']} pages, "
                 f"{entry['rows']} rows"
             )
+    from repro.storage.buffer import column_cache_capacity
+
+    cache_pages = column_cache_capacity()
+    print(
+        f"decoded-column cache: {cache_pages} leaf(s)"
+        if cache_pages > 0
+        else "decoded-column cache: disabled"
+    )
     try:
         httpd.serve_forever()
     except KeyboardInterrupt:

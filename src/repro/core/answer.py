@@ -9,7 +9,16 @@ user-visible values.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Mapping, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import QueryError
 from repro.query.slice import SliceQuery
@@ -122,3 +131,26 @@ def finalize_matches(
         )
         rows.append(key + finals)
     return rows
+
+
+def finalize_fold(
+    view: ViewDefinition,
+    states: Optional[Sequence[Tuple[float, ...]]],
+) -> List[Row]:
+    """Finalize pushed-down aggregate states into answer rows.
+
+    The counterpart of :func:`finalize_matches` for a total query (empty
+    grouping, no residual) answered by aggregate pushdown: the engine
+    already holds the slice's combined per-aggregate states, so the only
+    remaining work is finalization.  ``None`` (no tuple matched) yields
+    the same empty answer an empty match list would.
+    """
+    if states is None:
+        return []
+    funcs = [spec.func for spec in view.aggregates]
+    return [
+        tuple(
+            finalize_state(func, state)
+            for func, state in zip(funcs, states)
+        )
+    ]

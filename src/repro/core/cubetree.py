@@ -22,9 +22,10 @@ from repro.core.extsort import (
 )
 from repro.errors import IntegrityError, MappingError, QueryError
 from repro.obs import trace
-from repro.relational.executor import combine_states
+from repro.relational.executor import AggFunc, combine_states
 from repro.relational.view import ViewDefinition
 from repro.rtree.geometry import Rect
+from repro.rtree.kernels import FoldAccumulator
 from repro.rtree.merge import merge_pack
 from repro.rtree.packing import (
     PackedRun,
@@ -55,6 +56,32 @@ class SliceSpec:
     rect: Rect
     lo_key: RunKey
     hi_key: RunKey
+
+
+@dataclass(frozen=True)
+class FoldedSlice:
+    """A slice answered by aggregate pushdown: per-aggregate combined
+    states instead of a match list (``None`` when nothing matched)."""
+
+    states: Optional[Tuple[Values, ...]]
+
+
+def fold_reducers(view: ViewDefinition) -> Tuple[str, ...]:
+    """Per-flattened-state-component reducer tags for a view.
+
+    Mirrors :func:`repro.relational.executor.combine_states` applied
+    pairwise: MIN/MAX components reduce by ``min``/``max``, every other
+    component (SUM, COUNT, both AVG halves) by addition.
+    """
+    tags: List[str] = []
+    for spec, width in zip(view.aggregates, view.state_widths):
+        if spec.func is AggFunc.MIN:
+            tags.append("min")
+        elif spec.func is AggFunc.MAX:
+            tags.append("max")
+        else:
+            tags.extend(["add"] * width)
+    return tuple(tags)
 
 
 def prepare_packed_runs(
@@ -355,39 +382,98 @@ class Cubetree:
                 raise MappingError("search strayed into another view region")
             yield point[:arity], values
 
+    def query_aggregate(
+        self, view_name: str, bindings: Mapping[str, object]
+    ) -> Optional[Tuple[Values, ...]]:
+        """Fold a whole slice into per-aggregate combined states.
+
+        Aggregate pushdown for total queries (no grouping, no residual):
+        the leaf run is scanned exactly as the fast path of :meth:`query`
+        would — identical seek, break, and simulated I/O — but matches
+        are folded leaf-by-leaf (columnar leaves as whole measure-column
+        slices) instead of being materialized as rows.  Returns ``None``
+        when no tuple matches, else one combined state tuple per
+        aggregate, bit-identical to combining the :meth:`query` matches
+        serially.  Requires a recorded leaf-run extent (:meth:`has_run`).
+        """
+        spec = self.slice_spec(view_name, bindings)
+        arity = spec.view.arity
+        if self.tree.run_bounds(arity) is None:
+            raise QueryError(
+                f"view {view_name!r} has no leaf-run extent to fold over"
+            )
+        acc = FoldAccumulator(fold_reducers(spec.view))
+        self.tree.search_run_fold(
+            arity, spec.rect, acc, spec.lo_key, spec.hi_key
+        )
+        return self._states_of(spec.view, acc)
+
+    def _states_of(
+        self, view: ViewDefinition, acc: FoldAccumulator
+    ) -> Optional[Tuple[Values, ...]]:
+        """Split an accumulator's flat states into per-aggregate tuples."""
+        if acc.states is None:
+            return None
+        out: List[Values] = []
+        offset = 0
+        for width in view.state_widths:
+            out.append(tuple(acc.states[offset : offset + width]))
+            offset += width
+        return tuple(out)
+
     def query_group(
         self,
         view_name: str,
         bindings_list: Sequence[Mapping[str, object]],
-    ) -> List[List[Tuple[Tuple[int, ...], Values]]]:
+        fold: Optional[Sequence[bool]] = None,
+    ) -> List[object]:
         """Answer several slices of one view in a single shared run pass.
 
-        Returns one match list per input binding set, in input order;
-        each list is exactly what :meth:`query` would have produced for
-        that binding set alone.  Requires a recorded leaf-run extent —
-        callers fall back to per-query execution when
-        :meth:`has_run` is false.
+        Returns one entry per input binding set, in input order.  By
+        default each entry is the match list :meth:`query` would have
+        produced for that binding set alone.  ``fold`` (aligned with
+        ``bindings_list``) marks slices eligible for aggregate pushdown:
+        their entries come back as :class:`FoldedSlice` objects holding
+        the combined per-aggregate states (see :meth:`query_aggregate`)
+        instead of match lists.  Requires a recorded leaf-run extent —
+        callers fall back to per-query execution when :meth:`has_run`
+        is false.
         """
         specs = [self.slice_spec(view_name, b) for b in bindings_list]
         if not specs:
             return []
+        if fold is not None and len(fold) != len(specs):
+            raise QueryError(
+                f"{len(fold)} fold flag(s) for {len(specs)} slice(s)"
+            )
         arity = specs[0].view.arity
         # Sort the group into run order (unbounded slices first), so the
         # shared pass opens at the earliest qualifying leaf and retires
         # requests front to back as the scan advances.
         order = sorted(range(len(specs)), key=lambda i: specs[i].lo_key)
+        accs: Optional[List[Optional[FoldAccumulator]]] = None
+        if fold is not None and any(fold):
+            reducers = fold_reducers(specs[0].view)
+            accs = [
+                FoldAccumulator(reducers) if fold[i] else None
+                for i in order
+            ]
         grouped = self.tree.search_run_group(
             arity,
             [(specs[i].rect, specs[i].lo_key, specs[i].hi_key) for i in order],
+            accs,
         )
-        results: List[List[Tuple[Tuple[int, ...], Values]]] = [
-            [] for _ in specs
-        ]
+        results: List[object] = [[] for _ in specs]
         for position, i in enumerate(order):
-            results[i] = [
-                (point[:arity], values)
-                for _, point, values in grouped[position]
-            ]
+            if accs is not None and accs[position] is not None:
+                results[i] = FoldedSlice(
+                    self._states_of(specs[i].view, accs[position])
+                )
+            else:
+                results[i] = [
+                    (point[:arity], values)
+                    for _, point, values in grouped[position]
+                ]
         return results
 
     def has_run(self, view_name: str) -> bool:

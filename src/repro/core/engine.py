@@ -31,7 +31,7 @@ from typing import (
 )
 
 from repro.constants import DEFAULT_BUFFER_PAGES
-from repro.core.answer import finalize_matches, split_bindings
+from repro.core.answer import finalize_fold, finalize_matches, split_bindings
 from repro.core.forest import CubetreeForest
 from repro.core.mapping import select_mapping
 from repro.core.replication import permute_state_rows, replica_definition
@@ -46,6 +46,7 @@ from repro.query.result import QueryResult
 from repro.query.router import QueryRouter
 from repro.query.slice import SliceQuery
 from repro.relational.view import ViewDefinition
+from repro.rtree.kernels import vector_kernels_enabled
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import DiskManager
 from repro.warehouse.hierarchy import Hierarchy
@@ -62,6 +63,7 @@ _OBS_QUERY_SIM_MS = _REG.histogram("query.cubetree.simulated_ms")
 _OBS_QUERY_WALL_MS = _REG.histogram("query.cubetree.wall_ms")
 _OBS_BATCHES = _REG.counter("query.cubetree.batches")
 _OBS_BATCHED_QUERIES = _REG.counter("query.cubetree.batched_queries")
+_OBS_PUSHDOWNS = _REG.counter("query.cubetree.pushdowns")
 
 
 def _env_fast_scans() -> bool:
@@ -217,10 +219,28 @@ class CubetreeEngine:
         )
         view = decision.path.view
         direct, residual = split_bindings(view, query, self.hierarchies)
-        matches = forest.query_view(view.name, direct, fast=decision.use_run)
-        rows = finalize_matches(
-            matches, view, query, self.hierarchies, residual
-        )
+        if (
+            decision.use_run
+            and not query.group_by
+            and not residual
+            and vector_kernels_enabled()
+            and forest.has_run(view.name)
+        ):
+            # Aggregate pushdown: a total query with no residual filter
+            # needs only the slice's combined states, so the run pass
+            # folds measure columns in place of materializing matches.
+            # Same leaves scanned, same simulated I/O, same answer.
+            rows = finalize_fold(
+                view, forest.query_view_aggregate(view.name, direct)
+            )
+            _OBS_PUSHDOWNS.value += 1
+        else:
+            matches = forest.query_view(
+                view.name, direct, fast=decision.use_run
+            )
+            rows = finalize_matches(
+                matches, view, query, self.hierarchies, residual
+            )
         io = self.disk.cost_model.stats - io_start
         wall_ms = (time.perf_counter() - wall_start) * 1000.0
         _OBS_QUERIES.value += 1

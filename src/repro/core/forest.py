@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.cubetree import Cubetree, prepare_packed_runs
 from repro.core.extsort import build_memory_budget
@@ -229,14 +229,24 @@ class CubetreeForest:
         """Slice one view (see Cubetree.query)."""
         return self._tree_for(view_name).query(view_name, bindings, fast=fast)
 
+    def query_view_aggregate(
+        self, view_name: str, bindings: Mapping[str, int]
+    ) -> Optional[Tuple[Tuple[float, ...], ...]]:
+        """Fold one slice into combined per-aggregate states
+        (see Cubetree.query_aggregate)."""
+        return self._tree_for(view_name).query_aggregate(view_name, bindings)
+
     def query_view_group(
         self,
         view_name: str,
         bindings_list: Sequence[Mapping[str, int]],
-    ) -> List[List[Tuple[Tuple[int, ...], Tuple[float, ...]]]]:
+        fold: Optional[Sequence[bool]] = None,
+    ) -> List[object]:
         """Answer several slices of one view in one shared run pass
         (see Cubetree.query_group)."""
-        return self._tree_for(view_name).query_group(view_name, bindings_list)
+        return self._tree_for(view_name).query_group(
+            view_name, bindings_list, fold=fold
+        )
 
     def has_run(self, view_name: str) -> bool:
         """True when the view's leaf-run extent is recorded."""

@@ -790,17 +790,35 @@ def _suite_sharding(scale: float, seed: int, queries: int) -> Dict[str, object]:
 
 
 def _suite_columnar(scale: float, seed: int, queries: int) -> Dict[str, object]:
-    """Row vs. columnar (v3) leaf format, plus the streaming build path.
+    """Row vs. columnar (v3) leaf format, kernels, and the streaming build.
 
-    Five phases over the same warehouse: ``load_row`` / ``queries_row``
-    with the classic row-major leaves, ``load_columnar`` /
-    ``queries_columnar`` with delta+varint columnar leaves, and
-    ``load_stream`` — a columnar load through the bounded-memory
-    external sort.  The two query phases answer the identical workload
-    (row equality is asserted), so their page counts and simulated-ms
-    ratio *are* the columnar win.  ``columnar_summary`` carries the
-    storage ratio and the streaming sorter's spill/peak counters.
+    The original five phases stand: ``load_row`` / ``queries_row`` with
+    the classic row-major leaves, ``load_columnar`` /
+    ``queries_columnar`` with delta+varint columnar leaves (queried
+    through the vectorized kernels), and ``load_stream`` — a columnar
+    load through the bounded-memory external sort.  The row/columnar
+    query phases answer the identical workload (row equality is
+    asserted), so their page counts and simulated-ms ratio *are* the
+    columnar win.
+
+    The kernel phases then answer the same workload both ways over the
+    same columnar engine: ``queries_columnar_scalar`` against
+    ``queries_columnar_vector`` (several cold-start passes each, so one
+    20-query pass's timing noise can't swamp the ratio), and
+    ``batch_columnar_scalar`` / ``batch_columnar_vector`` for the
+    shared-pass executor.  Scalar and vectorized execution scan the same
+    leaves, so their page counts are identical by construction — the
+    wall-ms ratio is the vectorization win, reported in
+    ``columnar_summary`` (wall-clock never gates a comparison).
+    Finally ``load_columnar_small`` / ``queries_small_scalar`` /
+    ``queries_small_vector`` rerun the workload several passes under a
+    buffer pool too small to hold the leaf run, where scan churn makes
+    the decoded-column side-cache earn its keep — pass one populates it,
+    later passes hit it while the scalar side re-decodes every evicted
+    page; the hit/miss counters land in the summary.
     """
+    from dataclasses import replace
+
     from repro.core.extsort import set_build_memory
     from repro.experiments.common import (
         FIG12_NODES,
@@ -808,11 +826,22 @@ def _suite_columnar(scale: float, seed: int, queries: int) -> Dict[str, object]:
         build_warehouse,
     )
     from repro.query.generator import RandomQueryGenerator
+    from repro.rtree.kernels import set_vector_kernels
     from repro.rtree.node import set_leaf_format
 
     #: Streaming-build sort buffer (entries) — small enough that the
     #: bench corpus spills several runs.
     stream_budget = 1024
+    #: Small-pool pages for the decoded-cache showcase — far below the
+    #: columnar leaf-run size, so every pass re-fetches evicted pages.
+    small_pool_pages = 24
+    #: Workload passes in the small-pool phases: pass 1 populates the
+    #: decoded-column cache, later passes hit it (the scalar side
+    #: re-decodes every evicted page each pass).
+    small_pool_passes = 3
+    #: Workload passes in the scalar-vs-vector phases — enough wall
+    #: time that the ratio reflects execution mode, not timer noise.
+    kernel_passes = 5
 
     config, run = _make_config("columnar", scale, seed, queries)
     _generator, data = build_warehouse(config)
@@ -824,8 +853,12 @@ def _suite_columnar(scale: float, seed: int, queries: int) -> Dict[str, object]:
     ]
 
     try:
+        # Pin kernel dispatch on for the suite so the phases measure the
+        # same thing regardless of the ambient REPRO_VECTOR_KERNELS.
+        set_vector_kernels(True)
         results: Dict[str, object] = {}
         pages: Dict[str, int] = {}
+        engine = None
         for mode in ("row", "columnar"):
             set_leaf_format(mode)
             wall_start = time.perf_counter()
@@ -844,6 +877,7 @@ def _suite_columnar(scale: float, seed: int, queries: int) -> Dict[str, object]:
                     for query in workload
                 ]
             results[mode] = answers
+        columnar_engine = engine
 
         if results["row"] != results["columnar"]:
             raise RuntimeError(
@@ -866,6 +900,120 @@ def _suite_columnar(scale: float, seed: int, queries: int) -> Dict[str, object]:
                 "columnar bench: streaming build produced a different "
                 "page count than the in-memory columnar build"
             )
+        set_build_memory(None)
+
+        # -- vectorized vs scalar, single-query path -------------------
+        # Both sides run the identical multi-pass protocol (cold pool,
+        # then kernel_passes passes over the workload) so the wall
+        # ratio compares execution modes, not pool temperatures, and a
+        # single 20-query pass's timing noise doesn't swamp it.
+        kernel_answers: Dict[str, object] = {}
+        for kernel_mode, enabled in (
+            ("queries_columnar_scalar", False),
+            ("queries_columnar_vector", True),
+        ):
+            set_vector_kernels(enabled)
+            columnar_engine.pool.clear()
+            with run.phase(kernel_mode, columnar_engine.pool):
+                for _ in range(kernel_passes):
+                    kernel_answers[kernel_mode] = [
+                        tuple(
+                            sorted(
+                                columnar_engine.query(
+                                    query, fast=True
+                                ).rows
+                            )
+                        )
+                        for query in workload
+                    ]
+        if (
+            kernel_answers["queries_columnar_scalar"]
+            != kernel_answers["queries_columnar_vector"]
+            or kernel_answers["queries_columnar_vector"]
+            != results["columnar"]
+        ):
+            raise RuntimeError(
+                "columnar bench: scalar and vectorized kernels answered "
+                "the same workload differently"
+            )
+
+        # -- vectorized vs scalar, batch executor ----------------------
+        batch_answers: Dict[str, object] = {}
+        for kernel_mode, enabled in (
+            ("batch_columnar_scalar", False),
+            ("batch_columnar_vector", True),
+        ):
+            set_vector_kernels(enabled)
+            columnar_engine.pool.clear()
+            with run.phase(kernel_mode, columnar_engine.pool):
+                batch = columnar_engine.query_batch(workload)
+            batch_answers[kernel_mode] = [
+                tuple(sorted(result.rows)) for result in batch.results
+            ]
+        if (
+            batch_answers["batch_columnar_scalar"]
+            != batch_answers["batch_columnar_vector"]
+            or batch_answers["batch_columnar_vector"]
+            != results["columnar"]
+        ):
+            raise RuntimeError(
+                "columnar bench: batched execution disagreed with the "
+                "serial answers"
+            )
+
+        # -- decoded-column cache under scan churn ---------------------
+        small_config = replace(config, buffer_pages=small_pool_pages)
+        wall_start = time.perf_counter()
+        small_engine, _ = build_cubetree_engine(small_config, data)
+        run.phases.append(
+            _absolute_phase(
+                "load_columnar_small", small_engine.pool,
+                (time.perf_counter() - wall_start) * 1000.0,
+            )
+        )
+        small_answers: Dict[str, object] = {}
+        for kernel_mode, enabled in (
+            ("queries_small_scalar", False),
+            ("queries_small_vector", True),
+        ):
+            set_vector_kernels(enabled)
+            small_engine.pool.clear()
+            with run.phase(kernel_mode, small_engine.pool):
+                for _ in range(small_pool_passes):
+                    small_answers[kernel_mode] = [
+                        tuple(
+                            sorted(
+                                small_engine.query(query, fast=True).rows
+                            )
+                        )
+                        for query in workload
+                    ]
+        if (
+            small_answers["queries_small_scalar"]
+            != small_answers["queries_small_vector"]
+            or small_answers["queries_small_vector"] != results["columnar"]
+        ):
+            raise RuntimeError(
+                "columnar bench: small-pool runs disagreed with the "
+                "full-pool answers"
+            )
+        # Kernel dispatch must not move a single page: compare the
+        # integer I/O counts (simulated_ms deltas of back-to-back phases
+        # differ in the last float ulp because the shared cost model's
+        # running total sits at a different value when each starts).
+        phase_by_name = {p["name"]: p for p in run.phases}
+        if (
+            phase_by_name["queries_small_scalar"]["io"]
+            != phase_by_name["queries_small_vector"]["io"]
+            or phase_by_name["queries_columnar_scalar"]["io"]
+            != phase_by_name["queries_columnar_vector"]["io"]
+        ):
+            raise RuntimeError(
+                "columnar bench: kernel dispatch changed simulated I/O"
+            )
+
+        def _wall(name: str) -> float:
+            return float(phase_by_name[name]["wall_ms"])
 
         metrics = get_registry().snapshot()
         counters = metrics.get("counters", {})
@@ -886,11 +1034,42 @@ def _suite_columnar(scale: float, seed: int, queries: int) -> Dict[str, object]:
             "stream_spilled_entries": counters.get(
                 "extsort.spilled_entries", 0
             ),
+            # Wall-clock ratios (report-only): >1 means vectorized wins.
+            "vector_speedup_wall": (
+                _wall("queries_columnar_scalar")
+                / _wall("queries_columnar_vector")
+                if _wall("queries_columnar_vector") else 0.0
+            ),
+            "kernel_passes": kernel_passes,
+            "batch_vector_speedup_wall": (
+                _wall("batch_columnar_scalar")
+                / _wall("batch_columnar_vector")
+                if _wall("batch_columnar_vector") else 0.0
+            ),
+            "small_pool_vector_speedup_wall": (
+                _wall("queries_small_scalar") / _wall("queries_small_vector")
+                if _wall("queries_small_vector") else 0.0
+            ),
+            "small_pool_passes": small_pool_passes,
+            "aggregate_pushdowns": counters.get(
+                "query.cubetree.pushdowns", 0
+            ),
+            "column_cache": {
+                "hits": counters.get("buffer.column_cache.hits", 0),
+                "misses": counters.get("buffer.column_cache.misses", 0),
+                "evictions": counters.get(
+                    "buffer.column_cache.evictions", 0
+                ),
+                "invalidations": counters.get(
+                    "buffer.column_cache.invalidations", 0
+                ),
+            },
         }
         return result
     finally:
         set_leaf_format(None)
         set_build_memory(None)
+        set_vector_kernels(None)
 
 
 # ----------------------------------------------------------------------

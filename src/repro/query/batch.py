@@ -36,7 +36,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.answer import finalize_matches, split_bindings
+from repro.core.answer import finalize_fold, finalize_matches, split_bindings
+from repro.core.cubetree import FoldedSlice
+from repro.obs import get_registry
 from repro.query.result import QueryResult
 from repro.query.router import (
     _DESCENT_PAGES,
@@ -46,7 +48,10 @@ from repro.query.router import (
     run_seek_probes,
 )
 from repro.query.slice import SliceQuery
+from repro.rtree.kernels import vector_kernels_enabled
 from repro.storage.iomodel import IOStats
+
+_OBS_PUSHDOWNS = get_registry().counter("query.cubetree.pushdowns")
 
 
 @dataclass
@@ -106,6 +111,7 @@ def execute_batch(
     batch = BatchResult(results=[QueryResult() for _ in queries])
     if not queries:
         return batch
+    use_pushdown = vector_kernels_enabled()
     decisions, groups = route_batch(router, forest.access_paths(), queries)
     for view_names in _merge_replica_groups(decisions, groups):
         indices = sorted(i for name in view_names for i in groups[name])
@@ -120,9 +126,21 @@ def execute_batch(
                 split_bindings(view, queries[i], hierarchies)
                 for i in indices
             ]
+            # Total queries with no residual filter fold inside the
+            # shared pass (aggregate pushdown) instead of materializing
+            # their matches; same leaves read, same rows out.
+            fold = [
+                use_pushdown
+                and not queries[i].group_by
+                and not residual
+                for i, (_direct, residual) in zip(indices, splits)
+            ]
             match_lists = forest.query_view_group(
-                target, [direct for direct, _ in splits]
+                target,
+                [direct for direct, _ in splits],
+                fold=fold if any(fold) else None,
             )
+            _OBS_PUSHDOWNS.value += sum(fold)
             batch.batched += len(indices)
             batch.groups += 1
             _finalize_group(
@@ -138,14 +156,29 @@ def execute_batch(
                 split_bindings(view, queries[i], hierarchies)
                 for i in view_indices
             ]
-            match_lists = [
-                list(
-                    forest.query_view(
-                        view_name, direct, fast=decisions[i].use_run
+            match_lists = []
+            for i, (direct, residual) in zip(view_indices, splits):
+                if (
+                    use_pushdown
+                    and not queries[i].group_by
+                    and not residual
+                    and decisions[i].use_run
+                    and forest.has_run(view_name)
+                ):
+                    match_lists.append(
+                        FoldedSlice(
+                            forest.query_view_aggregate(view_name, direct)
+                        )
                     )
-                )
-                for i, (direct, _) in zip(view_indices, splits)
-            ]
+                    _OBS_PUSHDOWNS.value += 1
+                else:
+                    match_lists.append(
+                        list(
+                            forest.query_view(
+                                view_name, direct, fast=decisions[i].use_run
+                            )
+                        )
+                    )
             batch.groups += 1
             _finalize_group(
                 batch, queries, hierarchies, decisions, view,
@@ -169,9 +202,12 @@ def _finalize_group(
     for index, matches, (_direct, residual) in zip(
         indices, match_lists, splits
     ):
-        rows = finalize_matches(
-            matches, view, queries[index], hierarchies, residual
-        )
+        if isinstance(matches, FoldedSlice):
+            rows = finalize_fold(view, matches.states)
+        else:
+            rows = finalize_matches(
+                matches, view, queries[index], hierarchies, residual
+            )
         batch.results[index] = QueryResult(
             rows=rows, plan=decisions[index].describe() + suffix
         )

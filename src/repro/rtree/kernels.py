@@ -1,0 +1,236 @@
+"""Vectorized query kernels over columnar (type 3) leaves.
+
+The v3 leaf format already decodes each page column-at-a-time
+(:meth:`RLeafNode._from_bytes_columnar`); these kernels keep those
+decoded columns — coordinates as ``array('q')``, measures as
+``array('d')`` — and evaluate slice rectangles against whole columns
+instead of building one reversed-key tuple and one ``contains_point``
+call per entry:
+
+* the *leading* run-key column (coordinate ``arity - 1``; packed runs
+  are sorted by reversed coordinates, so that column is non-decreasing
+  within a leaf) is narrowed by binary search,
+* every other bound coordinate is filtered with one comparison pass
+  over the narrowed range,
+* unconstrained dimensions are skipped entirely — a packed run's
+  coordinates are strictly positive (``PackedRun.validate``), so a
+  ``[1, INT64_MAX]`` bound (what ``slice_spec`` emits for an unbound
+  attribute) can never reject a point.
+
+The selection comes back as an index ``range`` whenever it is
+contiguous (the common case for prefix-bounded slices), which lets the
+aggregate pushdown (:class:`FoldAccumulator`) consume measure columns
+as slices while preserving the exact serial float fold order of the
+row-at-a-time path.
+
+Scalar row-leaf traversal stays in :mod:`repro.rtree.tree`; per-leaf
+dispatch picks the kernel only for columnar leaves and only while
+:func:`vector_kernels_enabled` (``REPRO_VECTOR_KERNELS``, default on).
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from bisect import bisect_left, bisect_right
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.rtree.geometry import Rect
+
+#: Largest signed 64-bit coordinate — ``slice_spec``'s unbound high.
+INT64_MAX = (1 << 63) - 1
+#: Smallest coordinate a packed run may contain (validated at pack time).
+MIN_COORD = 1
+
+_VECTOR_KERNELS: Optional[bool] = None  # repro: worker-local
+
+#: A leaf-entry selection: contiguous range or explicit index list.
+Selection = Union[range, List[int]]
+
+
+def set_vector_kernels(enabled: Optional[bool]) -> None:
+    """Override kernel dispatch: ``True``/``False``, or ``None`` to fall
+    back to the ``REPRO_VECTOR_KERNELS`` environment gate."""
+    global _VECTOR_KERNELS
+    if enabled not in (None, True, False):
+        raise ValueError(f"unknown vector-kernels setting {enabled!r}")
+    _VECTOR_KERNELS = enabled
+
+
+def vector_kernels_enabled() -> bool:
+    """True when columnar leaves should be queried through the kernels
+    (default; set ``REPRO_VECTOR_KERNELS=0`` to force the scalar path)."""
+    if _VECTOR_KERNELS is not None:
+        return _VECTOR_KERNELS
+    env = os.environ.get("REPRO_VECTOR_KERNELS", "").strip().lower()
+    return env not in ("0", "false", "no", "off")
+
+
+class LeafColumns:
+    """Decoded column view of one leaf: coordinate and measure buffers."""
+
+    __slots__ = ("count", "arity", "coords", "measures")
+
+    def __init__(
+        self,
+        count: int,
+        arity: int,
+        coords: Tuple[array, ...],
+        measures: Tuple[array, ...],
+    ) -> None:
+        self.count = count
+        self.arity = arity
+        self.coords = coords
+        self.measures = measures
+
+
+def leaf_columns(leaf) -> LeafColumns:
+    """Column buffers for a leaf, built lazily and stashed on the node.
+
+    Leaves decoded from columnar pages already carry their columns
+    (:meth:`RLeafNode._from_bytes_columnar` stashes them at decode
+    time); packer-built in-memory leaves materialize them on first use.
+    """
+    coords = leaf.coord_cols
+    if coords is None:
+        coords = tuple(
+            array("q", [point[c] for point in leaf.points])
+            for c in range(leaf.arity)
+        )
+        measures = tuple(
+            array("d", [values[m] for values in leaf.values])
+            for m in range(leaf.n_aggs)
+        )
+        leaf.coord_cols = coords
+        leaf.measure_cols = measures
+    return LeafColumns(
+        len(leaf.points), leaf.arity, coords, leaf.measure_cols
+    )
+
+
+def select_rows(
+    cols: LeafColumns, rect: Rect, dims: int
+) -> Optional[Selection]:
+    """Indices of the leaf entries whose padded points lie in ``rect``.
+
+    Returns a ``range`` when the selection is contiguous, an index list
+    otherwise, or ``None`` when no entry qualifies.  Equivalent — on a
+    sorted packed leaf with strictly positive coordinates — to testing
+    ``rect.contains_point`` on every padded point in order.
+    """
+    lows = rect.lows
+    highs = rect.highs
+    arity = cols.arity
+    for dim in range(arity, dims):
+        # Padding dimensions are implicitly zero for every entry.
+        if lows[dim] > 0 or highs[dim] < 0:
+            return None
+    count = cols.count
+    if count == 0:
+        return None
+    if arity == 0:
+        return range(count)
+    lead = arity - 1
+    col = cols.coords[lead]
+    lo = lows[lead]
+    hi = highs[lead]
+    start = bisect_left(col, lo) if col[0] < lo else 0
+    stop = bisect_right(col, hi, start) if col[count - 1] > hi else count
+    if start >= stop:
+        return None
+    selected: Optional[List[int]] = None
+    for dim in range(lead):
+        lo = lows[dim]
+        hi = highs[dim]
+        if lo <= MIN_COORD and hi >= INT64_MAX:
+            continue  # unconstrained: packed coordinates are >= 1
+        col = cols.coords[dim]
+        if selected is None:
+            selected = [i for i in range(start, stop) if lo <= col[i] <= hi]
+        else:
+            selected = [i for i in selected if lo <= col[i] <= hi]
+        if not selected:
+            return None
+    if selected is None:
+        return range(start, stop)
+    return selected
+
+
+class FoldAccumulator:
+    """Left-fold of match states with exact serial float semantics.
+
+    ``reducers`` holds one tag per flattened state component — ``"add"``
+    for SUM/COUNT and both AVG components, ``"min"``/``"max"`` for
+    MIN/MAX — mirroring ``combine_states`` applied pairwise in match
+    order.  The fold is seeded from the *first* matching row's states
+    (not zeros: ``0.0 + -0.0`` would flip a sign bit the row-at-a-time
+    path preserves), so the result is bit-identical to folding
+    :func:`repro.core.answer.finalize_matches`'s single group.
+    """
+
+    __slots__ = ("reducers", "states", "rows")
+
+    def __init__(self, reducers: Sequence[str]) -> None:
+        self.reducers = tuple(reducers)
+        self.states: Optional[List[float]] = None
+        self.rows = 0
+
+    def add(self, values: Sequence[float]) -> None:
+        """Fold one matching row (the scalar row-leaf path)."""
+        self.rows += 1
+        states = self.states
+        if states is None:
+            self.states = list(values)
+            return
+        for c, reducer in enumerate(self.reducers):
+            value = values[c]
+            if reducer == "add":
+                states[c] = states[c] + value
+            elif reducer == "min":
+                states[c] = min(states[c], value)
+            else:
+                states[c] = max(states[c], value)
+
+    def add_block(
+        self, measures: Sequence[array], sel: Selection
+    ) -> None:
+        """Fold the selected rows of whole measure columns.
+
+        ``sum(chunk, running)`` performs the identical left fold the
+        row-at-a-time path does, and ``min(running, min(chunk))``
+        preserves its first-seen tie semantics, so states stay
+        bit-identical to :meth:`add` called per selected row in order.
+        """
+        n = len(sel)
+        if n == 0:
+            return
+        self.rows += n
+        states = self.states
+        if states is None:
+            first = sel[0]
+            states = self.states = [col[first] for col in measures]
+            if n == 1:
+                return
+            sel = sel[1:]
+        if isinstance(sel, range):
+            lo, hi = sel.start, sel.stop
+            for c, reducer in enumerate(self.reducers):
+                chunk = measures[c][lo:hi]
+                if reducer == "add":
+                    states[c] = sum(chunk, states[c])
+                elif reducer == "min":
+                    states[c] = min(states[c], min(chunk))
+                else:
+                    states[c] = max(states[c], max(chunk))
+        else:
+            for c, reducer in enumerate(self.reducers):
+                col = measures[c]
+                if reducer == "add":
+                    running = states[c]
+                    for i in sel:
+                        running = running + col[i]
+                    states[c] = running
+                elif reducer == "min":
+                    states[c] = min(states[c], min(col[i] for i in sel))
+                else:
+                    states[c] = max(states[c], max(col[i] for i in sel))

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import os
 import struct
+from array import array
 from typing import List, Optional, Sequence, Tuple
 
 from repro.constants import PAGE_SIZE
@@ -157,11 +158,17 @@ class RLeafNode:
     ``columnar`` selects the on-page encoding (type 1 row-major vs type 3
     delta-varint columns); the in-memory representation is identical, so
     every traversal works on both formats unchanged.
+
+    ``coord_cols``/``measure_cols`` stash the decoded column buffers
+    (``array('q')`` per coordinate, ``array('d')`` per measure) for the
+    vectorized kernels (:mod:`repro.rtree.kernels`).  They describe the
+    same entries as ``points``/``values``; any code that mutates those
+    lists in place must null the stash (see ``RTree._insert``).
     """
 
     __slots__ = (
         "view_id", "arity", "n_aggs", "points", "values", "next_leaf",
-        "columnar",
+        "columnar", "coord_cols", "measure_cols",
     )
 
     def __init__(
@@ -174,6 +181,8 @@ class RLeafNode:
         self.values: List[Values] = []
         self.next_leaf = -1
         self.columnar = columnar
+        self.coord_cols: Optional[Tuple[array, ...]] = None
+        self.measure_cols: Optional[Tuple[array, ...]] = None
 
     def __len__(self) -> int:
         return len(self.points)
@@ -313,6 +322,12 @@ class RLeafNode:
             node.values = list(zip(*measure_cols))
         else:
             node.values = [()] * count
+        # Stash the already-decoded columns as buffers for the
+        # vectorized kernels — the columns exist right here anyway.
+        node.coord_cols = tuple(array("q", col) for col in coord_cols)
+        node.measure_cols = tuple(
+            array("d", col) for col in measure_cols
+        ) if n_aggs else ()
         return node
 
 

@@ -19,6 +19,12 @@ from repro.constants import PAGE_SIZE
 from repro.errors import InvalidCoordinateError, StorageError
 from repro.obs import get_registry
 from repro.rtree.geometry import Rect
+from repro.rtree.kernels import (
+    FoldAccumulator,
+    leaf_columns,
+    select_rows,
+    vector_kernels_enabled,
+)
 from repro.rtree.node import (
     LEAF_TYPES,
     RInteriorNode,
@@ -224,6 +230,16 @@ class RTree:
         ``hi_key``; every candidate point is still filtered through the
         full ``rect``, so the match set (and its order) is identical to
         :meth:`search` restricted to this view.
+
+        Columnar (type 3) leaves are evaluated through the vectorized
+        kernels (:mod:`repro.rtree.kernels`) while they are enabled: the
+        rectangle alone selects the entries column-at-a-time.  That is
+        equivalent to the scalar key-then-rect filtering — the slice
+        compiler derives ``lo_key``/``hi_key`` *from* the rectangle's
+        per-dimension bounds, and componentwise containment implies the
+        lexicographic prefix bounds — so the per-point key checks are
+        redundant within a scanned leaf.  Row leaves (and a disabled
+        gate) keep the scalar path.
         """
         if rect.dims != self.dims:
             raise ValueError(
@@ -239,24 +255,115 @@ class RTree:
         lo = tuple(lo_key)
         hi = tuple(hi_key)
         start = self._run_seek(lo_idx, hi_idx, lo) if lo else lo_idx
-        with closing(self._scan_leaves(start, hi_idx, view_id)) as leaves:
+        use_kernel = vector_kernels_enabled()
+        with closing(
+            self._scan_leaves(start, hi_idx, view_id, cache=use_kernel)
+        ) as leaves:
             for leaf in leaves:
-                keys = [tuple(reversed(pt)) for pt in leaf.points]
-                if hi and keys and keys[0][: len(hi)] > hi:
+                points = leaf.points
+                if not points:
+                    continue
+                if hi and tuple(reversed(points[0]))[: len(hi)] > hi:
                     break
-                for point, key, values in zip(
-                    leaf.points, keys, leaf.values
-                ):
-                    if lo and key[: len(lo)] < lo:
+                if use_kernel and leaf.columnar:
+                    sel = select_rows(leaf_columns(leaf), rect, self.dims)
+                    if sel is None:
                         continue
-                    if hi and key[: len(hi)] > hi:
-                        break
-                    padded = leaf.padded_point(point, self.dims)
-                    if rect.contains_point(padded):
-                        yield leaf.view_id, padded, values
+                    pad = (0,) * (self.dims - leaf.arity)
+                    values = leaf.values
+                    vid = leaf.view_id
+                    for i in sel:
+                        yield vid, points[i] + pad, values[i]
+                elif lo or hi:
+                    keys = [tuple(reversed(pt)) for pt in points]
+                    for point, key, values in zip(
+                        points, keys, leaf.values
+                    ):
+                        if key[: len(lo)] < lo:
+                            continue
+                        if hi and key[: len(hi)] > hi:
+                            break
+                        padded = leaf.padded_point(point, self.dims)
+                        if rect.contains_point(padded):
+                            yield leaf.view_id, padded, values
+                else:
+                    # Unbounded scan: no run keys to build or compare.
+                    for point, values in zip(points, leaf.values):
+                        padded = leaf.padded_point(point, self.dims)
+                        if rect.contains_point(padded):
+                            yield leaf.view_id, padded, values
+
+    def search_run_fold(
+        self,
+        view_id: int,
+        rect: Rect,
+        acc: FoldAccumulator,
+        lo_key: RunKey = (),
+        hi_key: RunKey = (),
+    ) -> None:
+        """Fold every match of ``rect`` into ``acc`` without building
+        per-row match tuples (aggregate pushdown).
+
+        Scans exactly the leaves :meth:`search_run` would — same seek,
+        same early break, same scan admission — so simulated I/O is
+        identical; only the per-match consumption differs.  Columnar
+        leaves fold whole measure-column slices through the kernel
+        selection; row leaves fall back to per-row folds.  Fold order is
+        run order, the same serial order
+        :func:`repro.core.answer.finalize_matches` combines matches in.
+        """
+        if rect.dims != self.dims:
+            raise ValueError(
+                f"query rect has {rect.dims} dims, tree has {self.dims}"
+            )
+        bounds = self.run_bounds(view_id)
+        if bounds is None:
+            raise StorageError(
+                f"no leaf-run extent recorded for view {view_id}"
+            )
+        _OBS_RUN_SEARCHES.value += 1
+        lo_idx, hi_idx = bounds
+        lo = tuple(lo_key)
+        hi = tuple(hi_key)
+        start = self._run_seek(lo_idx, hi_idx, lo) if lo else lo_idx
+        use_kernel = vector_kernels_enabled()
+        with closing(
+            self._scan_leaves(start, hi_idx, view_id, cache=use_kernel)
+        ) as leaves:
+            for leaf in leaves:
+                points = leaf.points
+                if not points:
+                    continue
+                if hi and tuple(reversed(points[0]))[: len(hi)] > hi:
+                    break
+                if use_kernel and leaf.columnar:
+                    cols = leaf_columns(leaf)
+                    sel = select_rows(cols, rect, self.dims)
+                    if sel is not None:
+                        acc.add_block(cols.measures, sel)
+                elif lo or hi:
+                    for point, values in zip(points, leaf.values):
+                        key = tuple(reversed(point))
+                        if key[: len(lo)] < lo:
+                            continue
+                        if hi and key[: len(hi)] > hi:
+                            break
+                        if rect.contains_point(
+                            leaf.padded_point(point, self.dims)
+                        ):
+                            acc.add(values)
+                else:
+                    for point, values in zip(points, leaf.values):
+                        if rect.contains_point(
+                            leaf.padded_point(point, self.dims)
+                        ):
+                            acc.add(values)
 
     def search_run_group(
-        self, view_id: int, requests: Sequence[RunRequest]
+        self,
+        view_id: int,
+        requests: Sequence[RunRequest],
+        folds: Optional[Sequence[Optional[FoldAccumulator]]] = None,
     ) -> List[List[Match]]:
         """Answer a batch of slice requests in one shared pass over the
         view's leaf run.
@@ -267,6 +374,17 @@ class RTree:
         out once the run moves past its upper bound.  Per-request match
         lists come back in run order, exactly as :meth:`search_run`
         would have produced one at a time.
+
+        ``folds`` (aligned with ``requests``) marks requests consumed by
+        aggregate pushdown: their matches are folded into the given
+        :class:`FoldAccumulator` in run order instead of being collected
+        (the returned list stays empty for them).  Folding never changes
+        which leaves are scanned, so a mixed batch costs the same I/O.
+
+        Columnar leaves are evaluated per request through the vectorized
+        kernels while enabled (see :meth:`search_run` for why rectangle
+        selection subsumes the per-point key checks); row leaves keep
+        the scalar point-major pass.
         """
         results: List[List[Match]] = [[] for _ in requests]
         if not requests:
@@ -284,6 +402,13 @@ class RTree:
                     f"query rect has {rect.dims} dims, tree has {self.dims}"
                 )
             specs.append((rect, tuple(lo_key), tuple(hi_key)))
+        sinks: List[Optional[FoldAccumulator]] = (
+            list(folds) if folds is not None else [None] * len(specs)
+        )
+        if len(sinks) != len(specs):
+            raise ValueError(
+                f"{len(sinks)} fold slot(s) for {len(specs)} request(s)"
+            )
         _OBS_RUN_SEARCHES.value += len(specs)
         start = lo_idx
         if all(spec[1] for spec in specs):
@@ -310,7 +435,10 @@ class RTree:
             else:
                 eq_index.setdefault((dim, rect.lows[dim]), []).append(r)
         probe_dims = sorted({dim for dim, _value in eq_index})
-        with closing(self._scan_leaves(start, hi_idx, view_id)) as leaves:
+        use_kernel = vector_kernels_enabled()
+        with closing(
+            self._scan_leaves(start, hi_idx, view_id, cache=use_kernel)
+        ) as leaves:
             for leaf in leaves:
                 if not leaf.points:
                     continue
@@ -321,6 +449,26 @@ class RTree:
                         remaining -= 1
                 if remaining == 0:
                     break
+                if use_kernel and leaf.columnar:
+                    cols = leaf_columns(leaf)
+                    pad = (0,) * (self.dims - leaf.arity)
+                    points = leaf.points
+                    values = leaf.values
+                    vid = leaf.view_id
+                    for r in range(len(specs)):
+                        if not active[r]:
+                            continue
+                        sel = select_rows(cols, specs[r][0], self.dims)
+                        if sel is None:
+                            continue
+                        sink = sinks[r]
+                        if sink is not None:
+                            sink.add_block(cols.measures, sel)
+                        else:
+                            out = results[r]
+                            for i in sel:
+                                out.append((vid, points[i] + pad, values[i]))
+                    continue
                 for j, pt in enumerate(leaf.points):
                     candidates: List[int] = []
                     for dim in probe_dims:
@@ -335,24 +483,43 @@ class RTree:
                     values = leaf.values[j]
                     for r in candidates:
                         if active[r] and specs[r][0].contains_point(point):
-                            results[r].append((leaf.view_id, point, values))
+                            sink = sinks[r]
+                            if sink is None:
+                                results[r].append(
+                                    (leaf.view_id, point, values)
+                                )
+                            else:
+                                sink.add(values)
                     for r in residual:
                         if active[r] and specs[r][0].contains_point(point):
-                            results[r].append((leaf.view_id, point, values))
+                            sink = sinks[r]
+                            if sink is None:
+                                results[r].append(
+                                    (leaf.view_id, point, values)
+                                )
+                            else:
+                                sink.add(values)
         return results
 
     def _scan_leaves(
-        self, lo: int, hi: int, view_id: Optional[int] = None
+        self,
+        lo: int,
+        hi: int,
+        view_id: Optional[int] = None,
+        cache: bool = False,
     ) -> Iterator[RLeafNode]:
         """Yield leaves ``leaf_page_ids[lo..hi]`` through the scan
-        (probationary) segment, reading ahead a window at a time."""
+        (probationary) segment, reading ahead a window at a time.
+
+        ``cache`` routes columnar-leaf decodes through the buffer pool's
+        decoded-column side-cache (kernel consumers only)."""
         run = self.leaf_page_ids
         for idx in range(lo, hi + 1):
             if (idx - lo) % RUN_READAHEAD == 0:
                 self.pool.prefetch_run(
                     run[idx : min(idx + RUN_READAHEAD, hi + 1)]
                 )
-            node, page = self._fetch_node(run[idx], scan=True)
+            node, page = self._fetch_node(run[idx], scan=True, cache=cache)
             try:
                 if not isinstance(node, RLeafNode):
                     raise StorageError(
@@ -484,14 +651,27 @@ class RTree:
     # ------------------------------------------------------------------
     # node I/O
     # ------------------------------------------------------------------
-    def _fetch_node(self, page_id: int, scan: bool = False):
+    def _fetch_node(
+        self, page_id: int, scan: bool = False, cache: bool = False
+    ):
         page = self.pool.fetch_page(page_id, scan=scan)
         if page.cached_obj is None:
-            raw = bytes(page.data)
-            if node_type_of(raw) in LEAF_TYPES:
-                page.cached_obj = RLeafNode.from_bytes(raw)
-            else:
-                page.cached_obj = RInteriorNode.from_bytes(raw)
+            node = self.pool.cached_columns(page_id) if cache else None
+            if node is None:
+                raw = bytes(page.data)
+                if node_type_of(raw) in LEAF_TYPES:
+                    node = RLeafNode.from_bytes(raw)
+                else:
+                    node = RInteriorNode.from_bytes(raw)
+                if cache and isinstance(node, RLeafNode) and node.columnar:
+                    # Scan pages churn out of the (probationary) pool
+                    # quickly; keeping the decoded node in the side-cache
+                    # spares the re-decode without touching simulated I/O.
+                    nbytes = (
+                        len(node.points) * 8 * (node.arity + node.n_aggs)
+                    )
+                    self.pool.store_columns(page_id, node, nbytes)
+            page.cached_obj = node
         return page.cached_obj, page
 
     def _release(self, page: Page) -> None:
@@ -509,10 +689,28 @@ class RTree:
         node, page = self._fetch_node(page_id)
         try:
             if isinstance(node, RLeafNode):
-                for point, values in zip(node.points, node.values):
-                    padded = node.padded_point(point, self.dims)
-                    if rect.contains_point(padded):
-                        yield node.view_id, padded, values
+                if (
+                    node.coord_cols is not None
+                    and self.view_extents
+                    and vector_kernels_enabled()
+                ):
+                    # Packed columnar leaf (dynamic inserts wipe the
+                    # extents, so these leaves still satisfy the kernel
+                    # preconditions: lead column sorted, coords >= 1).
+                    cols = leaf_columns(node)
+                    sel = select_rows(cols, rect, self.dims)
+                    if sel is not None:
+                        pad = (0,) * (self.dims - node.arity)
+                        points = node.points
+                        values = node.values
+                        vid = node.view_id
+                        for i in sel:
+                            yield vid, points[i] + pad, values[i]
+                else:
+                    for point, values in zip(node.points, node.values):
+                        padded = node.padded_point(point, self.dims)
+                        if rect.contains_point(padded):
+                            yield node.view_id, padded, values
             else:
                 children = [
                     child
@@ -543,6 +741,8 @@ class RTree:
         if isinstance(node, RLeafNode):
             node.points.append(point)
             node.values.append(values)
+            node.coord_cols = None
+            node.measure_cols = None
             if len(node.points) <= self.dynamic_leaf_capacity:
                 self._flush_node(node, page)
                 return None
@@ -585,6 +785,8 @@ class RTree:
         left, right = _quadratic_split(entries)
         node.points = [p for _, (p, _) in left]
         node.values = [v for _, (_, v) in left]
+        node.coord_cols = None
+        node.measure_cols = None
         sibling = RLeafNode(node.view_id, node.arity, node.n_aggs)
         sibling.points = [p for _, (p, _) in right]
         sibling.values = [v for _, (_, v) in right]

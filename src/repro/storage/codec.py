@@ -21,6 +21,7 @@ import struct
 from dataclasses import dataclass
 from enum import Enum
 from functools import lru_cache
+from itertools import accumulate
 from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from repro.errors import InvalidRecordError
@@ -300,37 +301,62 @@ def decode_delta_column(
             f"delta column claims {length} bytes at offset {offset}, "
             f"buffer holds {len(raw)}"
         )
-    values: List[int] = []
-    prev = 0
-    pos = offset
-    for _ in range(count):
-        encoded = 0
-        shift = 0
-        while True:
-            if pos >= end:
-                raise InvalidRecordError(
-                    f"truncated varint in delta column "
-                    f"(value {len(values)} of {count})"
-                )
-            byte = raw[pos]
-            pos += 1
-            encoded |= (byte & 0x7F) << shift
-            if not byte & 0x80:
-                break
-            shift += 7
-            if shift >= 7 * _MAX_VARINT_BYTES:
-                raise InvalidRecordError(
-                    "varint exceeds the 10-byte int64 bound"
-                )
-        prev += zigzag_decode(encoded)
-        if not _INT64_MIN <= prev <= _INT64_MAX:
+    buf = bytes(raw[offset:end])
+    if length == count:
+        # Every varint is a single byte, i.e. every zigzagged delta is
+        # < 0x80 — the common case for sorted coordinate runs.  One
+        # C-speed pass turns bytes into deltas, one more prefix-sums
+        # them; deltas of at most 64 can't push the running value out of
+        # int64 range at leaf counts, so no per-value check is needed.
+        if any(byte >= 0x80 for byte in buf):
             raise InvalidRecordError(
-                f"delta column decodes outside int64 range ({prev})"
+                f"truncated varint in delta column "
+                f"(value {count - 1} of {count})"
             )
-        values.append(prev)
-    if pos != end:
+        return tuple(
+            accumulate(
+                -((byte + 1) >> 1) if byte & 1 else byte >> 1
+                for byte in buf
+            )
+        )
+    values: List[int] = []
+    append = values.append
+    pos = 0
+    prev = 0
+    try:
+        for _ in range(count):
+            byte = buf[pos]
+            pos += 1
+            if byte < 0x80:
+                encoded = byte
+            else:
+                encoded = byte & 0x7F
+                shift = 7
+                while True:
+                    byte = buf[pos]
+                    pos += 1
+                    encoded |= (byte & 0x7F) << shift
+                    if byte < 0x80:
+                        break
+                    shift += 7
+                    if shift >= 7 * _MAX_VARINT_BYTES:
+                        raise InvalidRecordError(
+                            "varint exceeds the 10-byte int64 bound"
+                        )
+            prev += -((encoded + 1) >> 1) if encoded & 1 else encoded >> 1
+            if not _INT64_MIN <= prev <= _INT64_MAX:
+                raise InvalidRecordError(
+                    f"delta column decodes outside int64 range ({prev})"
+                )
+            append(prev)
+    except IndexError:
         raise InvalidRecordError(
-            f"delta column has {end - pos} trailing byte(s)"
+            f"truncated varint in delta column "
+            f"(value {len(values)} of {count})"
+        ) from None
+    if pos != length:
+        raise InvalidRecordError(
+            f"delta column has {length - pos} trailing byte(s)"
         )
     return tuple(values)
 

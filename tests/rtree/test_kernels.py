@@ -1,0 +1,636 @@
+"""Vectorized columnar query kernels: units and the differential sweep.
+
+Covers: ``select_rows`` against per-point rectangle containment,
+``FoldAccumulator``'s exact serial float semantics, scalar/vectorized
+identity on ``search_run``/``search_run_group``/the classic descent,
+``search_run_fold`` against folding the materialized matches, the
+decoded-column cache (hits across pool eviction, version invalidation,
+capacity bounds), the aggregate pushdown, and a Hypothesis sweep that
+answers random workloads three ways — row-format scalar, columnar
+scalar, columnar vectorized (serial and batched) — and demands
+identical rows.
+
+Example count scales with ``REPRO_DIFF_EXAMPLES`` (default 200 locally;
+CI sets a smaller smoke profile).
+"""
+
+import os
+from array import array
+from itertools import combinations
+
+import pytest
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+except ImportError:  # pragma: no cover - hypothesis is a test dependency
+    pytest.skip("hypothesis not installed", allow_module_level=True)
+
+from repro.core.engine import CubetreeEngine
+from repro.obs import get_registry
+from repro.query.slice import SliceQuery
+from repro.relational.view import ViewDefinition
+from repro.rtree.geometry import Rect
+from repro.rtree.kernels import (
+    FoldAccumulator,
+    LeafColumns,
+    leaf_columns,
+    select_rows,
+    set_vector_kernels,
+    vector_kernels_enabled,
+)
+from repro.rtree.node import leaf_capacity, set_leaf_format
+from repro.rtree.packing import PackedRun, pack_rtree
+from repro.storage.buffer import BufferPool, DecodedColumnCache
+from repro.storage.disk import DiskManager
+from repro.warehouse.star import Dimension, StarSchema
+
+EXAMPLES = int(os.environ.get("REPRO_DIFF_EXAMPLES", "200"))
+
+DIMS = 2
+CAP1 = leaf_capacity(1, 1)
+CAP2 = leaf_capacity(2, 1)
+BIG = 10**9
+INT64_MAX = (1 << 63) - 1
+
+KEY_NAMES = ("ka", "kb", "kc")
+
+
+def make_pool(capacity=2048):
+    disk = DiskManager()
+    return disk, BufferPool(disk, capacity=capacity)
+
+
+def packed_tree(pool, n1=2 * CAP1 + 92, n2=2 * CAP2 + 31):
+    """View 1 (arity 1) then view 2 (arity 2), several leaves each."""
+    run1 = PackedRun(1, 1, 1, [((i,), (float(i),)) for i in range(1, n1 + 1)])
+    entries2 = sorted(
+        (
+            ((x, y), (float(x * y),))
+            for y in range(1, 41)
+            for x in range(1, n2 // 40 + 2)
+        ),
+        key=lambda e: tuple(reversed(e[0])),
+    )[:n2]
+    run2 = PackedRun(2, 2, 1, entries2)
+    return pack_rtree(pool, DIMS, [run1, run2])
+
+
+def view_rect(view_arity, bounds=None):
+    """The slice rectangle for one view: padding dims pinned to zero."""
+    lows, highs = [], []
+    for dim in range(DIMS):
+        if dim >= view_arity:
+            lows.append(0)
+            highs.append(0)
+        elif bounds and dim in bounds:
+            lo, hi = bounds[dim]
+            lows.append(lo)
+            highs.append(hi)
+        else:
+            lows.append(1)
+            highs.append(BIG)
+    return Rect(tuple(lows), tuple(highs))
+
+
+def columnar_packed_tree(pool, **kwargs):
+    """A packed tree whose leaves must be decoded from columnar pages."""
+    set_leaf_format("columnar")
+    tree = packed_tree(pool, **kwargs)
+    pool.clear()  # drop in-memory nodes: fetches decode columnar bytes
+    return tree
+
+
+def make_cols(points, n_aggs=0):
+    """LeafColumns for explicit points (sorted like a packed leaf)."""
+    arity = len(points[0]) if points else 0
+    coords = tuple(
+        array("q", [p[c] for p in points]) for c in range(arity)
+    )
+    measures = tuple(
+        array("d", [float(i)] * len(points)) for _ in range(n_aggs)
+    )
+    return LeafColumns(len(points), arity, coords, measures)
+
+
+def scalar_selection(points, rect, dims):
+    """Indices the scalar path would keep: padded containment, in order."""
+    pad = (0,) * (dims - (len(points[0]) if points else 0))
+    return [
+        i
+        for i, p in enumerate(points)
+        if rect.contains_point(tuple(p) + pad)
+    ]
+
+
+# ----------------------------------------------------------------------
+# select_rows
+# ----------------------------------------------------------------------
+def test_select_rows_arity_zero_selects_everything():
+    cols = LeafColumns(3, 0, (), ())
+    rect = Rect((0, 0), (0, 0))
+    assert select_rows(cols, rect, DIMS) == range(3)
+
+
+def test_select_rows_empty_leaf_is_none():
+    cols = LeafColumns(0, 1, (array("q"),), ())
+    assert select_rows(cols, view_rect(1), DIMS) is None
+
+
+def test_select_rows_padding_dim_violation_is_none():
+    points = [(1,), (2,), (3,)]
+    cols = make_cols(points)
+    # A rect demanding dim 1 >= 1 can never match an arity-1 leaf.
+    rect = Rect((1, 1), (BIG, BIG))
+    assert select_rows(cols, rect, DIMS) is None
+    assert scalar_selection(points, rect, DIMS) == []
+
+
+def test_select_rows_prefix_bounds_come_back_contiguous():
+    points = [(i,) for i in range(1, 21)]
+    cols = make_cols(points)
+    rect = view_rect(1, {0: (5, 11)})
+    sel = select_rows(cols, rect, DIMS)
+    assert isinstance(sel, range)
+    assert list(sel) == scalar_selection(points, rect, DIMS)
+
+
+def test_select_rows_secondary_dim_filter_returns_index_list():
+    # Sorted by reversed key: dim 1 (the lead column) non-decreasing.
+    points = sorted(
+        ((x, y) for y in range(1, 6) for x in range(1, 6)),
+        key=lambda p: (p[1], p[0]),
+    )
+    cols = make_cols(points)
+    rect = view_rect(2, {1: (2, 4), 0: (3, 3)})
+    sel = select_rows(cols, rect, DIMS)
+    assert isinstance(sel, list)
+    assert sel == scalar_selection(points, rect, DIMS)
+
+
+def test_select_rows_no_match_is_none():
+    points = [(i,) for i in range(1, 9)]
+    cols = make_cols(points)
+    assert select_rows(cols, view_rect(1, {0: (100, 200)}), DIMS) is None
+
+
+@given(st.data())
+@settings(max_examples=max(20, EXAMPLES // 2), deadline=None)
+def test_select_rows_matches_scalar_containment(data):
+    """Kernel selection == per-point containment on any packed leaf."""
+    n = data.draw(st.integers(min_value=1, max_value=40))
+    raw = data.draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=9),
+                st.integers(min_value=1, max_value=9),
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    points = sorted(raw, key=lambda p: tuple(reversed(p)))
+    cols = make_cols(points)
+    bounds = {}
+    for dim in range(2):
+        if data.draw(st.booleans()):
+            lo = data.draw(st.integers(min_value=1, max_value=9))
+            hi = data.draw(st.integers(min_value=lo, max_value=9))
+            bounds[dim] = (lo, hi)
+    rect = view_rect(2, bounds or None)
+    sel = select_rows(cols, rect, DIMS)
+    assert list(sel) if sel is not None else [] == scalar_selection(
+        points, rect, DIMS
+    )
+
+
+# ----------------------------------------------------------------------
+# FoldAccumulator
+# ----------------------------------------------------------------------
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=max(20, EXAMPLES // 2), deadline=None)
+def test_fold_block_is_bit_identical_to_serial_adds(rows):
+    reducers = ("add", "min", "max")
+    serial = FoldAccumulator(reducers)
+    for row in rows:
+        serial.add(row)
+
+    measures = tuple(
+        array("d", [row[c] for row in rows]) for c in range(3)
+    )
+    as_range = FoldAccumulator(reducers)
+    as_range.add_block(measures, range(len(rows)))
+    as_list = FoldAccumulator(reducers)
+    as_list.add_block(measures, list(range(len(rows))))
+
+    import math
+
+    for got in (as_range.states, as_list.states):
+        assert got is not None
+        for a, b in zip(got, serial.states):
+            # == plus copysign: -0.0 vs 0.0 must not be conflated.
+            assert a == b and math.copysign(1.0, a) == math.copysign(1.0, b)
+    assert as_range.rows == as_list.rows == len(rows)
+
+
+def test_fold_seeds_from_first_row_not_zero():
+    acc = FoldAccumulator(("add",))
+    acc.add((-0.0,))
+    import math
+
+    assert math.copysign(1.0, acc.states[0]) == -1.0  # not 0.0 + -0.0
+
+
+def test_fold_empty_block_is_noop():
+    acc = FoldAccumulator(("add",))
+    acc.add_block((array("d"),), range(0))
+    assert acc.states is None and acc.rows == 0
+
+
+# ----------------------------------------------------------------------
+# scalar == vectorized on every tree path
+# ----------------------------------------------------------------------
+SLICES = [
+    (1, None, (), ()),
+    (1, {0: (40, 40)}, (40,), (40,)),
+    (1, {0: (100, 400)}, (100,), (400,)),
+    (2, None, (), ()),
+    (2, {1: (7, 7)}, (7,), (7,)),
+    (2, {1: (7, 7), 0: (2, 2)}, (7, 2), (7, 2)),
+    (2, {1: (3, 9)}, (3,), (9,)),
+    (2, {0: (2, 2)}, (), ()),
+]
+
+
+@pytest.mark.parametrize("arity,bounds,lo_key,hi_key", SLICES)
+def test_search_run_vectorized_equals_scalar(arity, bounds, lo_key, hi_key):
+    _disk, pool = make_pool()
+    try:
+        tree = columnar_packed_tree(pool)
+        rect = view_rect(arity, bounds)
+        set_vector_kernels(False)
+        expected = list(tree.search_run(arity, rect, lo_key, hi_key))
+        set_vector_kernels(True)
+        got = list(tree.search_run(arity, rect, lo_key, hi_key))
+        assert got == expected  # same matches, same order
+    finally:
+        set_vector_kernels(None)
+        set_leaf_format(None)
+
+
+@pytest.mark.parametrize("arity,bounds,lo_key,hi_key", SLICES)
+def test_descent_vectorized_equals_scalar(arity, bounds, lo_key, hi_key):
+    _disk, pool = make_pool()
+    try:
+        tree = columnar_packed_tree(pool)
+        rect = view_rect(arity, bounds)
+        set_vector_kernels(False)
+        expected = list(tree.search(rect))
+        set_vector_kernels(True)
+        assert list(tree.search(rect)) == expected
+    finally:
+        set_vector_kernels(None)
+        set_leaf_format(None)
+
+
+def test_search_run_group_vectorized_equals_scalar():
+    _disk, pool = make_pool()
+    try:
+        tree = columnar_packed_tree(pool)
+        requests = [
+            (view_rect(2), (), ()),
+            (view_rect(2, {1: (5, 5)}), (5,), (5,)),
+            (view_rect(2, {1: (2, 8)}), (2,), (8,)),
+            (view_rect(2, {0: (3, 3)}), (), ()),
+        ]
+        set_vector_kernels(False)
+        expected = tree.search_run_group(2, requests)
+        set_vector_kernels(True)
+        assert tree.search_run_group(2, requests) == expected
+    finally:
+        set_vector_kernels(None)
+        set_leaf_format(None)
+
+
+@pytest.mark.parametrize("arity,bounds,lo_key,hi_key", SLICES)
+@pytest.mark.parametrize("kernels", [False, True])
+def test_search_run_fold_equals_folding_matches(
+    arity, bounds, lo_key, hi_key, kernels
+):
+    _disk, pool = make_pool()
+    try:
+        tree = columnar_packed_tree(pool)
+        rect = view_rect(arity, bounds)
+        set_vector_kernels(kernels)
+        expected = FoldAccumulator(("add",))
+        for _vid, _pt, values in tree.search_run(arity, rect, lo_key, hi_key):
+            expected.add(values)
+        acc = FoldAccumulator(("add",))
+        tree.search_run_fold(arity, rect, acc, lo_key, hi_key)
+        assert acc.states == expected.states
+        assert acc.rows == expected.rows
+    finally:
+        set_vector_kernels(None)
+        set_leaf_format(None)
+
+
+def test_dynamic_leaves_fall_back_to_scalar():
+    """Dynamic inserts wipe the extents, so the descent must not bisect
+    (possibly unsorted, possibly zero-coordinate) dynamic leaves."""
+    _disk, pool = make_pool()
+    try:
+        set_leaf_format("columnar")
+        set_vector_kernels(True)
+        from repro.rtree.tree import RTree
+
+        tree = RTree(pool, dims=2, n_aggs=1)
+        for point in [(5, 5), (1, 2), (0, 3), (4, 0)]:  # unsorted, zeros
+            tree.insert(point, (1.0,))
+        pool.clear()
+        rect = Rect((0, 0), (4, BIG))
+        got = sorted(pt for _vid, pt, _vals in tree.search(rect))
+        assert got == [(0, 3), (1, 2), (4, 0)]
+    finally:
+        set_vector_kernels(None)
+        set_leaf_format(None)
+
+
+# ----------------------------------------------------------------------
+# decoded-column cache
+# ----------------------------------------------------------------------
+def test_column_cache_unit_hit_miss_invalidate_evict():
+    cache = DecodedColumnCache(capacity=2)
+    assert cache.get(1, 0) is None  # miss
+    cache.put(1, 0, "one", 10)
+    assert cache.get(1, 0) == "one"  # hit
+    assert cache.get(1, 1) is None  # version moved on -> invalidated
+    assert cache.stats.invalidations == 1
+    cache.put(1, 1, "one'", 10)
+    cache.put(2, 0, "two", 10)
+    assert cache.get(1, 1) == "one'"  # LRU refresh: 2 is now coldest
+    cache.put(3, 0, "three", 10)  # capacity 2 -> evicts page 2
+    assert cache.stats.evictions == 1
+    assert cache.get(2, 0) is None
+    assert len(cache) == 2
+    assert cache.stats.bytes == 20
+
+
+def test_column_cache_capacity_zero_disables_admission():
+    cache = DecodedColumnCache(capacity=0)
+    cache.put(1, 0, "one", 10)
+    assert len(cache) == 0
+    assert cache.get(1, 0) is None
+
+
+def test_column_cache_survives_page_eviction():
+    """Rescanning a churned pool serves decodes from the side-cache."""
+    # A pool smaller than view 1's leaf run (columnar leaves hold ~1.5x
+    # the row capacity, so 24*CAP1 entries make ~16 leaves): the scan
+    # churns its own pages out, and the rescan re-fetches them — and
+    # finds their decoded leaves still in the side-cache.
+    _disk, pool = make_pool(capacity=12)
+    try:
+        tree = columnar_packed_tree(pool, n1=24 * CAP1)
+        set_vector_kernels(True)
+        list(tree.search_run(1, view_rect(1)))
+        before = pool.column_cache.stats.hits
+        list(tree.search_run(1, view_rect(1)))
+        assert pool.column_cache.stats.hits > before
+    finally:
+        set_vector_kernels(None)
+        set_leaf_format(None)
+
+
+def test_column_cache_invalidated_by_dirty_unpin():
+    _disk, pool = make_pool()
+    page = pool.new_page()
+    pid = page.page_id
+    version = pool.page_version(pid)
+    pool.unpin_page(pid)
+    pool.store_columns(pid, "decoded", 8)
+    assert pool.cached_columns(pid) == "decoded"
+    page = pool.fetch_page(pid)
+    pool.unpin_page(pid, dirty=True)  # rewrite -> version bump
+    assert pool.page_version(pid) == version + 1
+    assert pool.cached_columns(pid) is None
+    assert pool.column_cache.stats.invalidations >= 1
+
+
+def test_pool_clear_empties_column_cache():
+    _disk, pool = make_pool()
+    page = pool.new_page()
+    pool.unpin_page(page.page_id)
+    pool.store_columns(page.page_id, "decoded", 8)
+    pool.clear()
+    assert len(pool.column_cache) == 0
+    assert pool.column_cache.stats.bytes == 0
+
+
+# ----------------------------------------------------------------------
+# engine-level: pushdown + the three-way differential sweep
+# ----------------------------------------------------------------------
+def _make_schema(domain_sizes):
+    dimensions = {}
+    for name, size in domain_sizes.items():
+        dimensions[name] = Dimension(
+            name=f"dim_{name}",
+            key=name,
+            attributes=(name,),
+            rows=[(value,) for value in range(1, size + 1)],
+        )
+    return StarSchema(
+        fact_keys=tuple(domain_sizes),
+        measure="quantity",
+        dimensions=dimensions,
+    )
+
+
+def _small_engine():
+    domain = {"ka": 4, "kb": 4}
+    schema = _make_schema(domain)
+    facts = [
+        (a, b, float(a * 10 + b)) for a in range(1, 5) for b in range(1, 5)
+    ]
+    views = [
+        ViewDefinition("apex", ("ka", "kb")),
+        ViewDefinition("v_ka", ("ka",)),
+        ViewDefinition("none", ()),
+    ]
+    engine = CubetreeEngine(schema, buffer_pages=64)
+    engine.materialize(views, facts)
+    return engine
+
+
+def test_total_query_takes_the_aggregate_pushdown():
+    engine = _small_engine()
+    total = SliceQuery((), (("ka", 2),), ())
+    counter = get_registry().counter("query.cubetree.pushdowns")
+    try:
+        set_vector_kernels(False)
+        expected = engine.query(total, fast=True)
+        before = counter.value
+        set_vector_kernels(True)
+        got = engine.query(total, fast=True)
+        assert counter.value == before + 1
+        assert got.rows == expected.rows
+        assert got.plan == expected.plan
+        assert got.io.simulated_ms == expected.io.simulated_ms
+    finally:
+        set_vector_kernels(None)
+
+
+def test_group_by_query_skips_the_pushdown():
+    engine = _small_engine()
+    grouped = SliceQuery(("ka",), (("kb", 3),), ())
+    counter = get_registry().counter("query.cubetree.pushdowns")
+    try:
+        set_vector_kernels(True)
+        before = counter.value
+        engine.query(grouped, fast=True)
+        assert counter.value == before
+    finally:
+        set_vector_kernels(None)
+
+
+@st.composite
+def slice_queries(draw, domain_sizes):
+    """A random slice query over the schema's fact keys."""
+    keys = list(domain_sizes)
+    node = draw(
+        st.lists(st.sampled_from(keys), unique=True, max_size=len(keys))
+    )
+    bound = draw(
+        st.lists(st.sampled_from(node), unique=True, max_size=len(node))
+        if node
+        else st.just([])
+    )
+    bindings = []
+    ranges = []
+    for attr in bound:
+        size = domain_sizes[attr]
+        if draw(st.booleans()):
+            bindings.append(
+                (attr, draw(st.integers(min_value=1, max_value=size)))
+            )
+        else:
+            low = draw(st.integers(min_value=1, max_value=size))
+            high = draw(st.integers(min_value=low, max_value=size))
+            ranges.append((attr, low, high))
+    group_by = tuple(a for a in node if a not in set(bound))
+    return SliceQuery(group_by, tuple(bindings), tuple(ranges))
+
+
+@st.composite
+def sweep_cases(draw):
+    n_keys = draw(st.integers(min_value=2, max_value=3))
+    keys = KEY_NAMES[:n_keys]
+    domain_sizes = {
+        key: draw(st.integers(min_value=2, max_value=6)) for key in keys
+    }
+    rows = draw(
+        st.lists(
+            st.tuples(
+                *[
+                    st.integers(min_value=1, max_value=domain_sizes[key])
+                    for key in keys
+                ],
+                st.integers(min_value=0, max_value=20),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    facts = [tuple(row[:-1]) + (float(row[-1]),) for row in rows]
+    views = [
+        ViewDefinition("apex", tuple(keys)),
+        ViewDefinition("none", ()),
+    ]
+    middles = [
+        node
+        for size in range(1, len(keys))
+        for node in combinations(keys, size)
+    ]
+    chosen = draw(
+        st.lists(st.sampled_from(middles), unique=True, max_size=len(middles))
+        if middles
+        else st.just([])
+    )
+    views.extend(ViewDefinition(f"v_{'_'.join(n)}", n) for n in chosen)
+    queries = draw(
+        st.lists(slice_queries(domain_sizes), min_size=1, max_size=4)
+    )
+    return domain_sizes, facts, views, queries
+
+
+@given(sweep_cases())
+@settings(max_examples=EXAMPLES, deadline=None)
+def test_row_scalar_columnar_scalar_and_vectorized_agree(case):
+    """row-scalar == columnar-scalar == columnar-vectorized (and batch)."""
+    domain_sizes, facts, views, queries = case
+    schema = _make_schema(domain_sizes)
+    try:
+        set_vector_kernels(False)
+        set_leaf_format("row")
+        row_engine = CubetreeEngine(schema, buffer_pages=64)
+        row_engine.materialize(views, facts)
+        reference = [
+            sorted(row_engine.query(q, fast=True).rows) for q in queries
+        ]
+
+        set_leaf_format("columnar")
+        col_engine = CubetreeEngine(schema, buffer_pages=64)
+        col_engine.materialize(views, facts)
+        col_engine.pool.clear()  # force columnar decode on first touch
+        scalar = [col_engine.query(q, fast=True).rows for q in queries]
+
+        set_vector_kernels(True)
+        vector = [col_engine.query(q, fast=True).rows for q in queries]
+        batch = [
+            result.rows for result in col_engine.query_batch(queries).results
+        ]
+
+        assert vector == scalar  # identical rows, identical order
+        assert batch == scalar
+        assert [sorted(rows) for rows in scalar] == reference
+    finally:
+        set_vector_kernels(None)
+        set_leaf_format(None)
+
+
+def test_kernel_dispatch_gate_resolution():
+    try:
+        set_vector_kernels(True)
+        assert vector_kernels_enabled()
+        set_vector_kernels(False)
+        assert not vector_kernels_enabled()
+        set_vector_kernels(None)
+        os.environ["REPRO_VECTOR_KERNELS"] = "0"
+        assert not vector_kernels_enabled()
+        os.environ["REPRO_VECTOR_KERNELS"] = "1"
+        assert vector_kernels_enabled()
+    finally:
+        os.environ.pop("REPRO_VECTOR_KERNELS", None)
+        set_vector_kernels(None)
+
+
+def test_leaf_columns_builds_and_stashes_for_row_leaves():
+    from repro.rtree.node import RLeafNode
+
+    leaf = RLeafNode(view_id=1, arity=2, n_aggs=1)
+    leaf.points = [(1, 2), (3, 4)]
+    leaf.values = [(1.5,), (2.5,)]
+    cols = leaf_columns(leaf)
+    assert list(cols.coords[0]) == [1, 3]
+    assert list(cols.coords[1]) == [2, 4]
+    assert list(cols.measures[0]) == [1.5, 2.5]
+    assert leaf.coord_cols is cols.coords  # stashed for reuse

@@ -7,7 +7,13 @@ Usage::
     python tools/lint.py --flow              # + flow rules, with baseline
     python tools/lint.py --format json       # machine-readable findings
     python tools/lint.py --write-baseline tools/flow-baseline.json
+    python tools/lint.py --write-lint-baseline tools/lint-baseline.json
     python tools/lint.py --list-rules
+
+AST findings are baselined the same way flow findings are: the
+committed ``tools/lint-baseline.json`` records the accepted sites
+(e.g. the intentional scalar-fallback loops the ``leaf-entry-loop``
+rule polices) and only NEW findings fail the run.
 
 Exits 1 when any non-baselined finding is reported, 2 on bad paths.
 """
@@ -38,6 +44,9 @@ from repro.analysis.lint import (  # noqa: E402
 )
 
 _DEFAULT_BASELINE = os.path.join(_REPO_ROOT, "tools", "flow-baseline.json")
+_DEFAULT_LINT_BASELINE = os.path.join(
+    _REPO_ROOT, "tools", "lint-baseline.json"
+)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -86,6 +95,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write current flow findings as the new baseline and exit 0",
     )
     parser.add_argument(
+        "--lint-baseline",
+        default=None,
+        metavar="JSON",
+        help="accepted AST findings (default: tools/lint-baseline.json "
+        "when present); only NEW findings fail the run",
+    )
+    parser.add_argument(
+        "--write-lint-baseline",
+        default=None,
+        metavar="JSON",
+        help="write current AST findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
         "--out",
         default=None,
         metavar="FILE",
@@ -113,6 +135,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     findings = lint_paths(paths, include_tests=args.include_tests)
+    if args.write_lint_baseline:
+        with open(args.write_lint_baseline, "w", encoding="utf-8") as fh:
+            json.dump(findings_payload(findings), fh, indent=2)
+            fh.write("\n")
+        print(
+            f"wrote {len(findings)} finding(s) to "
+            f"{args.write_lint_baseline}"
+        )
+        return 0
+    lint_baseline_path = args.lint_baseline
+    if lint_baseline_path is None and not args.no_baseline:
+        if os.path.exists(_DEFAULT_LINT_BASELINE):
+            lint_baseline_path = _DEFAULT_LINT_BASELINE
+    lint_suppressed = 0
+    if lint_baseline_path is not None:
+        findings, lint_suppressed = apply_baseline(
+            findings, load_baseline(lint_baseline_path)
+        )
     inventory_text = None
     suppressed = 0
     if args.flow or args.write_baseline:
@@ -154,6 +194,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(json.dumps(payload, indent=2))
     else:
         print(format_findings(findings))
+        if lint_suppressed:
+            print(f"lint baseline: {lint_suppressed} finding(s) accepted")
         if inventory_text is not None:
             print(inventory_text)
         if args.flow:
